@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "EVAL: Utilizing
+// Processors with Variation-Induced Timing Errors" (Sarangi, Greskamp,
+// Tiwari, Torrellas — MICRO 2008).
+//
+// The implementation lives under internal/: the VARIUS-style within-die
+// variation model (internal/varius, internal/grid), the VATS timing-error
+// model (internal/vats), the power/thermal substrate (internal/power,
+// internal/thermal), the trace-driven performance model and synthetic SPEC
+// 2000 proxy suite (internal/pipeline, internal/workload), the mitigation
+// techniques (internal/tech), the Diva-style checker (internal/checker),
+// the fuzzy-controller machine learning (internal/fuzzy), the
+// high-dimensional dynamic adaptation (internal/adapt), the phase detector
+// (internal/phase), and the Table 1 environments with the multi-chip
+// experiment harness (internal/core).
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured record
+// and DESIGN.md for the system inventory.
+package repro

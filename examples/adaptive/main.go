@@ -1,0 +1,105 @@
+// Adaptive: the Figure 6 timeline — what the controller system actually
+// does at run time.
+//
+// This example walks one chip through a stream of execution intervals drawn
+// from an application's phases. The Sherwood-style detector recognizes
+// phase changes from basic-block vectors; new phases trigger the fuzzy
+// controller (trained here on a separate chip, as the manufacturer would);
+// recurring phases reuse their saved configuration; and hardware retuning
+// cycles trim each configuration against the real sensors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/phase"
+	"repro/internal/workload"
+)
+
+func main() {
+	sim, err := core.NewSimulator(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Field-side chip, and its manufacturer-side controller training: the
+	// tester measures the chip's per-subsystem Vt0 and populates its fuzzy
+	// controllers by running the Exhaustive algorithm on a software model
+	// of this chip (§4.3.1).
+	chip := sim.Chip(7)
+	cpu, err := sim.BuildCore(chip, core.TSASVQFU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultExperimentConfig()
+	cfg.Training.Examples = 800
+	fmt.Println("training this chip's fuzzy controllers (manufacturer-side, once per die)...")
+	solver, err := adapt.TrainFuzzySolver([]*adapt.Core{cpu}, cfg.Training)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-> %d controllers ready (~%d KB of rules; §5 reports ~120 KB)\n\n",
+		solver.ControllerCount(), solver.ControllerCount()*25*8*8/1024)
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	detector, err := phase.NewDetector(phase.DefaultThreshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := mathx.NewRNG(99)
+
+	// A synthetic execution: intervals visiting the app's phases with
+	// recurrence, as SPEC codes do.
+	var schedule []int
+	for r := 0; r < 3; r++ {
+		for p := range app.Phases {
+			schedule = append(schedule, p)
+		}
+	}
+
+	saved := adapt.NewPhaseTable(0) // the §4.3.3 phase table of saved configs
+	timeMS := 0.0
+	fmt.Println("t(ms)    interval             action")
+	for _, phIdx := range schedule {
+		ph := app.Phases[phIdx]
+		bbv := phase.FromSignature(ph.Signature).Noisy(rng, 2)
+		obs := detector.Observe(bbv)
+		switch {
+		case obs.New:
+			prof, err := sim.Profile(app, ph)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// ~20 us of counter measurement, 6 us of controller, <=10 us
+			// transition (Figure 6), then retuning cycles.
+			res, err := cpu.AdaptSteady(prof, solver)
+			if err != nil {
+				log.Fatal(err)
+			}
+			saved.Save(obs.PhaseID, res.Point, res.Outcome)
+			fmt.Printf("%7.0f  phase %d (new)        measure %.0fus + controller %.0fus + transition %.0fus; "+
+				"f=%.2fGHz q=%v fu=%v outcome=%v (%d retune steps)\n",
+				timeMS, obs.PhaseID, phase.MeasureUS, phase.ControllerUS, phase.TransitionUS,
+				res.Point.FCore*4, res.Point.Queue, res.Point.FU, res.Outcome, res.Steps)
+		case obs.Changed:
+			pt, _ := saved.Lookup(obs.PhaseID)
+			fmt.Printf("%7.0f  phase %d (recurring)  reuse saved configuration: f=%.2fGHz q=%v fu=%v\n",
+				timeMS, obs.PhaseID, pt.FCore*4, pt.Queue, pt.FU)
+		default:
+			fmt.Printf("%7.0f  phase %d (stable)     no action\n", timeMS, obs.PhaseID)
+		}
+		timeMS += phase.MeanPhaseLengthMS
+	}
+
+	fmt.Printf("\n%d distinct phases tracked; adaptation overhead per phase: %.4f%% of execution\n",
+		detector.Phases(), phase.AdaptationOverheadFraction()*100)
+	fmt.Printf("heat-sink sensor refresh: every %.1f s; retuning step: %.0f ms per violation probe\n",
+		phase.THRefreshS, phase.RetuneStepMS)
+}

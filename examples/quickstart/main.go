@@ -1,0 +1,81 @@
+// Quickstart: build one variation-afflicted chip, see what parameter
+// variation costs it, then let EVAL's high-dimensional dynamic adaptation
+// win the frequency back — the paper's core story in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The Figure 7 evaluation machine: a 4-core-CMP-style core at 45 nm,
+	// nominal 4 GHz at 1 V, with the paper's variation parameters
+	// (Vt sigma/mu = 9%, correlation range phi = 0.5).
+	sim, err := core.NewSimulator(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Manufacture a chip. Every chip seed gives a different personalized
+	// map of threshold-voltage and channel-length variation.
+	const seed = 42
+	chip := sim.Chip(seed)
+
+	// Without any support, the chip must clock at its worst-case-safe
+	// frequency: the slowest subsystem's error-free limit.
+	fvar, err := sim.ChipFVar(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip %d worst-case-safe frequency: %.2f GHz (%.0f%% of nominal)\n",
+		seed, fvar*4, fvar*100)
+
+	// Pick a workload: swim, the memory-bound SPECfp code the paper uses
+	// for its Figure 8 study.
+	app, err := workload.ByName("swim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := sim.Profile(app, app.Phases[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the EVAL view of the chip under the paper's preferred
+	// environment: timing speculation + per-subsystem ASV + issue-queue
+	// resizing + FU replication.
+	cpu, err := sim.BuildCore(chip, core.TSASVQFU)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adapt: the controller chooses the core frequency, per-subsystem
+	// supply voltages, the queue size, and the FU replica; hardware
+	// retuning cycles then trim the frequency against the real sensors.
+	res, err := cpu.AdaptSteady(prof, adapt.Exhaustive{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nEVAL adapted operating point for %s:\n", app.Name)
+	fmt.Printf("  frequency    %.2f GHz (%.0f%% of nominal, +%.0f%% over worst-case)\n",
+		res.Point.FCore*4, res.Point.FCore*100, (res.Point.FCore/fvar-1)*100)
+	fmt.Printf("  issue queue  %v\n", res.Point.Queue)
+	fmt.Printf("  FU replica   %v\n", res.Point.FU)
+	fmt.Printf("  error rate   %.2g errors/instruction (budget %.0g)\n",
+		res.State.PE, cpu.Limits.PEMax)
+	fmt.Printf("  power        %.1f W (cap %.0f W)\n", res.State.TotalW, cpu.Limits.PMaxW)
+	fmt.Printf("  hottest spot %.1f C (cap %.0f C)\n",
+		res.State.Core.MaxTK()-273.15, cpu.Limits.TMaxK-273.15)
+	fmt.Printf("  outcome      %v after %d retuning steps\n", res.Outcome, res.Steps)
+
+	fmt.Println("\nper-subsystem supplies chosen by the Power algorithm:")
+	for i := range cpu.Subs {
+		fmt.Printf("  %-12s %4.0f mV\n", cpu.Subs[i].Sub.ID, res.Point.VddV[i]*1000)
+	}
+}

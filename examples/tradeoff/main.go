@@ -1,0 +1,81 @@
+// Tradeoff: the §6.1 study — error rate, power, and frequency (or
+// performance) are tradeable quantities.
+//
+// For one chip running swim, this example prints (i) the per-subsystem
+// PE-vs-f curves and the processor performance curve under plain timing
+// speculation, (ii) the same after per-subsystem ASV/ABB reshaping (the
+// performance peak moves right and up — the paper's Point A), and (iii) a
+// slice of the Figure 9 power-error-frequency surface for the integer ALU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+)
+
+func main() {
+	sim, err := core.NewSimulator(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		chipSeed = 3
+		app      = "swim"
+	)
+
+	plain, err := sim.Figure8(chipSeed, app, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reshaped, err := sim.Figure8(chipSeed, app, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== %s on chip %d ===\n\n", app, chipSeed)
+	fmt.Printf("under TS:          performance peaks at fR = %.2f with PerfR = %.2f\n",
+		plain.PeakF, plain.PeakPerf)
+	fmt.Printf("under TS+ASV+ABB:  performance peaks at fR = %.2f with PerfR = %.2f\n",
+		reshaped.PeakF, reshaped.PeakPerf)
+	fmt.Printf("reshaping moved the peak %+.0f%% in frequency and %+.0f%% in performance\n\n",
+		(reshaped.PeakF/plain.PeakF-1)*100, (reshaped.PeakPerf/plain.PeakPerf-1)*100)
+
+	// Where does each kind of subsystem start to fail? (Figure 8(a): the
+	// memory curves rise abruptly, the logic curves gradually.)
+	fmt.Println("frequency at which each subsystem's error rate crosses 1e-6 (TS):")
+	for _, ser := range plain.Subsystem {
+		onset := 0.0
+		for _, p := range ser.Points {
+			if p.Y > 1e-6 {
+				onset = p.FRel
+				break
+			}
+		}
+		if onset == 0 {
+			fmt.Printf("  %-12s %-7s above the sweep range\n", ser.ID, ser.Kind)
+			continue
+		}
+		fmt.Printf("  %-12s %-7s fR = %.2f\n", ser.ID, ser.Kind, onset)
+	}
+
+	// A Figure 9 slice: the IntALU's minimum achievable error rate as a
+	// function of its power budget, at a fixed high frequency.
+	surface, err := sim.Figure9(chipSeed, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const fSlice = 1.1
+	fmt.Printf("\n%v at fR = %.2f: error rate vs power budget (Figure 9 slice)\n",
+		floorplan.IntALU, fSlice)
+	for _, p := range surface {
+		if p.FRel > fSlice-0.001 && p.FRel < fSlice+0.001 {
+			fmt.Printf("  budget %.2f W -> min PE %.2g, processor PerfR %.2f\n",
+				p.PowerW, p.PE, p.PerfR)
+		}
+	}
+	fmt.Println("\npaying more power buys a lower error rate at the same frequency —")
+	fmt.Println("or a higher frequency at the same error rate (Figure 9's lines 1 and 2).")
+}

@@ -1,0 +1,306 @@
+// Cross-module integration tests: end-to-end invariants that no single
+// package can check alone. These run at a deliberately tiny scale; the
+// statistically meaningful versions are the benchmarks.
+package repro_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/retime"
+	"repro/internal/tech"
+	"repro/internal/varius"
+	"repro/internal/vats"
+	"repro/internal/workload"
+)
+
+func integrationSim(t *testing.T) *core.Simulator {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.TraceLen = 15000
+	sim, err := core.NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestEndToEndEnvironmentOrdering checks the paper's central ordering on a
+// couple of chips: Baseline < TS < TS+ASV <= techniques, all within
+// constraints, and everything below the PLL ceiling.
+func TestEndToEndEnvironmentOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end ordering")
+	}
+	sim := integrationSim(t)
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sim.Profile(app, app.Phases[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{11, 23} {
+		chip := sim.Chip(seed)
+		fvar, err := sim.ChipFVar(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fOf := func(env core.Environment) float64 {
+			cpu, err := sim.BuildCore(chip, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cpu.AdaptSteady(prof, adapt.Exhaustive{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.State.Violated() {
+				t.Errorf("chip %d %v: final state violates constraints", seed, env)
+			}
+			return res.Point.FCore
+		}
+		fTS := fOf(core.TS)
+		fASV := fOf(core.TSASV)
+		fPref := fOf(core.TSASVQFU)
+		if !(fvar < fTS && fTS < fASV) {
+			t.Errorf("chip %d: ordering violated: fvar %.3f, TS %.3f, ASV %.3f",
+				seed, fvar, fTS, fASV)
+		}
+		if fPref < fASV-0.026 {
+			t.Errorf("chip %d: preferred env %.3f fell below ASV %.3f", seed, fPref, fASV)
+		}
+	}
+}
+
+// TestRetimeBetweenBaselineAndEVAL reproduces the §7 sandwich: baseline <
+// retiming < EVAL.
+func TestRetimeBetweenBaselineAndEVAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end comparison")
+	}
+	sim := integrationSim(t)
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sim.Profile(app, app.Phases[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := sim.Chip(4)
+	rr, err := retime.Retime(sim.Floorplan(), chip, sim.Options().Varius, retime.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := sim.BuildCore(chip, core.TSASVQFU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.AdaptSteady(prof, adapt.Exhaustive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rr.FBaseline < rr.FRetimed && rr.FRetimed < res.Point.FCore) {
+		t.Errorf("ordering violated: baseline %.3f, retimed %.3f, EVAL %.3f",
+			rr.FBaseline, rr.FRetimed, res.Point.FCore)
+	}
+}
+
+// TestExperimentDeterminism: the whole experiment pipeline is a pure
+// function of its seeds.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double experiment run")
+	}
+	run := func() *core.Summary {
+		sim := integrationSim(t)
+		cfg := core.DefaultExperimentConfig()
+		cfg.Chips = 1
+		cfg.Apps = []string{"gcc"}
+		cfg.Envs = []core.Environment{core.TSASV}
+		cfg.Modes = []core.Mode{core.ExhDyn}
+		sum, err := sim.RunSummary(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(), run()
+	if a.BaselineFRel != b.BaselineFRel || a.Cells[0] != b.Cells[0] {
+		t.Error("experiment pipeline is not deterministic")
+	}
+}
+
+// TestStagePEWellFormedProperty: across random operating conditions and
+// variants, every stage's error probability stays a probability and stays
+// monotone in frequency.
+func TestStagePEWellFormedProperty(t *testing.T) {
+	vp := varius.DefaultParams()
+	gen, err := varius.NewGenerator(vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := integrationSim(t)
+	chip := gen.Chip(9)
+	stages := make([]*vats.Stage, 0, sim.Floorplan().N())
+	for _, sub := range sim.Floorplan().Subsystems {
+		st, err := vats.NewStage(sub, chip, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stages = append(stages, st)
+	}
+	f := func(subRaw, vddRaw, vbbRaw, tRaw, f1Raw, f2Raw uint8) bool {
+		st := stages[int(subRaw)%len(stages)]
+		cond := vats.Cond{
+			VddV: 0.8 + float64(vddRaw)/255*0.4,
+			VbbV: -0.5 + float64(vbbRaw)/255*1.0,
+			TK:   318 + float64(tRaw)/255*50,
+		}
+		cv := st.Eval(cond, vats.IdentityVariant())
+		fLo := 0.6 + float64(f1Raw)/255*0.8
+		fHi := 0.6 + float64(f2Raw)/255*0.8
+		if fLo > fHi {
+			fLo, fHi = fHi, fLo
+		}
+		pLo, pHi := cv.PE(fLo), cv.PE(fHi)
+		return pLo >= 0 && pHi <= 1 && pLo <= pHi+1e-15 &&
+			!math.IsNaN(pLo) && !math.IsNaN(pHi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFreqSolveWithinActuationProperty: the Freq algorithm always returns a
+// frequency on the PLL grid within range, for random queries.
+func TestFreqSolveWithinActuationProperty(t *testing.T) {
+	sim := integrationSim(t)
+	cpu, err := sim.BuildCore(sim.Chip(6), core.TSASV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(subRaw, thRaw, alphaRaw, rhoRaw uint8) bool {
+		i := int(subRaw) % cpu.N()
+		q := adapt.FreqQuery{
+			THK:       320 + float64(thRaw)/255*25,
+			AlphaF:    0.01 + float64(alphaRaw)/255,
+			Variant:   vats.IdentityVariant(),
+			PowerMult: 1,
+		}
+		q.Rho = q.AlphaF * (0.5 + float64(rhoRaw)/255*4)
+		r := cpu.FreqSolve(i, q)
+		if r.FMax < tech.FRelMin-1e-9 || r.FMax > tech.FRelMax+1e-9 {
+			return false
+		}
+		steps := (r.FMax - tech.FRelMin) / tech.FRelStep
+		return math.Abs(steps-math.Round(steps)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGateDelayLeakageTradeoffProperty: anywhere in the actuation space,
+// making a device faster (more drive) makes it leakier — the fundamental
+// tension the optimizer navigates.
+func TestGateDelayLeakageTradeoffProperty(t *testing.T) {
+	vp := varius.DefaultParams()
+	f := func(vtRaw, vddRaw, tRaw, dRaw uint8) bool {
+		vt := 0.08 + float64(vtRaw)/255*0.2
+		vdd := 0.8 + float64(vddRaw)/255*0.4
+		tK := 320 + float64(tRaw)/255*40
+		dVt := 0.005 + float64(dRaw)/255*0.05
+		fasterDelay := vp.RelGateDelay(vt-dVt, 1, vdd, tK)
+		slowerDelay := vp.RelGateDelay(vt, 1, vdd, tK)
+		fasterLeak := vp.LeakageFactor(vt-dVt, vdd, tK)
+		slowerLeak := vp.LeakageFactor(vt, vdd, tK)
+		return fasterDelay <= slowerDelay && fasterLeak >= slowerLeak
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuiteWideProfilesSane builds profiles for the whole 26-app suite and
+// checks the Eq. 5 inputs stay physical.
+func TestSuiteWideProfilesSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite profiling")
+	}
+	sim := integrationSim(t)
+	for _, app := range workload.Suite() {
+		for _, ph := range app.Phases {
+			p, err := sim.Profile(app, ph)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", app.Name, ph.Index, err)
+			}
+			if p.CPICompFull < 1.0/3.0 || p.CPICompFull > 8 {
+				t.Errorf("%s/%d: CPIcomp %v out of band", app.Name, ph.Index, p.CPICompFull)
+			}
+			if p.CPICompSmall < p.CPICompFull {
+				t.Errorf("%s/%d: queue shrink lowered CPI", app.Name, ph.Index)
+			}
+			if p.Mr < 0 || p.Mr > 0.1 {
+				t.Errorf("%s/%d: mr %v out of band", app.Name, ph.Index, p.Mr)
+			}
+			for id, a := range p.Activity {
+				if a < 0 || a > 3 {
+					t.Errorf("%s/%d: activity[%d] = %v", app.Name, ph.Index, id, a)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetStatistics: across a small fleet, the mean adapted frequency
+// must sit well above the mean baseline with a tight spread (the fleet
+// example's claim).
+func TestFleetStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run")
+	}
+	sim := integrationSim(t)
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := sim.Profile(app, app.Phases[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, adapted []float64
+	for seed := int64(0); seed < 5; seed++ {
+		chip := sim.Chip(seed)
+		fv, err := sim.ChipFVar(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu, err := sim.BuildCore(chip, core.TSASVQFU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cpu.AdaptSteady(prof, adapt.Exhaustive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = append(base, fv)
+		adapted = append(adapted, res.Point.FCore)
+	}
+	gain := mathx.Mean(adapted) / mathx.Mean(base)
+	if gain < 1.25 {
+		t.Errorf("fleet mean gain %.2f below expectation", gain)
+	}
+	// Adaptation also *narrows* the fleet's spread: slow chips get boosted
+	// hardest (the per-chip personalization story).
+	if mathx.StdDev(adapted) > mathx.StdDev(base)*1.5 {
+		t.Errorf("adapted spread %.3f should not balloon vs baseline %.3f",
+			mathx.StdDev(adapted), mathx.StdDev(base))
+	}
+}

@@ -1,0 +1,436 @@
+// Package adapt implements §4 of the paper: the High-Dimensional dynamic
+// adaptation that chooses, at every application phase, the core frequency,
+// per-subsystem supply voltage and body bias, the issue-queue size, and the
+// functional-unit replica, so as to maximize frequency subject to the
+// error-rate, temperature, and power constraints.
+//
+// It provides the two-step Freq/Power decomposition of §4.2 with two
+// interchangeable per-subsystem solvers — the offline Exhaustive search of
+// §4.3.1 and the trained fuzzy controllers — plus the retuning cycles of
+// §4.3.3 that repair controller misestimates, and the outcome
+// classification behind Figure 13.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checker"
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/thermal"
+	"repro/internal/vats"
+	"repro/internal/workload"
+)
+
+// Limits are the optimization constraints of §4.1 / Figure 7(a).
+type Limits struct {
+	PMaxW  float64 // per-processor power cap (core + L1 + L2 + checker)
+	TMaxK  float64 // per-subsystem temperature cap
+	THMaxK float64 // heat-sink temperature cap
+	PEMax  float64 // total errors per instruction
+}
+
+// DefaultLimits returns Figure 7(a): PMAX=30 W, TMAX=85 C, TH_MAX=70 C,
+// PE_MAX=1e-4 err/inst.
+func DefaultLimits() Limits {
+	return Limits{
+		PMaxW:  30,
+		TMaxK:  85 + 273.15,
+		THMaxK: 70 + 273.15,
+		PEMax:  1e-4,
+	}
+}
+
+// Validate checks the limits.
+func (l Limits) Validate() error {
+	if l.PMaxW <= 0 || l.TMaxK <= 273.15 || l.THMaxK <= 273.15 || l.PEMax <= 0 {
+		return fmt.Errorf("adapt: invalid limits %+v", l)
+	}
+	return nil
+}
+
+// Subsystem bundles one subsystem's optimization view: its timing model and
+// the per-subsystem constants of §4.1 (Rth, Kdyn, Ksta, Vt0) that the
+// manufacturer measures and stores on chip.
+type Subsystem struct {
+	Index   int
+	Sub     floorplan.Subsystem
+	Stage   *vats.Stage
+	Vt0EffV float64
+}
+
+// Core is the optimization view of one processor core on one chip.
+type Core struct {
+	Subs    []Subsystem
+	Power   *power.Model
+	Thermal *thermal.Model
+	Checker checker.Config
+	Config  tech.Config
+	Limits  Limits
+
+	peCache map[peKey]*peTable
+}
+
+// NewCore validates and assembles the optimization view.
+func NewCore(subs []Subsystem, pw *power.Model, th *thermal.Model,
+	chk checker.Config, cfg tech.Config, lim Limits) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lim.Validate(); err != nil {
+		return nil, err
+	}
+	if err := chk.Validate(); err != nil {
+		return nil, err
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("adapt: no subsystems")
+	}
+	for i, s := range subs {
+		if s.Index != i {
+			return nil, fmt.Errorf("adapt: subsystem %d has index %d", i, s.Index)
+		}
+		if s.Stage == nil {
+			return nil, fmt.Errorf("adapt: subsystem %d has no stage model", i)
+		}
+	}
+	return &Core{
+		Subs:    subs,
+		Power:   pw,
+		Thermal: th,
+		Checker: chk,
+		Config:  cfg,
+		Limits:  lim,
+		peCache: make(map[peKey]*peTable),
+	}, nil
+}
+
+// N returns the number of subsystems.
+func (c *Core) N() int { return len(c.Subs) }
+
+// peKey identifies a cached PE-fmax table: the PE-limited fmax at a given
+// device temperature depends only on the subsystem, the structural variant,
+// the (Vdd, Vbb) point, and the temperature — not on TH or activity — so
+// tables are computed once per chip and reused across every controller
+// invocation.
+type peKey struct {
+	sub                int
+	variant            vats.Variant
+	vddMilli, vbbMilli int
+	tIdx               int
+}
+
+// peBudgets are the error-budget grid points of the cached inverse tables;
+// queries interpolate in log-budget between them.
+var peBudgets = [...]float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+
+// peTempsC are the device-temperature grid points (Celsius); queries
+// interpolate linearly in temperature between adjacent tables. Hotter
+// devices are slower, which is what turns high-activity subsystems (FUs,
+// issue queues) into frequency limiters once ASV pushes power up (§6.2).
+var peTempsC = [...]float64{45, 55, 65, 75, 85, 95}
+
+type peTable struct {
+	fmax [len(peBudgets)]float64
+}
+
+// tableAt returns (building if needed) the inverse table at temperature
+// grid index tIdx.
+func (c *Core) tableAt(sub int, v vats.Variant, vddV, vbbV float64, tIdx int) *peTable {
+	key := peKey{
+		sub:      sub,
+		variant:  v,
+		vddMilli: int(math.Round(vddV * 1000)),
+		vbbMilli: int(math.Round(vbbV * 1000)),
+		tIdx:     tIdx,
+	}
+	tab, ok := c.peCache[key]
+	if !ok {
+		tK := peTempsC[tIdx] + 273.15
+		curve := c.Subs[sub].Stage.Eval(vats.Cond{VddV: vddV, VbbV: vbbV, TK: tK}, v)
+		tab = &peTable{}
+		for bi, b := range peBudgets {
+			tab.fmax[bi] = curve.FMaxForPE(b)
+		}
+		c.peCache[key] = tab
+	}
+	return tab
+}
+
+// peFMax returns the maximum relative frequency at which the subsystem's
+// per-access error probability stays within budget when its devices sit at
+// temperature tK, interpolated from the per-chip cache.
+func (c *Core) peFMax(sub int, v vats.Variant, vddV, vbbV, budget, tK float64) float64 {
+	tC := tK - 273.15
+	last := len(peTempsC) - 1
+	switch {
+	case tC <= peTempsC[0]:
+		return c.tableAt(sub, v, vddV, vbbV, 0).query(budget)
+	case tC >= peTempsC[last]:
+		return c.tableAt(sub, v, vddV, vbbV, last).query(budget)
+	}
+	hi := 1
+	for peTempsC[hi] < tC {
+		hi++
+	}
+	lo := hi - 1
+	frac := (tC - peTempsC[lo]) / (peTempsC[hi] - peTempsC[lo])
+	fLo := c.tableAt(sub, v, vddV, vbbV, lo).query(budget)
+	fHi := c.tableAt(sub, v, vddV, vbbV, hi).query(budget)
+	return fLo + frac*(fHi-fLo)
+}
+
+// query interpolates the inverse table in log10(budget).
+func (t *peTable) query(budget float64) float64 {
+	if budget <= peBudgets[0] {
+		return t.fmax[0]
+	}
+	last := len(peBudgets) - 1
+	if budget >= peBudgets[last] {
+		return t.fmax[last]
+	}
+	lb := math.Log10(budget)
+	for i := 0; i < last; i++ {
+		lo, hi := math.Log10(peBudgets[i]), math.Log10(peBudgets[i+1])
+		if lb <= hi {
+			frac := (lb - lo) / (hi - lo)
+			return t.fmax[i] + frac*(t.fmax[i+1]-t.fmax[i])
+		}
+	}
+	return t.fmax[last]
+}
+
+// SixInputs are the per-subsystem controller inputs of §4.1: the heat-sink
+// temperature and activity factor (sensed at run time) plus the four
+// manufacturer-measured constants.
+type SixInputs struct {
+	THK      float64
+	RthKPerW float64
+	KdynW    float64
+	AlphaF   float64
+	KstaW    float64
+	Vt0EffV  float64
+}
+
+// Vector flattens the inputs for the fuzzy controllers.
+func (s SixInputs) Vector() []float64 {
+	return []float64{s.THK, s.RthKPerW, s.KdynW, s.AlphaF, s.KstaW, s.Vt0EffV}
+}
+
+// Inputs assembles the six controller inputs for subsystem i.
+func (c *Core) Inputs(i int, thK, alphaF float64) SixInputs {
+	return SixInputs{
+		THK:      thK,
+		RthKPerW: c.Thermal.Rth(i),
+		KdynW:    c.Power.Kdyn(i),
+		AlphaF:   alphaF,
+		KstaW:    c.Power.Ksta(i),
+		Vt0EffV:  c.Subs[i].Vt0EffV,
+	}
+}
+
+// FreqQuery parameterizes one per-subsystem Freq solve.
+type FreqQuery struct {
+	THK     float64
+	AlphaF  float64 // accesses per cycle (power/thermal)
+	Rho     float64 // accesses per instruction (PE budget weighting)
+	Variant vats.Variant
+	// PowerMult reflects the structure choice (LowSlope FU: 1.3).
+	PowerMult float64
+}
+
+// FreqResult is the outcome of a Freq solve: the subsystem's maximum
+// feasible frequency and the (Vdd, Vbb) that achieves it.
+type FreqResult struct {
+	FMax float64
+	VddV float64
+	VbbV float64
+}
+
+// stageBudget converts the processor-wide PE limit into this stage's
+// per-access budget: the paper conservatively gives each of the n
+// subsystems PEMAX/n per instruction, and rho accesses per instruction
+// share it.
+func (c *Core) stageBudget(rho float64) float64 {
+	perSub := c.Limits.PEMax / float64(c.N())
+	if rho < 1e-3 {
+		rho = 1e-3 // a nearly idle stage still gets a finite budget
+	}
+	return perSub / rho
+}
+
+// comboFMax finds the highest frequency subsystem i supports at a fixed
+// (Vdd, Vbb): the paper's per-combination step of the Freq algorithm, which
+// "computes, for each f, Vdd, and Vbb value combination, the resulting
+// subsystem T and PE". The thermal cap is closed-form; the error cap is the
+// fixed point of f = fPE(T_steady(f)), found by damped iteration (fPE
+// decreases in T, T increases in f).
+func (c *Core) comboFMax(i int, q FreqQuery, vdd, vbb, budget float64) float64 {
+	in := thermal.SubsystemInput{
+		Index:     i,
+		Vt0Eff:    c.Subs[i].Vt0EffV,
+		AlphaF:    q.AlphaF,
+		VddV:      vdd,
+		VbbV:      vbb,
+		PowerMult: q.PowerMult,
+	}
+	fT := c.Thermal.FRelMaxForTemp(in, q.THK, c.Limits.TMaxK)
+	if fT <= tech.FRelMin {
+		return 0
+	}
+	// Start from the conservative hottest-case estimate and relax.
+	f := math.Min(c.peFMax(i, q.Variant, vdd, vbb, budget, c.Limits.TMaxK), fT)
+	for iter := 0; iter < 4; iter++ {
+		in.FRel = math.Min(f, tech.FRelMax)
+		st := c.Thermal.SubsystemSteady(in, q.THK)
+		tK := math.Min(st.TK, c.Limits.TMaxK)
+		fNew := math.Min(c.peFMax(i, q.Variant, vdd, vbb, budget, tK), fT)
+		if math.Abs(fNew-f) < tech.FRelStep/4 {
+			f = math.Min(f, fNew)
+			break
+		}
+		f = 0.5*f + 0.5*fNew
+	}
+	return f
+}
+
+// FreqSolve runs the exhaustive Freq algorithm of §4.2 for subsystem i:
+// over all (Vdd, Vbb) levels, the highest frequency that violates neither
+// the temperature cap nor the stage's share of the error budget, with the
+// subsystem's delay evaluated at its own steady-state temperature.
+func (c *Core) FreqSolve(i int, q FreqQuery) FreqResult {
+	return c.FreqSolveAt(i, q, c.Config.VddLevels(nominalVdd), c.Config.VbbLevels())
+}
+
+// FreqSolveAt is FreqSolve restricted to explicit actuation-level lists —
+// used by ablations such as a single chip-wide ASV domain.
+func (c *Core) FreqSolveAt(i int, q FreqQuery, vdds, vbbs []float64) FreqResult {
+	budget := c.stageBudget(q.Rho)
+	var best FreqResult
+	for _, vdd := range vdds {
+		for _, vbb := range vbbs {
+			f := c.comboFMax(i, q, vdd, vbb, budget)
+			f = tech.SnapFRelDown(math.Min(f, tech.FRelMax))
+			if f > best.FMax+1e-12 {
+				best = FreqResult{FMax: f, VddV: vdd, VbbV: vbb}
+			}
+		}
+	}
+	return best
+}
+
+// nominalVdd is the design supply; tech.Config pins Vdd here without ASV.
+const nominalVdd = 1.0
+
+// PowerResult is the outcome of a Power solve.
+type PowerResult struct {
+	VddV, VbbV float64
+	State      thermal.SubsystemState
+	Feasible   bool
+}
+
+// PowerSolve runs the exhaustive Power algorithm of §4.2 for subsystem i:
+// given the chosen core frequency, the (Vdd, Vbb) that minimizes subsystem
+// power while still meeting the frequency at the temperature and error
+// constraints. If no level pair meets fCore, the fastest pair is returned
+// with Feasible=false (retuning will pull the core frequency down).
+func (c *Core) PowerSolve(i int, fCore float64, q FreqQuery) PowerResult {
+	budget := c.stageBudget(q.Rho)
+	var best PowerResult
+	bestPower := math.Inf(1)
+	mult := q.PowerMult
+	if mult == 0 {
+		mult = 1
+	}
+	// The scan is exhaustive over the level grid, but exact lower bounds
+	// prune combinations that cannot beat the best found so far: dynamic
+	// power is closed-form and grows with Vdd (levels ascend, so once it
+	// alone exceeds the best, every remaining level loses), and static
+	// power at the heat-sink temperature lower-bounds static power at the
+	// subsystem's steady temperature.
+	for _, vdd := range c.Config.VddLevels(nominalVdd) {
+		pdyn := mult * c.Power.Pdyn(i, q.AlphaF, vdd, fCore)
+		if pdyn >= bestPower {
+			break
+		}
+		for _, vbb := range c.Config.VbbLevels() {
+			pstaMin := mult * c.Power.Psta(i,
+				vtAtSink(c, i, q.THK, vdd, vbb), vdd, q.THK)
+			if pdyn+pstaMin >= bestPower {
+				continue
+			}
+			// Devices can be no cooler than the heat sink, and fPE falls
+			// with temperature — so infeasibility at the sink temperature
+			// is infeasibility, without a thermal solve.
+			if c.peFMax(i, q.Variant, vdd, vbb, budget, q.THK) < fCore-1e-9 {
+				continue
+			}
+			in := thermal.SubsystemInput{
+				Index:     i,
+				Vt0Eff:    c.Subs[i].Vt0EffV,
+				AlphaF:    q.AlphaF,
+				VddV:      vdd,
+				VbbV:      vbb,
+				FRel:      fCore,
+				PowerMult: q.PowerMult,
+			}
+			st := c.Thermal.SubsystemSteady(in, q.THK)
+			fPE := c.peFMax(i, q.Variant, vdd, vbb, budget, math.Min(st.TK, c.Limits.TMaxK))
+			feasible := fPE >= fCore-1e-9 && st.Converged && st.TK <= c.Limits.TMaxK+1e-9
+			if feasible && st.PowerW() < bestPower {
+				bestPower = st.PowerW()
+				best = PowerResult{VddV: vdd, VbbV: vbb, State: st, Feasible: true}
+			}
+		}
+	}
+	if best.Feasible {
+		return best
+	}
+	// No level pair meets fCore: fall back to the fastest pair (retuning
+	// will pull the core frequency down). Computed only on this cold path,
+	// since it costs a full frequency solve per pair.
+	var fastest PowerResult
+	fastestF := -1.0
+	for _, vdd := range c.Config.VddLevels(nominalVdd) {
+		for _, vbb := range c.Config.VbbLevels() {
+			if f := c.comboFMax(i, q, vdd, vbb, budget); f > fastestF {
+				in := thermal.SubsystemInput{
+					Index: i, Vt0Eff: c.Subs[i].Vt0EffV, AlphaF: q.AlphaF,
+					VddV: vdd, VbbV: vbb, FRel: fCore, PowerMult: q.PowerMult,
+				}
+				fastestF = f
+				fastest = PowerResult{VddV: vdd, VbbV: vbb,
+					State: c.Thermal.SubsystemSteady(in, q.THK), Feasible: false}
+			}
+		}
+	}
+	return fastest
+}
+
+// vtAtSink returns the subsystem's operating Vt if its devices sat exactly
+// at the heat-sink temperature — the coolest (least leaky) it can be.
+func vtAtSink(c *Core, i int, thK, vdd, vbb float64) float64 {
+	return c.Subs[i].Stage.VariusParams().VtAt(c.Subs[i].Vt0EffV, thK, vdd, vbb)
+}
+
+// rhoFor converts a measured per-cycle activity factor into accesses per
+// instruction, the weight of Eq. 4.
+func rhoFor(alphaF, cpi float64) float64 {
+	if cpi <= 0 {
+		return alphaF
+	}
+	return alphaF * cpi
+}
+
+// classFor reports whether subsystem id is active for the application
+// class: FP-only structures idle (clock-gated) under integer codes and
+// vice versa, which is why the paper adapts "integer or FP units depending
+// on the type of application running".
+func classActive(sub floorplan.Subsystem, class workload.Class) bool {
+	if class == workload.FP {
+		return sub.FPSide
+	}
+	return sub.IntSide
+}

@@ -1,0 +1,531 @@
+package adapt
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/floorplan"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/thermal"
+	"repro/internal/varius"
+	"repro/internal/vats"
+	"repro/internal/workload"
+)
+
+// buildCore assembles the optimization view for one chip, the way the core
+// package does in production.
+func buildCore(t testing.TB, seed int64, cfg tech.Config) *Core {
+	t.Helper()
+	vp := varius.DefaultParams()
+	gen, err := varius.NewGenerator(vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := power.NewModel(fp, vp, power.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := thermal.NewModel(fp, vp, pw, thermal.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chip *varius.ChipMaps
+	if seed < 0 {
+		chip = gen.NoVarChip()
+	} else {
+		chip = gen.Chip(seed)
+	}
+	subs := make([]Subsystem, fp.N())
+	for i, s := range fp.Subsystems {
+		stage, err := vats.NewStage(s, chip, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, leakEff := chip.RegionVtStats(s.Rect, vp)
+		subs[i] = Subsystem{Index: i, Sub: s, Stage: stage, Vt0EffV: leakEff}
+	}
+	core, err := NewCore(subs, pw, th, checker.DefaultConfig(), cfg, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+var (
+	profOnce sync.Once
+	profGcc  pipeline.Profile
+	profSwim pipeline.Profile
+)
+
+func profiles(t *testing.T) (gcc, swim pipeline.Profile) {
+	t.Helper()
+	profOnce.Do(func() {
+		app, err := workload.ByName("gcc")
+		if err != nil {
+			panic(err)
+		}
+		profGcc, err = pipeline.BuildProfile(app, app.Phases[0], 30000, 5)
+		if err != nil {
+			panic(err)
+		}
+		app, err = workload.ByName("swim")
+		if err != nil {
+			panic(err)
+		}
+		profSwim, err = pipeline.BuildProfile(app, app.Phases[0], 30000, 5)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return profGcc, profSwim
+}
+
+var (
+	tsConfig  = tech.Config{TimingSpec: true}
+	asvConfig = tech.Config{TimingSpec: true, ASV: true}
+	allConfig = tech.Config{TimingSpec: true, ASV: true, ABB: true, QueueResize: true, FUReplication: true}
+	preferred = tech.Config{TimingSpec: true, ASV: true, QueueResize: true, FUReplication: true}
+)
+
+const thTest = 60 + 273.15
+
+func TestDefaultLimits(t *testing.T) {
+	l := DefaultLimits()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.PMaxW != 30 || l.PEMax != 1e-4 {
+		t.Errorf("limits = %+v, want Figure 7(a) values", l)
+	}
+	bad := l
+	bad.PEMax = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestNewCoreValidation(t *testing.T) {
+	core := buildCore(t, 1, tsConfig)
+	if _, err := NewCore(nil, core.Power, core.Thermal, core.Checker, core.Config, core.Limits); err == nil {
+		t.Error("no subsystems should error")
+	}
+	subs := append([]Subsystem(nil), core.Subs...)
+	subs[3].Index = 7
+	if _, err := NewCore(subs, core.Power, core.Thermal, core.Checker, core.Config, core.Limits); err == nil {
+		t.Error("misindexed subsystems should error")
+	}
+	badCfg := tech.Config{ASV: true} // no checker
+	if _, err := NewCore(core.Subs, core.Power, core.Thermal, core.Checker, badCfg, core.Limits); err == nil {
+		t.Error("invalid tech config should error")
+	}
+}
+
+func TestFreqSolveASVBeatsFixedSupply(t *testing.T) {
+	gcc, _ := profiles(t)
+	tsCore := buildCore(t, 2, tsConfig)
+	asvCore := buildCore(t, 2, asvConfig)
+	for i := 0; i < tsCore.N(); i++ {
+		q := tsCore.QueryFor(i, gcc, thTest, tech.QueueFull, tech.FUNormal)
+		fTS := tsCore.FreqSolve(i, q).FMax
+		fASV := asvCore.FreqSolve(i, q).FMax
+		if fASV < fTS-1e-9 {
+			t.Errorf("sub %d: ASV fmax %v below fixed-supply %v", i, fASV, fTS)
+		}
+	}
+}
+
+func TestFreqSolveOnGrid(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 3, asvConfig)
+	for i := 0; i < core.N(); i++ {
+		q := core.QueryFor(i, gcc, thTest, tech.QueueFull, tech.FUNormal)
+		f := core.FreqSolve(i, q).FMax
+		steps := (f - tech.FRelMin) / tech.FRelStep
+		if math.Abs(steps-math.Round(steps)) > 1e-6 {
+			t.Errorf("sub %d: fmax %v not on the 100 MHz grid", i, f)
+		}
+		if f < tech.FRelMin || f > tech.FRelMax {
+			t.Errorf("sub %d: fmax %v outside the PLL range", i, f)
+		}
+	}
+}
+
+func TestFreqSolveHotterSinkIsSlower(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 4, asvConfig)
+	for i := 0; i < core.N(); i++ {
+		qCool := core.QueryFor(i, gcc, 50+273.15, tech.QueueFull, tech.FUNormal)
+		qHot := qCool
+		qHot.THK = 70 + 273.15
+		fCool := core.FreqSolve(i, qCool).FMax
+		fHot := core.FreqSolve(i, qHot).FMax
+		if fHot > fCool+1e-9 {
+			t.Errorf("sub %d: hotter heat sink raised fmax (%v -> %v)", i, fCool, fHot)
+		}
+	}
+}
+
+func TestPowerSolveFeasibleAndTight(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 5, asvConfig)
+	for i := 0; i < core.N(); i++ {
+		q := core.QueryFor(i, gcc, thTest, tech.QueueFull, tech.FUNormal)
+		fmax := core.FreqSolve(i, q).FMax
+		fCore := tech.SnapFRelDown(fmax * 0.9)
+		r := core.PowerSolve(i, fCore, q)
+		if !r.Feasible {
+			t.Errorf("sub %d: PowerSolve infeasible at 0.9*fmax", i)
+			continue
+		}
+		if r.State.TK > core.Limits.TMaxK+0.1 {
+			t.Errorf("sub %d: PowerSolve exceeded TMAX: %v", i, r.State.TK)
+		}
+		// The chosen point's PE-limited fmax must cover fCore.
+		if fPE := core.peFMax(i, q.Variant, r.VddV, r.VbbV, core.stageBudget(q.Rho), r.State.TK); fPE < fCore-1e-9 {
+			t.Errorf("sub %d: chosen levels cannot sustain fCore", i)
+		}
+	}
+}
+
+func TestPowerSolvePrefersLowPower(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 6, asvConfig)
+	// At a very low core frequency, the Power algorithm should pick a low
+	// supply, not the maximum.
+	i := 0
+	q := core.QueryFor(i, gcc, thTest, tech.QueueFull, tech.FUNormal)
+	r := core.PowerSolve(i, tech.FRelMin, q)
+	if !r.Feasible {
+		t.Fatal("minimum frequency should be feasible")
+	}
+	if r.VddV > 1.0+1e-9 {
+		t.Errorf("at minimum frequency Vdd = %v, expected <= nominal", r.VddV)
+	}
+}
+
+func TestPETableInterpolationMonotone(t *testing.T) {
+	core := buildCore(t, 7, asvConfig)
+	v := vats.IdentityVariant()
+	prev := 0.0
+	for _, b := range []float64{1e-10, 3e-9, 1e-8, 5e-7, 1e-5, 2e-4, 1e-2, 1} {
+		f := core.peFMax(0, v, 1.0, 0, b, 350)
+		if f < prev-1e-9 {
+			t.Fatalf("peFMax not monotone in budget at %g", b)
+		}
+		prev = f
+	}
+}
+
+func TestProposeShapes(t *testing.T) {
+	gcc, swim := profiles(t)
+	core := buildCore(t, 8, preferred)
+	for _, prof := range []pipeline.Profile{gcc, swim} {
+		prop, err := core.Propose(prof, thTest, Exhaustive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := prop.Point
+		if len(op.VddV) != core.N() || len(op.VbbV) != core.N() {
+			t.Fatal("operating point has wrong width")
+		}
+		if op.FCore < tech.FRelMin || op.FCore > tech.FRelMax {
+			t.Errorf("fcore %v out of range", op.FCore)
+		}
+		for i, v := range op.VddV {
+			if v < tech.VddMinV-1e-9 || v > tech.VddMaxV+1e-9 {
+				t.Errorf("sub %d Vdd %v out of ASV range", i, v)
+			}
+		}
+		for i, v := range op.VbbV {
+			if v != 0 {
+				t.Errorf("sub %d Vbb %v nonzero without ABB", i, v)
+			}
+		}
+		if prop.EstimatedPerf <= 0 {
+			t.Error("estimated performance must be positive")
+		}
+		// The core frequency cannot exceed any subsystem's ceiling.
+		for i, f := range prop.FPerSub {
+			if op.FCore > f+1e-9 {
+				t.Errorf("fcore %v exceeds sub %d ceiling %v", op.FCore, i, f)
+			}
+		}
+	}
+}
+
+func TestProposeNilSolver(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 8, preferred)
+	if _, err := core.Propose(gcc, thTest, nil); err == nil {
+		t.Error("nil solver should error")
+	}
+}
+
+func TestASVRaisesCoreFrequency(t *testing.T) {
+	gcc, _ := profiles(t)
+	ts := buildCore(t, 9, tsConfig)
+	asv := buildCore(t, 9, asvConfig)
+	pTS, err := ts.Propose(gcc, thTest, Exhaustive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pASV, err := asv.Propose(gcc, thTest, Exhaustive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pASV.Point.FCore <= pTS.Point.FCore {
+		t.Errorf("ASV fcore %v not above TS fcore %v", pASV.Point.FCore, pTS.Point.FCore)
+	}
+}
+
+func TestEvaluateConservativePointIsClean(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 10, tsConfig)
+	n := core.N()
+	op := OperatingPoint{
+		FCore: tech.FRelMin,
+		VddV:  make([]float64, n),
+		VbbV:  make([]float64, n),
+	}
+	for i := range op.VddV {
+		op.VddV[i] = 1.0
+	}
+	st, err := core.Evaluate(op, gcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violated() {
+		t.Errorf("conservative point violates constraints: %+v", st)
+	}
+	if st.PerfRel <= 0 || st.TotalW <= 0 {
+		t.Error("evaluation produced degenerate metrics")
+	}
+}
+
+func TestEvaluateAggressivePointViolates(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 10, asvConfig)
+	n := core.N()
+	op := OperatingPoint{
+		FCore: tech.FRelMax,
+		VddV:  make([]float64, n),
+		VbbV:  make([]float64, n),
+	}
+	for i := range op.VddV {
+		op.VddV[i] = tech.VddMaxV
+	}
+	st, err := core.Evaluate(op, gcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Violated() {
+		t.Error("max-everything point should violate some constraint")
+	}
+}
+
+func TestRetuneRepairsViolations(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 11, asvConfig)
+	n := core.N()
+	op := OperatingPoint{
+		FCore: tech.FRelMax,
+		VddV:  make([]float64, n),
+		VbbV:  make([]float64, n),
+	}
+	for i := range op.VddV {
+		op.VddV[i] = 1.1
+	}
+	res, err := core.Retune(op, gcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Violated() {
+		t.Errorf("retuning left a violated state: %+v", res.State)
+	}
+	if res.Outcome != OutcomeError && res.Outcome != OutcomeTemp && res.Outcome != OutcomePower {
+		t.Errorf("violating start must classify as a violation outcome, got %v", res.Outcome)
+	}
+	if res.Point.FCore >= op.FCore {
+		t.Error("retuning should have lowered the frequency")
+	}
+	if res.Steps < 2 {
+		t.Error("retuning should take multiple steps")
+	}
+}
+
+func TestRetuneCleanConfigProbesUp(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 12, asvConfig)
+	prop, err := core.Propose(gcc, thTest, Exhaustive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := core.Evaluate(prop.Point, gcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Retune(prop.Point, gcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Violated() {
+		t.Errorf("retuned state still violates: %+v", res.State)
+	}
+	if initial.Violated() {
+		// The proposal missed (e.g. the sensed TH was stale); retuning must
+		// classify the violation and back off.
+		if res.Outcome == OutcomeNoChange || res.Outcome == OutcomeLowFreq {
+			t.Errorf("violating start must classify a violation, got %v", res.Outcome)
+		}
+		return
+	}
+	if res.Outcome != OutcomeNoChange && res.Outcome != OutcomeLowFreq {
+		t.Errorf("clean start must classify NoChange/LowFreq, got %v", res.Outcome)
+	}
+	if res.Point.FCore < prop.Point.FCore {
+		t.Error("clean retuning should never lower frequency")
+	}
+}
+
+func TestAdaptPhaseEndToEnd(t *testing.T) {
+	gcc, swim := profiles(t)
+	core := buildCore(t, 13, preferred)
+	for _, prof := range []pipeline.Profile{gcc, swim} {
+		res, err := core.AdaptPhase(prof, thTest, Exhaustive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.State.Violated() {
+			t.Errorf("%s: adapted state violates constraints", prof.AppName)
+		}
+		// The whole point: adapted frequency beats the no-support Baseline
+		// (~0.78) by a wide margin.
+		if res.Point.FCore < 0.9 {
+			t.Errorf("%s: adapted fcore = %v, expected near/above nominal", prof.AppName, res.Point.FCore)
+		}
+		if res.State.PE > core.Limits.PEMax*1.0001 {
+			t.Errorf("%s: PE %g exceeds budget", prof.AppName, res.State.PE)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	names := map[Outcome]string{
+		OutcomeNoChange: "NoChange", OutcomeLowFreq: "LowFreq",
+		OutcomeError: "Error", OutcomeTemp: "Temp", OutcomePower: "Power",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+	if Outcome(42).String() == "" {
+		t.Error("unknown outcome should still print")
+	}
+}
+
+func TestVariantsOf(t *testing.T) {
+	core := buildCore(t, 14, allConfig)
+	for i, s := range core.Subs {
+		n := len(core.variantsOf(i))
+		want := 1
+		if tech.IsQueueSubsystem(s.Sub.ID) || tech.IsFUSubsystem(s.Sub.ID) {
+			want = 2
+		}
+		if n != want {
+			t.Errorf("%v has %d variants, want %d", s.Sub.ID, n, want)
+		}
+	}
+}
+
+func TestVariantForRouting(t *testing.T) {
+	core := buildCore(t, 14, allConfig)
+	gcc, swim := profiles(t)
+	// For an integer app with a small queue, IntQ shifts but FPQ does not.
+	for _, s := range core.Subs {
+		v, _ := variantFor(s.Sub, gcc.Class, tech.QueueThreeQuarter, tech.FUNormal)
+		if s.Sub.ID == floorplan.IntQ && v.MeanScale == 1 {
+			t.Error("IntQ should shift for an int app with a small queue")
+		}
+		if s.Sub.ID == floorplan.FPQ && v.MeanScale != 1 {
+			t.Error("FPQ must not shift for an int app")
+		}
+	}
+	// For an FP app with LowSlope, FPUnit tilts but IntALU does not.
+	for _, s := range core.Subs {
+		v, mult := variantFor(s.Sub, swim.Class, tech.QueueFull, tech.FULowSlope)
+		if s.Sub.ID == floorplan.FPUnit {
+			if !v.PreserveWall || mult != tech.LowSlopePowerMult {
+				t.Error("FPUnit should tilt with the 1.3x power cost for an FP app")
+			}
+		}
+		if s.Sub.ID == floorplan.IntALU && v.PreserveWall {
+			t.Error("IntALU must not tilt for an FP app")
+		}
+	}
+}
+
+func TestFuzzySolverApproximatesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzy training")
+	}
+	gcc, _ := profiles(t)
+	trainCores := []*Core{buildCore(t, 100, asvConfig), buildCore(t, 101, asvConfig)}
+	opts := DefaultTrainOptions()
+	opts.Examples = 400
+	solver, err := TrainFuzzySolver(trainCores, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver.ControllerCount() != trainCores[0].N()*3 {
+		t.Errorf("controller count = %d, want %d", solver.ControllerCount(), trainCores[0].N()*3)
+	}
+	// Accuracy on a *fresh* chip (not in the training set).
+	test := buildCore(t, 200, asvConfig)
+	var sumErr float64
+	for i := 0; i < test.N(); i++ {
+		q := test.QueryFor(i, gcc, thTest, tech.QueueFull, tech.FUNormal)
+		fx := (Exhaustive{}).FreqMax(test, i, q)
+		ff := solver.FreqMax(test, i, q)
+		sumErr += math.Abs(fx-ff) / fx
+	}
+	mean := sumErr / float64(test.N())
+	// Table 2 reports ~4-11% frequency error; stay within that band.
+	if mean > 0.12 {
+		t.Errorf("mean fuzzy frequency error = %.1f%%, want < 12%%", mean*100)
+	}
+	t.Logf("mean fuzzy frequency error = %.2f%% (paper Table 2: ~4-11%%)", mean*100)
+}
+
+func TestTrainFuzzySolverValidation(t *testing.T) {
+	if _, err := TrainFuzzySolver(nil, DefaultTrainOptions()); err == nil {
+		t.Error("no cores should error")
+	}
+	core := buildCore(t, 15, asvConfig)
+	bad := DefaultTrainOptions()
+	bad.Examples = 3
+	if _, err := TrainFuzzySolver([]*Core{core}, bad); err == nil {
+		t.Error("too few examples should error")
+	}
+	other := buildCore(t, 15, tsConfig)
+	if _, err := TrainFuzzySolver([]*Core{core, other}, DefaultTrainOptions()); err == nil {
+		t.Error("mixed configurations should error")
+	}
+}
+
+func TestOperatingPointClone(t *testing.T) {
+	op := OperatingPoint{FCore: 1, VddV: []float64{1, 2}, VbbV: []float64{3, 4}}
+	cl := op.Clone()
+	cl.VddV[0] = 99
+	if op.VddV[0] == 99 {
+		t.Error("Clone shares backing arrays")
+	}
+}

@@ -1,0 +1,330 @@
+package adapt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fuzzy"
+	"repro/internal/mathx"
+	"repro/internal/tech"
+	"repro/internal/vats"
+)
+
+// fcKey identifies one fuzzy controller: a subsystem with a structural
+// variant. Each subsystem has an fmax controller (Freq algorithm) and Vdd
+// and Vbb controllers (Power algorithm) per variant, matching Figure 3.
+type fcKey struct {
+	sub     int
+	variant vats.Variant
+}
+
+// FuzzySolver answers Freq/Power queries with trained fuzzy controllers
+// (§4.3.1). Predictions are snapped to the hardware's discrete levels; any
+// residual misestimate is repaired by retuning cycles, exactly as the paper
+// argues in §6.3.
+type FuzzySolver struct {
+	freq map[fcKey]*fuzzy.Controller // 6 inputs -> fmax
+	vdd  map[fcKey]*fuzzy.Controller // 6 inputs + fcore -> Vdd
+	vbb  map[fcKey]*fuzzy.Controller // 6 inputs + fcore -> Vbb
+	// freqBias is each frequency controller's mean training residual
+	// (prediction - truth), subtracted at query time.
+	freqBias map[fcKey]float64
+	// minBiasComp compensates the selection bias of taking the minimum
+	// over n noisy per-subsystem estimates, which is otherwise biased low
+	// by roughly one estimator sigma; without it every controller
+	// invocation ends as a LowFreq retune instead of the paper's
+	// Figure 13 mix.
+	minBiasComp float64
+}
+
+// Name implements Solver.
+func (*FuzzySolver) Name() string { return "fuzzy" }
+
+// FreqMax implements Solver. Unknown (subsystem, variant) pairs — which
+// cannot occur for solvers trained with TrainFuzzySolver on the same
+// configuration — fall back to the exhaustive search.
+func (s *FuzzySolver) FreqMax(c *Core, i int, q FreqQuery) float64 {
+	fc, ok := s.freq[fcKey{sub: i, variant: q.Variant}]
+	if !ok {
+		return (Exhaustive{}).FreqMax(c, i, q)
+	}
+	pred, err := fc.Predict(c.Inputs(i, q.THK, q.AlphaF).Vector())
+	if err != nil {
+		return (Exhaustive{}).FreqMax(c, i, q)
+	}
+	pred -= s.freqBias[fcKey{sub: i, variant: q.Variant}]
+	pred += s.minBiasComp
+	// Snap to the *nearest* frequency step rather than down: the core
+	// frequency is the minimum over 15 noisy per-subsystem estimates,
+	// which is already biased low; rounding down on top of that would make
+	// every invocation a LowFreq retune. Balanced rounding plus the bias
+	// compensation reproduces the paper's Figure 13 mix, where optimistic
+	// misses (Error/Temp/Power) and pessimistic ones (LowFreq) both occur
+	// and retuning repairs both.
+	grid := tech.FRelLevels()
+	return snapNearest(grid, mathx.Clamp(pred, tech.FRelMin, tech.FRelMax))
+}
+
+// PowerLevels implements Solver.
+func (s *FuzzySolver) PowerLevels(c *Core, i int, fCore float64, q FreqQuery) (float64, float64) {
+	key := fcKey{sub: i, variant: q.Variant}
+	fcV, okV := s.vdd[key]
+	fcB, okB := s.vbb[key]
+	if !okV || !okB {
+		return (Exhaustive{}).PowerLevels(c, i, fCore, q)
+	}
+	x := append(c.Inputs(i, q.THK, q.AlphaF).Vector(), fCore)
+	pv, errV := fcV.Predict(x)
+	pb, errB := fcB.Predict(x)
+	if errV != nil || errB != nil {
+		return (Exhaustive{}).PowerLevels(c, i, fCore, q)
+	}
+	vddLevels := c.Config.VddLevels(nominalVdd)
+	vbbLevels := c.Config.VbbLevels()
+	// Vdd rounds *up* to the next level: an underpredicted supply costs a
+	// whole frequency step that retuning cannot win back (it only moves f),
+	// while an overpredicted one costs a sliver of power. This mirrors
+	// SnapFRelDown's conservatism on the frequency side.
+	return snapUp(vddLevels, pv), snapNearest(vbbLevels, pb)
+}
+
+// snapUp returns the smallest level at or above v (levels are ascending);
+// values above the range clamp to the top level.
+func snapUp(levels []float64, v float64) float64 {
+	for _, l := range levels {
+		if l >= v-1e-9 {
+			return l
+		}
+	}
+	return levels[len(levels)-1]
+}
+
+// snapNearest returns the level closest to v.
+func snapNearest(levels []float64, v float64) float64 {
+	best := levels[0]
+	bd := math.Abs(v - best)
+	for _, l := range levels[1:] {
+		if d := math.Abs(v - l); d < bd {
+			best, bd = l, d
+		}
+	}
+	return best
+}
+
+// TrainOptions configures fuzzy-solver training.
+type TrainOptions struct {
+	// Examples per controller; the paper uses 10,000 randomly-selected
+	// examples generated with Exhaustive.
+	Examples int
+	// Fuzzy is the controller training configuration (25 rules, lr 0.04).
+	Fuzzy fuzzy.TrainConfig
+	// Seed drives example sampling.
+	Seed int64
+	// MinBiasComp is added to every frequency prediction to undo the
+	// low bias of the min-over-subsystems core-frequency selection
+	// (in relative-frequency units; ~2 grid steps by default).
+	MinBiasComp float64
+	// THRangeK bounds the sampled heat-sink temperatures.
+	THLoK, THHiK float64
+	// AlphaRange bounds the sampled activity factors.
+	AlphaLo, AlphaHi float64
+	// CPIRange bounds the sampled CPIs (to convert alpha to rho).
+	CPILo, CPIHi float64
+}
+
+// DefaultTrainOptions returns a training budget that reproduces the
+// paper's accuracy at tractable cost (set Examples to 10000 for the
+// paper-exact budget).
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		Examples:    2000,
+		Fuzzy:       fuzzy.DefaultTrainConfig(),
+		Seed:        99,
+		MinBiasComp: tech.FRelStep / 2,
+		THLoK:       45 + 273.15,
+		THHiK:       71 + 273.15,
+		AlphaLo:     0.01,
+		AlphaHi:     1.2,
+		CPILo:       0.6,
+		CPIHi:       5.0,
+	}
+}
+
+// Validate checks training options.
+func (o TrainOptions) Validate() error {
+	if o.Examples < o.Fuzzy.Rules {
+		return fmt.Errorf("adapt: %d examples < %d rules", o.Examples, o.Fuzzy.Rules)
+	}
+	if o.THLoK >= o.THHiK || o.AlphaLo >= o.AlphaHi || o.CPILo >= o.CPIHi {
+		return fmt.Errorf("adapt: degenerate sampling ranges")
+	}
+	return o.Fuzzy.Validate()
+}
+
+// variantChoice pairs a structural variant with its power multiplier.
+type variantChoice struct {
+	v    vats.Variant
+	mult float64
+}
+
+// variantsOf lists the structural variants subsystem i can take under the
+// core's technique configuration.
+func (c *Core) variantsOf(i int) []variantChoice {
+	out := []variantChoice{{vats.IdentityVariant(), 1}}
+	id := c.Subs[i].Sub.ID
+	if c.Config.QueueResize && tech.IsQueueSubsystem(id) {
+		out = append(out, variantChoice{tech.QueueThreeQuarter.Variant(), tech.QueueSmallFrac + 0.05})
+	}
+	if c.Config.FUReplication && tech.IsFUSubsystem(id) {
+		out = append(out, variantChoice{tech.FULowSlope.Variant(), tech.LowSlopePowerMult})
+	}
+	return out
+}
+
+// TrainFuzzySolver builds the full controller set for the configuration
+// shared by the training cores: for every (subsystem, variant), Examples
+// random operating situations are labeled by the Exhaustive algorithm and
+// fed to the Appendix A trainer. Training cores should be distinct chips
+// from the same manufacturing distribution as the deployment chips — the
+// manufacturer's software model (§4.3.1).
+func TrainFuzzySolver(cores []*Core, opts TrainOptions) (*FuzzySolver, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("adapt: no training cores")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := cores[0].Config
+	for _, c := range cores[1:] {
+		if c.Config != cfg {
+			return nil, fmt.Errorf("adapt: training cores have mixed configurations")
+		}
+	}
+	s := &FuzzySolver{
+		freq:        make(map[fcKey]*fuzzy.Controller),
+		vdd:         make(map[fcKey]*fuzzy.Controller),
+		vbb:         make(map[fcKey]*fuzzy.Controller),
+		freqBias:    make(map[fcKey]float64),
+		minBiasComp: opts.MinBiasComp,
+	}
+	rng := mathx.NewRNG(opts.Seed)
+	n := cores[0].N()
+	for i := 0; i < n; i++ {
+		for _, vm := range cores[0].variantsOf(i) {
+			freqEx := make([]fuzzy.Example, 0, opts.Examples)
+			vddEx := make([]fuzzy.Example, 0, opts.Examples)
+			vbbEx := make([]fuzzy.Example, 0, opts.Examples)
+			for e := 0; e < opts.Examples; e++ {
+				core := cores[rng.Intn(len(cores))]
+				th := rng.Uniform(opts.THLoK, opts.THHiK)
+				alpha := rng.Uniform(opts.AlphaLo, opts.AlphaHi)
+				cpi := rng.Uniform(opts.CPILo, opts.CPIHi)
+				q := FreqQuery{
+					THK:       th,
+					AlphaF:    alpha,
+					Rho:       alpha * cpi,
+					Variant:   vm.v,
+					PowerMult: vm.mult,
+				}
+				x := core.Inputs(i, th, alpha).Vector()
+				fr := core.FreqSolve(i, q)
+				freqEx = append(freqEx, fuzzy.Example{X: x, Y: fr.FMax})
+				// Power examples at a feasible core frequency at or below
+				// this subsystem's ceiling.
+				fCore := tech.SnapFRelDown(fr.FMax * rng.Uniform(0.75, 1.0))
+				pr := core.PowerSolve(i, fCore, q)
+				xp := append(append([]float64(nil), x...), fCore)
+				vddEx = append(vddEx, fuzzy.Example{X: xp, Y: pr.VddV})
+				vbbEx = append(vbbEx, fuzzy.Example{X: xp, Y: pr.VbbV})
+			}
+			key := fcKey{sub: i, variant: vm.v}
+			fcfg := opts.Fuzzy
+			fcfg.Seed = opts.Seed + int64(i)*31 + 7
+			var err error
+			if s.freq[key], err = fuzzy.Train(freqEx, fcfg); err != nil {
+				return nil, fmt.Errorf("adapt: training freq FC for sub %d: %w", i, err)
+			}
+			// Center the controller: subtract its mean training residual.
+			var resid float64
+			for _, ex := range freqEx {
+				p, perr := s.freq[key].Predict(ex.X)
+				if perr != nil {
+					return nil, perr
+				}
+				resid += p - ex.Y
+			}
+			s.freqBias[key] = resid / float64(len(freqEx))
+			if s.vdd[key], err = fuzzy.Train(vddEx, fcfg); err != nil {
+				return nil, fmt.Errorf("adapt: training vdd FC for sub %d: %w", i, err)
+			}
+			if s.vbb[key], err = fuzzy.Train(vbbEx, fcfg); err != nil {
+				return nil, fmt.Errorf("adapt: training vbb FC for sub %d: %w", i, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// ControllerCount reports how many fuzzy controllers the solver holds.
+func (s *FuzzySolver) ControllerCount() int {
+	return len(s.freq) + len(s.vdd) + len(s.vbb)
+}
+
+// solverState is the serialized form of a FuzzySolver: the manufacturer's
+// shippable controller tables (~120 KB of data footprint, §5).
+type solverState struct {
+	Entries []solverEntry `json:"entries"`
+}
+
+type solverEntry struct {
+	Sub     int               `json:"sub"`
+	Variant vats.Variant      `json:"variant"`
+	Freq    *fuzzy.Controller `json:"freq"`
+	Vdd     *fuzzy.Controller `json:"vdd"`
+	Vbb     *fuzzy.Controller `json:"vbb"`
+}
+
+// MarshalJSON serializes the solver's controllers.
+func (s *FuzzySolver) MarshalJSON() ([]byte, error) {
+	var st solverState
+	for key, fc := range s.freq {
+		st.Entries = append(st.Entries, solverEntry{
+			Sub:     key.sub,
+			Variant: key.variant,
+			Freq:    fc,
+			Vdd:     s.vdd[key],
+			Vbb:     s.vbb[key],
+		})
+	}
+	sort.Slice(st.Entries, func(i, j int) bool {
+		a, b := st.Entries[i], st.Entries[j]
+		if a.Sub != b.Sub {
+			return a.Sub < b.Sub
+		}
+		return a.Variant.MeanScale < b.Variant.MeanScale
+	})
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON restores a serialized solver.
+func (s *FuzzySolver) UnmarshalJSON(data []byte) error {
+	var st solverState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.freq = make(map[fcKey]*fuzzy.Controller)
+	s.vdd = make(map[fcKey]*fuzzy.Controller)
+	s.vbb = make(map[fcKey]*fuzzy.Controller)
+	for _, e := range st.Entries {
+		if e.Freq == nil || e.Vdd == nil || e.Vbb == nil {
+			return fmt.Errorf("adapt: corrupt solver state for sub %d", e.Sub)
+		}
+		key := fcKey{sub: e.Sub, variant: e.Variant}
+		s.freq[key] = e.Freq
+		s.vdd[key] = e.Vdd
+		s.vbb[key] = e.Vbb
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package checker
+
+import "fmt"
+
+// Scheme identifies an error-detection/correction architecture. §3.1 notes
+// that EVAL can sit on top of any of them: a Diva-like checker at
+// retirement, Razor-style stage-level checking, or a Paceline-style checker
+// core. They differ in recovery penalty, verification bandwidth, and power
+// — which is exactly what Eq. 5 consumes.
+type Scheme int
+
+const (
+	// SchemeDiva is the paper's default: a simple checker unit at
+	// retirement, clocked at a safe lower frequency.
+	SchemeDiva Scheme = iota
+	// SchemeRazor augments pipeline latches with shadow latches; errors
+	// are caught in place, so recovery is a short counterflow bubble
+	// rather than a full flush, and there is no separate retirement
+	// bandwidth cap — but every stage pays latch and hold-margin power.
+	SchemeRazor
+	// SchemePaceline pairs the core with a checker core that re-executes
+	// the instruction stream behind it; recovery restores a checkpoint
+	// (expensive), bandwidth is a whole core (ample), and the power cost
+	// is the second core's.
+	SchemePaceline
+	NumSchemes // sentinel
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDiva:
+		return "Diva"
+	case SchemeRazor:
+		return "Razor"
+	case SchemePaceline:
+		return "Paceline"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ForScheme returns the calibrated configuration of an error-tolerance
+// scheme on the Figure 7 machine.
+func ForScheme(s Scheme) (Config, error) {
+	switch s {
+	case SchemeDiva:
+		return DefaultConfig(), nil
+	case SchemeRazor:
+		return Config{
+			// Razor checking rides the main pipeline; it has no separate
+			// frequency, so its effective bandwidth never binds.
+			FRelSafe:       1.5,
+			IPCCap:         3.0,
+			RecoveryCycles: 5, // counterflow recovery, not a full flush
+			// Shadow latches and hold-time margins cost power in every
+			// stage; total is comparable to Diva's but spread out.
+			DynPowerW:         1.2,
+			StaPowerW:         0.5,
+			InstrQueueEntries: 0,
+		}, nil
+	case SchemePaceline:
+		return Config{
+			// The checker core runs at the safe frequency but retires as a
+			// full core.
+			FRelSafe:       0.875,
+			IPCCap:         3.0,
+			RecoveryCycles: 30, // checkpoint restore
+			// A second (simplified, slower) core is expensive.
+			DynPowerW:         3.0,
+			StaPowerW:         1.2,
+			InstrQueueEntries: 0,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("checker: unknown scheme %v", s)
+	}
+}
+
+// Schemes lists all implemented error-tolerance schemes.
+func Schemes() []Scheme {
+	return []Scheme{SchemeDiva, SchemeRazor, SchemePaceline}
+}

@@ -1,0 +1,71 @@
+package checker
+
+import "testing"
+
+func TestForSchemeValidConfigs(t *testing.T) {
+	for _, s := range Schemes() {
+		cfg, err := ForScheme(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v config invalid: %v", s, err)
+		}
+	}
+	if _, err := ForScheme(Scheme(99)); err == nil {
+		t.Error("unknown scheme should error")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	want := map[Scheme]string{
+		SchemeDiva: "Diva", SchemeRazor: "Razor", SchemePaceline: "Paceline",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if Scheme(42).String() == "" {
+		t.Error("unknown scheme should still print")
+	}
+}
+
+func TestSchemeTradeoffs(t *testing.T) {
+	diva, _ := ForScheme(SchemeDiva)
+	razor, _ := ForScheme(SchemeRazor)
+	pace, _ := ForScheme(SchemePaceline)
+
+	// Razor recovers fastest (in-place), Paceline slowest (checkpoint).
+	if !(razor.RecoveryCycles < diva.RecoveryCycles &&
+		diva.RecoveryCycles < pace.RecoveryCycles) {
+		t.Errorf("recovery ordering violated: razor %v, diva %v, paceline %v",
+			razor.RecoveryCycles, diva.RecoveryCycles, pace.RecoveryCycles)
+	}
+	// Diva has the tightest verification bandwidth; Razor never binds.
+	if diva.ThroughputCap() >= razor.ThroughputCap() {
+		t.Errorf("Diva cap %v should be tighter than Razor's %v",
+			diva.ThroughputCap(), razor.ThroughputCap())
+	}
+	// Paceline costs the most power.
+	if pace.PowerW(1.0) <= diva.PowerW(1.0) {
+		t.Errorf("Paceline should cost more power than Diva: %v vs %v",
+			pace.PowerW(1.0), diva.PowerW(1.0))
+	}
+}
+
+func TestRazorBandwidthNeverBinds(t *testing.T) {
+	razor, _ := ForScheme(SchemeRazor)
+	// Even an ideal 3-wide core at the maximum PLL frequency stays under
+	// Razor's effective cap.
+	if s := razor.StallCPI(1.4, 1.0/3.0); s != 0 {
+		t.Errorf("Razor stalled an ideal core by %v CPI", s)
+	}
+}
+
+func TestDivaIsDefaultScheme(t *testing.T) {
+	diva, _ := ForScheme(SchemeDiva)
+	if diva != DefaultConfig() {
+		t.Error("SchemeDiva must be the paper's default checker")
+	}
+}

@@ -1,0 +1,176 @@
+// Package cmp models the evaluation platform at chip level: the 4-core CMP
+// of §5 ("each application is run on each of the 4 cores of each of 100
+// chips"). One systematic variation map spans the whole die; each core is a
+// quadrant with its own floorplan instance, its own worst-case-safe
+// frequency, and its own adaptation — so the package exposes the
+// core-to-core variation that a shared die with a finite correlation range
+// produces.
+package cmp
+
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+	"repro/internal/checker"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/thermal"
+	"repro/internal/varius"
+	"repro/internal/vats"
+)
+
+// NumCores is the CMP's core count (Figure 7(a): 4-core CMP).
+const NumCores = 4
+
+// Chip is one manufactured die: a full-chip variation map and the four
+// core floorplans placed on its quadrants.
+type Chip struct {
+	Seed  int64
+	Maps  *varius.ChipMaps
+	Cores [NumCores]*floorplan.Floorplan
+}
+
+// Generator manufactures 4-core dies.
+type Generator struct {
+	vp   varius.Params
+	gen  *varius.Generator
+	base *floorplan.Floorplan
+}
+
+// NewGenerator builds a die-level generator from per-core variation
+// parameters: the grid is widened to span the full chip (2x2 cores) at the
+// same cell density, and the correlation range phi keeps its chip-relative
+// meaning, so quadrants of one die are correlated but not identical.
+func NewGenerator(vp varius.Params) (*Generator, error) {
+	full := vp
+	full.GridW = vp.GridW * 2
+	full.GridH = vp.GridH * 2
+	// CoreSide in varius.Params names the generated region's side; the
+	// full die spans twice the core.
+	coreSide := vp.CoreSide
+	full.CoreSide = vp.CoreSide * 2
+	gen, err := varius.NewGenerator(full)
+	if err != nil {
+		return nil, err
+	}
+	base, err := floorplan.Default(coreSide)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{vp: full, gen: gen, base: base}, nil
+}
+
+// Params returns the die-level variation parameters.
+func (g *Generator) Params() varius.Params { return g.vp }
+
+// Chip manufactures one die.
+func (g *Generator) Chip(seed int64) (*Chip, error) {
+	maps := g.gen.Chip(seed)
+	c := &Chip{Seed: seed, Maps: maps}
+	side := g.base.CoreSide
+	offsets := [NumCores][2]float64{
+		{0, 0}, {side, 0}, {0, side}, {side, side},
+	}
+	for i, off := range offsets {
+		fp, err := translate(g.base, off[0], off[1])
+		if err != nil {
+			return nil, err
+		}
+		c.Cores[i] = fp
+	}
+	return c, nil
+}
+
+// translate returns a copy of a floorplan shifted by (dx, dy) in die
+// coordinates.
+func translate(fp *floorplan.Floorplan, dx, dy float64) (*floorplan.Floorplan, error) {
+	if dx < 0 || dy < 0 {
+		return nil, fmt.Errorf("cmp: negative quadrant offset (%g, %g)", dx, dy)
+	}
+	out := &floorplan.Floorplan{
+		CoreSide:   fp.CoreSide,
+		Subsystems: append([]floorplan.Subsystem(nil), fp.Subsystems...),
+	}
+	for i := range out.Subsystems {
+		r := &out.Subsystems[i].Rect
+		r.X0 += dx
+		r.X1 += dx
+		r.Y0 += dy
+		r.Y1 += dy
+	}
+	return out, nil
+}
+
+// CoreFVar returns core c's worst-case-safe frequency at the design corner.
+func (ch *Chip) CoreFVar(c int, vp varius.Params) (float64, error) {
+	if c < 0 || c >= NumCores {
+		return 0, fmt.Errorf("cmp: core %d out of range", c)
+	}
+	pl, err := vats.NewPipeline(ch.Cores[c], ch.Maps, vp)
+	if err != nil {
+		return 0, err
+	}
+	corner := vats.Cond{VddV: vp.VddNomV, TK: vp.TOpRefK}
+	min := 10.0
+	for _, st := range pl.Stages {
+		if fv := st.Eval(corner, vats.IdentityVariant()).FVar(); fv < min {
+			min = fv
+		}
+	}
+	return min, nil
+}
+
+// BuildCore assembles the adaptation view of one core of the die. Each core
+// has its own power and thermal models (private heat-sink share) but shares
+// the die's variation maps.
+func (ch *Chip) BuildCore(c int, vp varius.Params, cfg tech.Config,
+	chk checker.Config, lim adapt.Limits) (*adapt.Core, error) {
+	if c < 0 || c >= NumCores {
+		return nil, fmt.Errorf("cmp: core %d out of range", c)
+	}
+	fp := ch.Cores[c]
+	pw, err := power.NewModel(fp, vp, power.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	th, err := thermal.NewModel(fp, vp, pw, thermal.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]adapt.Subsystem, fp.N())
+	for i, sub := range fp.Subsystems {
+		stage, err := vats.NewStage(sub, ch.Maps, vp)
+		if err != nil {
+			return nil, err
+		}
+		_, _, leakEff := ch.Maps.RegionVtStats(sub.Rect, vp)
+		subs[i] = adapt.Subsystem{Index: i, Sub: sub, Stage: stage, Vt0EffV: leakEff}
+	}
+	return adapt.NewCore(subs, pw, th, chk, cfg, lim)
+}
+
+// QuadrantRect returns core c's die-coordinate bounding box.
+func (ch *Chip) QuadrantRect(c int) (grid.Rect, error) {
+	if c < 0 || c >= NumCores {
+		return grid.Rect{}, fmt.Errorf("cmp: core %d out of range", c)
+	}
+	fp := ch.Cores[c]
+	r := grid.Rect{X0: 1e18, Y0: 1e18, X1: -1e18, Y1: -1e18}
+	for _, s := range fp.Subsystems {
+		if s.Rect.X0 < r.X0 {
+			r.X0 = s.Rect.X0
+		}
+		if s.Rect.Y0 < r.Y0 {
+			r.Y0 = s.Rect.Y0
+		}
+		if s.Rect.X1 > r.X1 {
+			r.X1 = s.Rect.X1
+		}
+		if s.Rect.Y1 > r.Y1 {
+			r.Y1 = s.Rect.Y1
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,224 @@
+package cmp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/checker"
+	"repro/internal/mathx"
+	"repro/internal/tech"
+	"repro/internal/varius"
+)
+
+func newGen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := NewGenerator(varius.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestChipHasFourDisjointCores(t *testing.T) {
+	g := newGen(t)
+	ch, err := g.Chip(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rects [NumCores][4]float64
+	for c := 0; c < NumCores; c++ {
+		r, err := ch.QuadrantRect(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rects[c] = [4]float64{r.X0, r.Y0, r.X1, r.Y1}
+		// Each quadrant must lie within the die.
+		side := g.Params().CoreSide
+		if r.X0 < 0 || r.Y0 < 0 || r.X1 > side+1e-9 || r.Y1 > side+1e-9 {
+			t.Errorf("core %d rect %+v outside the die", c, r)
+		}
+	}
+	// Quadrants are pairwise disjoint.
+	for a := 0; a < NumCores; a++ {
+		for b := a + 1; b < NumCores; b++ {
+			if rects[a][0] < rects[b][2] && rects[b][0] < rects[a][2] &&
+				rects[a][1] < rects[b][3] && rects[b][1] < rects[a][3] {
+				t.Errorf("cores %d and %d overlap", a, b)
+			}
+		}
+	}
+}
+
+func TestCoresDifferOnOneDie(t *testing.T) {
+	g := newGen(t)
+	ch, err := g.Chip(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := g.Params()
+	var fvars []float64
+	for c := 0; c < NumCores; c++ {
+		fv, err := ch.CoreFVar(c, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fv < 0.6 || fv > 1.0 {
+			t.Errorf("core %d fvar %v out of the variation band", c, fv)
+		}
+		fvars = append(fvars, fv)
+	}
+	// Within-die variation: the four cores should not be identical.
+	if mathx.Max(fvars)-mathx.Min(fvars) < 1e-4 {
+		t.Errorf("cores identical (%v); within-die variation missing", fvars)
+	}
+}
+
+func TestDieLevelStatisticsMatchCoreLevel(t *testing.T) {
+	// The mean worst-case-safe frequency across many (die, core) pairs
+	// must match the single-core calibration (~0.78).
+	g := newGen(t)
+	vp := g.Params()
+	var fvars []float64
+	for seed := int64(0); seed < 6; seed++ {
+		ch, err := g.Chip(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < NumCores; c++ {
+			fv, err := ch.CoreFVar(c, vp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fvars = append(fvars, fv)
+		}
+	}
+	mean := mathx.Mean(fvars)
+	if mean < 0.72 || mean > 0.85 {
+		t.Errorf("die-level mean fvar = %.3f, want ~0.78", mean)
+	}
+}
+
+func TestSameDieCoresCorrelate(t *testing.T) {
+	// Cores on one die share the systematic map (phi = half the die), so
+	// the within-die spread of core fvar should be smaller than the spread
+	// across dies.
+	g := newGen(t)
+	vp := g.Params()
+	var withinVars, dieMeans []float64
+	for seed := int64(0); seed < 8; seed++ {
+		ch, err := g.Chip(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs []float64
+		for c := 0; c < NumCores; c++ {
+			fv, err := ch.CoreFVar(c, vp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs = append(fs, fv)
+		}
+		withinVars = append(withinVars, mathx.Variance(fs))
+		dieMeans = append(dieMeans, mathx.Mean(fs))
+	}
+	within := mathx.Mean(withinVars)
+	across := mathx.Variance(dieMeans)
+	// Not a strict theorem at small samples, but with phi=0.5 of the die
+	// the die-to-die component should be visible.
+	if across <= 0 {
+		t.Fatal("no die-to-die variation measured")
+	}
+	t.Logf("within-die core-fvar variance %.2e, die-to-die %.2e", within, across)
+}
+
+func TestBuildCoreAndAdaptPerCore(t *testing.T) {
+	g := newGen(t)
+	ch, err := g.Chip(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := g.Params()
+	cfg := tech.Config{TimingSpec: true, ASV: true}
+	lim := adapt.DefaultLimits()
+	chk := checker.DefaultConfig()
+	for c := 0; c < NumCores; c++ {
+		cpu, err := ch.BuildCore(c, vp, cfg, chk, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cpu.N() != 15 {
+			t.Fatalf("core %d has %d subsystems", c, cpu.N())
+		}
+		// Every subsystem's effective Vt0 must be physical.
+		for _, sub := range cpu.Subs {
+			if sub.Vt0EffV < 0.02 || sub.Vt0EffV > 0.4 {
+				t.Errorf("core %d %v Vt0eff %v implausible", c, sub.Sub.ID, sub.Vt0EffV)
+			}
+		}
+	}
+}
+
+func TestChipDeterminism(t *testing.T) {
+	g := newGen(t)
+	a, err := g.Chip(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Chip(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := g.Params()
+	for c := 0; c < NumCores; c++ {
+		fa, _ := a.CoreFVar(c, vp)
+		fb, _ := b.CoreFVar(c, vp)
+		if fa != fb {
+			t.Fatalf("core %d fvar differs across identical dies", c)
+		}
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	g := newGen(t)
+	ch, err := g.Chip(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := g.Params()
+	if _, err := ch.CoreFVar(-1, vp); err == nil {
+		t.Error("negative core index should error")
+	}
+	if _, err := ch.CoreFVar(NumCores, vp); err == nil {
+		t.Error("out-of-range core index should error")
+	}
+	if _, err := ch.QuadrantRect(9); err == nil {
+		t.Error("out-of-range quadrant should error")
+	}
+	if _, err := ch.BuildCore(9, vp, tech.Config{TimingSpec: true},
+		checker.DefaultConfig(), adapt.DefaultLimits()); err == nil {
+		t.Error("out-of-range BuildCore should error")
+	}
+}
+
+func TestSlowestCoreBinsTheDie(t *testing.T) {
+	// A die's sellable frequency without EVAL is its slowest core's; the
+	// min over cores is below the mean — the binning loss EVAL recovers.
+	g := newGen(t)
+	vp := g.Params()
+	ch, err := g.Chip(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []float64
+	for c := 0; c < NumCores; c++ {
+		fv, err := ch.CoreFVar(c, vp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = append(fs, fv)
+	}
+	if mathx.Min(fs) > mathx.Mean(fs)-1e-9 && math.Abs(mathx.Max(fs)-mathx.Min(fs)) > 1e-9 {
+		t.Error("min over cores should trail the mean when cores differ")
+	}
+}

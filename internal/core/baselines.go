@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+	"repro/internal/checker"
+	"repro/internal/mathx"
+	"repro/internal/retime"
+	"repro/internal/workload"
+)
+
+// RetimeComparison is the §7 three-way comparison on one workload:
+// worst-case clocking vs ReCycle-style dynamic retiming vs EVAL.
+type RetimeComparison struct {
+	Chips int
+	App   string
+	// Mean relative frequencies.
+	BaselineFRel float64
+	RetimedFRel  float64
+	EVALFRel     float64
+}
+
+// RetimeGain returns retiming's mean gain over the baseline.
+func (r RetimeComparison) RetimeGain() float64 {
+	if r.BaselineFRel <= 0 {
+		return 0
+	}
+	return r.RetimedFRel / r.BaselineFRel
+}
+
+// EVALGain returns EVAL's mean gain over the baseline.
+func (r RetimeComparison) EVALGain() float64 {
+	if r.BaselineFRel <= 0 {
+		return 0
+	}
+	return r.EVALFRel / r.BaselineFRel
+}
+
+// RunRetimeComparison reproduces the §7 claim (retiming gains 10-20%,
+// EVAL ~56%) across chips, using the preferred EVAL environment with the
+// Exhaustive solver.
+func (s *Simulator) RunRetimeComparison(chips int, seedBase int64, appName string) (RetimeComparison, error) {
+	if chips < 1 {
+		return RetimeComparison{}, fmt.Errorf("core: chips %d must be >= 1", chips)
+	}
+	app, err := workload.ByName(appName)
+	if err != nil {
+		return RetimeComparison{}, err
+	}
+	prof, err := s.Profile(app, app.Phases[0])
+	if err != nil {
+		return RetimeComparison{}, err
+	}
+	var base, ret, eval []float64
+	for c := 0; c < chips; c++ {
+		chip := s.Chip(seedBase + int64(c))
+		rr, err := retime.Retime(s.fp, chip, s.opts.Varius, retime.DefaultConfig())
+		if err != nil {
+			return RetimeComparison{}, err
+		}
+		cpu, err := s.BuildCore(chip, TSASVQFU)
+		if err != nil {
+			return RetimeComparison{}, err
+		}
+		res, err := cpu.AdaptSteady(prof, adapt.Exhaustive{})
+		if err != nil {
+			return RetimeComparison{}, err
+		}
+		base = append(base, rr.FBaseline)
+		ret = append(ret, rr.FRetimed)
+		eval = append(eval, res.Point.FCore)
+	}
+	return RetimeComparison{
+		Chips:        chips,
+		App:          appName,
+		BaselineFRel: mathx.Mean(base),
+		RetimedFRel:  mathx.Mean(ret),
+		EVALFRel:     mathx.Mean(eval),
+	}, nil
+}
+
+// SchemeResult is one row of the §3.1 error-tolerance-scheme comparison.
+type SchemeResult struct {
+	Scheme checker.Scheme
+	FRel   float64
+	Perf   float64
+	PowerW float64
+	PE     float64
+}
+
+// RunSchemeComparison runs the same EVAL adaptation (TS+ASV, Exh-Dyn) on
+// top of each implemented error-tolerance scheme.
+func RunSchemeComparison(chips int, seedBase int64, appName string, traceLen int) ([]SchemeResult, error) {
+	if chips < 1 {
+		return nil, fmt.Errorf("core: chips %d must be >= 1", chips)
+	}
+	var out []SchemeResult
+	for _, scheme := range checker.Schemes() {
+		chk, err := checker.ForScheme(scheme)
+		if err != nil {
+			return nil, err
+		}
+		opts := DefaultOptions()
+		opts.TraceLen = traceLen
+		opts.Checker = chk
+		sim, err := NewSimulator(opts)
+		if err != nil {
+			return nil, err
+		}
+		app, err := workload.ByName(appName)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := sim.Profile(app, app.Phases[0])
+		if err != nil {
+			return nil, err
+		}
+		var fs, ps, ws, pes []float64
+		for c := 0; c < chips; c++ {
+			cpu, err := sim.BuildCore(sim.Chip(seedBase+int64(c)), TSASV)
+			if err != nil {
+				return nil, err
+			}
+			res, err := cpu.AdaptSteady(prof, adapt.Exhaustive{})
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, res.Point.FCore)
+			ps = append(ps, res.State.PerfRel)
+			ws = append(ws, res.State.TotalW)
+			pes = append(pes, res.State.PE)
+		}
+		out = append(out, SchemeResult{
+			Scheme: scheme,
+			FRel:   mathx.Mean(fs),
+			Perf:   mathx.Mean(ps),
+			PowerW: mathx.Mean(ws),
+			PE:     mathx.Mean(pes),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,600 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/adapt"
+	"repro/internal/floorplan"
+	"repro/internal/mathx"
+	"repro/internal/tech"
+	"repro/internal/varius"
+	"repro/internal/vats"
+	"repro/internal/workload"
+)
+
+// ExperimentConfig scales the multi-chip experiments. The paper uses 100
+// chips and the 26-application SPEC 2000 suite; the defaults here are a
+// smaller but shape-preserving budget suitable for iterating (raise Chips
+// and use the full suite for paper-scale runs).
+type ExperimentConfig struct {
+	// Chips is the number of evaluation chips (the paper uses 100).
+	Chips int
+	// SeedBase offsets the evaluation chip seeds.
+	SeedBase int64
+	// TrainChips is the number of *distinct* chips used to train the fuzzy
+	// controllers (never overlapping the evaluation chips).
+	TrainChips int
+	// Apps selects applications by name (nil = the full 26-app suite).
+	Apps []string
+	// Envs selects the adaptive environments (nil = all six of Table 1).
+	Envs []Environment
+	// Modes selects adaptation modes (nil = Static, Fuzzy-Dyn, Exh-Dyn).
+	Modes []Mode
+	// Training configures fuzzy-controller training.
+	Training adapt.TrainOptions
+	// Workers bounds experiment parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultExperimentConfig returns a laptop-scale configuration.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Chips:      10,
+		SeedBase:   1000,
+		TrainChips: 2,
+		Training:   adapt.DefaultTrainOptions(),
+	}
+}
+
+// resolve fills defaults.
+func (c ExperimentConfig) resolve() (ExperimentConfig, []workload.App, error) {
+	if c.Chips < 1 {
+		return c, nil, fmt.Errorf("core: Chips %d must be >= 1", c.Chips)
+	}
+	if c.TrainChips < 1 {
+		c.TrainChips = 1
+	}
+	if len(c.Envs) == 0 {
+		c.Envs = AdaptiveEnvironments()
+	}
+	for _, e := range c.Envs {
+		if !e.Adaptive() {
+			return c, nil, fmt.Errorf("core: %v is not an adaptive environment", e)
+		}
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []Mode{Static, FuzzyDyn, ExhDyn}
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	var apps []workload.App
+	if len(c.Apps) == 0 {
+		apps = workload.Suite()
+	} else {
+		for _, name := range c.Apps {
+			a, err := workload.ByName(name)
+			if err != nil {
+				return c, nil, err
+			}
+			apps = append(apps, a)
+		}
+	}
+	return c, apps, nil
+}
+
+// Cell is one (environment, mode) aggregate of Figures 10-12.
+type Cell struct {
+	Env  Environment
+	Mode Mode
+	// FRel is the mean relative frequency (Figure 10's bar).
+	FRel float64
+	// PerfR is the mean performance relative to NoVar (Figure 11's bar).
+	PerfR float64
+	// PowerW is the mean processor power (Figure 12's bar).
+	PowerW float64
+	// PE is the mean error rate per instruction.
+	PE float64
+	// Outcome fractions across controller invocations (Figure 13 inputs).
+	Outcomes [adapt.NumOutcomes]float64
+	// SmallQueueFrac / LowSlopeFrac: how often the techniques engage.
+	SmallQueueFrac float64
+	LowSlopeFrac   float64
+}
+
+// Summary aggregates the headline experiment: every adaptive environment
+// and mode, plus the Baseline and NoVar anchors.
+type Summary struct {
+	Chips int
+	Apps  []string
+	// BaselineFRel is the mean worst-case-safe frequency (the 0.78 line).
+	BaselineFRel   float64
+	BaselinePerfR  float64
+	BaselinePowerW float64
+	NoVarPowerW    float64
+	Cells          []Cell
+}
+
+// CellFor finds the cell of an (environment, mode) pair.
+func (s *Summary) CellFor(env Environment, mode Mode) (Cell, error) {
+	for _, c := range s.Cells {
+		if c.Env == env && c.Mode == mode {
+			return c, nil
+		}
+	}
+	return Cell{}, fmt.Errorf("core: summary has no cell %v/%v", env, mode)
+}
+
+// RunSummary executes the Figures 10-12 experiment.
+func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
+	cfg, apps, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	// NoVar reference per app.
+	noVarPerf := make(map[string]float64, len(apps))
+	noVarPower := 0.0
+	for _, app := range apps {
+		r, err := s.RunNoVar(app)
+		if err != nil {
+			return nil, err
+		}
+		noVarPerf[app.Name] = r.Perf
+		noVarPower += r.PowerW
+	}
+	noVarPower /= float64(len(apps))
+
+	needFuzzy := false
+	for _, m := range cfg.Modes {
+		if m == FuzzyDyn {
+			needFuzzy = true
+		}
+	}
+
+	type chipResult struct {
+		baseF, basePerfR, basePower float64
+		cells                       map[cellKey]*cellAccum
+		err                         error
+	}
+	results := make([]chipResult, cfg.Chips)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for ci := 0; ci < cfg.Chips; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[ci] = s.runChip(cfg, apps, noVarPerf, needFuzzy, cfg.SeedBase+int64(ci))
+		}(ci)
+	}
+	wg.Wait()
+
+	sum := &Summary{Chips: cfg.Chips, NoVarPowerW: noVarPower}
+	for _, a := range apps {
+		sum.Apps = append(sum.Apps, a.Name)
+	}
+	agg := make(map[cellKey]*cellAccum)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		sum.BaselineFRel += r.baseF / float64(cfg.Chips)
+		sum.BaselinePerfR += r.basePerfR / float64(cfg.Chips)
+		sum.BaselinePowerW += r.basePower / float64(cfg.Chips)
+		for k, a := range r.cells {
+			if agg[k] == nil {
+				agg[k] = &cellAccum{}
+			}
+			agg[k].fold(a)
+		}
+	}
+	for _, env := range cfg.Envs {
+		for _, mode := range cfg.Modes {
+			k := cellKey{env: env, mode: mode}
+			a, ok := agg[k]
+			if !ok {
+				continue
+			}
+			sum.Cells = append(sum.Cells, a.cell(env, mode))
+		}
+	}
+	return sum, nil
+}
+
+// TrainSolver trains fuzzy controllers for one environment across
+// TrainChips dedicated chips — the *fleet-trained* variant used to study
+// how well one controller set generalizes across dies. The paper's system
+// (and RunSummary/RunOutcomes/RunTable2) trains per chip instead, on a
+// software model of the specific die (§4.3.1).
+func (s *Simulator) TrainSolver(env Environment, cfg ExperimentConfig) (*adapt.FuzzySolver, error) {
+	if cfg.TrainChips < 1 {
+		cfg.TrainChips = 1
+	}
+	var cores []*adapt.Core
+	for t := 0; t < cfg.TrainChips; t++ {
+		chip := s.Chip(cfg.SeedBase + 1_000_000 + int64(t))
+		core, err := s.BuildCore(chip, env)
+		if err != nil {
+			return nil, err
+		}
+		cores = append(cores, core)
+	}
+	return adapt.TrainFuzzySolver(cores, cfg.Training)
+}
+
+type cellKey struct {
+	env  Environment
+	mode Mode
+}
+
+// cellAccum accumulates app-run metrics.
+type cellAccum struct {
+	n                   float64
+	f, perfR, power, pe float64
+	outcomes            [adapt.NumOutcomes]float64
+	outcomeTotal        float64
+	smallQ, lowFU       float64
+}
+
+func (a *cellAccum) add(run AppRun, noVarPerf float64) {
+	a.n++
+	a.f += run.FRel
+	if noVarPerf > 0 {
+		a.perfR += run.Perf / noVarPerf
+	}
+	a.power += run.PowerW
+	a.pe += run.PE
+	for o, cnt := range run.Outcomes {
+		a.outcomes[o] += float64(cnt)
+		a.outcomeTotal += float64(cnt)
+	}
+	a.smallQ += run.SmallQueueFrac
+	a.lowFU += run.LowSlopeFrac
+}
+
+func (a *cellAccum) fold(b *cellAccum) {
+	a.n += b.n
+	a.f += b.f
+	a.perfR += b.perfR
+	a.power += b.power
+	a.pe += b.pe
+	for o := range a.outcomes {
+		a.outcomes[o] += b.outcomes[o]
+	}
+	a.outcomeTotal += b.outcomeTotal
+	a.smallQ += b.smallQ
+	a.lowFU += b.lowFU
+}
+
+func (a *cellAccum) cell(env Environment, mode Mode) Cell {
+	c := Cell{Env: env, Mode: mode}
+	if a.n > 0 {
+		c.FRel = a.f / a.n
+		c.PerfR = a.perfR / a.n
+		c.PowerW = a.power / a.n
+		c.PE = a.pe / a.n
+		c.SmallQueueFrac = a.smallQ / a.n
+		c.LowSlopeFrac = a.lowFU / a.n
+	}
+	if a.outcomeTotal > 0 {
+		for o := range c.Outcomes {
+			c.Outcomes[o] = a.outcomes[o] / a.outcomeTotal
+		}
+	}
+	return c
+}
+
+// runChip executes all environments/modes/apps for one chip.
+func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
+	noVarPerf map[string]float64, needFuzzy bool,
+	seed int64) (res struct {
+	baseF, basePerfR, basePower float64
+	cells                       map[cellKey]*cellAccum
+	err                         error
+}) {
+	res.cells = make(map[cellKey]*cellAccum)
+	chip := s.Chip(seed)
+
+	// Baseline anchors.
+	fvar, err := s.ChipFVar(chip)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.baseF = fvar
+	for _, app := range apps {
+		r, err := s.RunBaseline(chip, app)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.basePerfR += r.Perf / noVarPerf[app.Name] / float64(len(apps))
+		res.basePower += r.PowerW / float64(len(apps))
+	}
+
+	for _, env := range cfg.Envs {
+		core, err := s.BuildCore(chip, env)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		// Per-chip fuzzy training: the manufacturer populates this chip's
+		// controllers by running the Exhaustive algorithm on a software
+		// model of *this* chip (§4.3.1).
+		var solver *adapt.FuzzySolver
+		if needFuzzy {
+			if solver, err = adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training); err != nil {
+				res.err = err
+				return res
+			}
+		}
+		// Static points per class, chosen once per chip.
+		var staticInt, staticFP adapt.OperatingPoint
+		hasStatic := false
+		for _, m := range cfg.Modes {
+			if m == Static {
+				hasStatic = true
+			}
+		}
+		if hasStatic {
+			if staticInt, err = s.StaticPoint(core, workload.Int, apps); err != nil {
+				res.err = err
+				return res
+			}
+			if staticFP, err = s.StaticPoint(core, workload.FP, apps); err != nil {
+				res.err = err
+				return res
+			}
+		}
+		for _, mode := range cfg.Modes {
+			key := cellKey{env: env, mode: mode}
+			if res.cells[key] == nil {
+				res.cells[key] = &cellAccum{}
+			}
+			for _, app := range apps {
+				var run AppRun
+				switch mode {
+				case Static:
+					point := staticInt
+					if app.Class == workload.FP {
+						point = staticFP
+					}
+					run, err = s.RunStatic(core, app, point)
+				case FuzzyDyn:
+					run, err = s.RunDynamic(core, app, FuzzyDyn, solver)
+				case ExhDyn:
+					run, err = s.RunDynamic(core, app, ExhDyn, adapt.Exhaustive{})
+				default:
+					err = fmt.Errorf("core: unknown mode %v", mode)
+				}
+				if err != nil {
+					res.err = fmt.Errorf("chip %d %v/%v: %w", seed, env, mode, err)
+					return res
+				}
+				res.cells[key].add(run, noVarPerf[app.Name])
+			}
+		}
+	}
+	return res
+}
+
+// OutcomeCell is one bar of Figure 13: the outcome mix of the fuzzy
+// controller system under one base environment and one microarchitecture
+// option set.
+type OutcomeCell struct {
+	Label     string // e.g. "TS+ASV / FU+Queue opt"
+	Config    tech.Config
+	Fractions [adapt.NumOutcomes]float64
+	Samples   int
+}
+
+// Figure13Configs enumerates the paper's grid: base environments A:TS,
+// B:TS+ABB, C:TS+ASV, D:TS+ABB+ASV crossed with {No opt, FU opt, Queue
+// opt, FU+Queue opt}.
+func Figure13Configs() []OutcomeCell {
+	bases := []struct {
+		name string
+		cfg  tech.Config
+	}{
+		{"TS", tech.Config{TimingSpec: true}},
+		{"TS+ABB", tech.Config{TimingSpec: true, ABB: true}},
+		{"TS+ASV", tech.Config{TimingSpec: true, ASV: true}},
+		{"TS+ABB+ASV", tech.Config{TimingSpec: true, ABB: true, ASV: true}},
+	}
+	opts := []struct {
+		name   string
+		fu, qu bool
+	}{
+		{"No opt", false, false},
+		{"FU opt", true, false},
+		{"Queue opt", false, true},
+		{"FU+Queue opt", true, true},
+	}
+	var out []OutcomeCell
+	for _, o := range opts {
+		for _, b := range bases {
+			cfg := b.cfg
+			cfg.FUReplication = o.fu
+			cfg.QueueResize = o.qu
+			out = append(out, OutcomeCell{
+				Label:  b.name + " / " + o.name,
+				Config: cfg,
+			})
+		}
+	}
+	return out
+}
+
+// RunOutcomes executes the Figure 13 experiment: the fuzzy controller's
+// outcome mix across configurations.
+func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
+	cfg, apps, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cells := Figure13Configs()
+	for idx := range cells {
+		var counts [adapt.NumOutcomes]float64
+		total := 0.0
+		for ci := 0; ci < cfg.Chips; ci++ {
+			chip := s.Chip(cfg.SeedBase + int64(ci))
+			core, err := s.BuildCoreWithConfig(chip, cells[idx].Config)
+			if err != nil {
+				return nil, err
+			}
+			// Per-chip controller training (§4.3.1).
+			solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
+			if err != nil {
+				return nil, err
+			}
+			for _, app := range apps {
+				for _, ph := range app.Phases {
+					prof, err := s.Profile(app, ph)
+					if err != nil {
+						return nil, err
+					}
+					res, err := core.AdaptSteady(prof, solver)
+					if err != nil {
+						return nil, err
+					}
+					counts[res.Outcome]++
+					total++
+				}
+			}
+		}
+		if total > 0 {
+			for o := range counts {
+				cells[idx].Fractions[o] = counts[o] / total
+			}
+		}
+		cells[idx].Samples = int(total)
+	}
+	return cells, nil
+}
+
+// buildCoreWithConfig is BuildCore for an arbitrary technique configuration.
+func (s *Simulator) BuildCoreWithConfig(chip *varius.ChipMaps, cfg tech.Config) (*adapt.Core, error) {
+	subs := make([]adapt.Subsystem, s.fp.N())
+	for i, sub := range s.fp.Subsystems {
+		stage, err := vats.NewStage(sub, chip, s.opts.Varius)
+		if err != nil {
+			return nil, err
+		}
+		_, _, leakEff := chip.RegionVtStats(sub.Rect, s.opts.Varius)
+		subs[i] = adapt.Subsystem{Index: i, Sub: sub, Stage: stage, Vt0EffV: leakEff}
+	}
+	return adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
+}
+
+// Table2Row is one row of Table 2: the mean |fuzzy - exhaustive| for one
+// output parameter under one environment, split by subsystem kind.
+type Table2Row struct {
+	Param string // "Freq (MHz)", "Vdd (mV)", "Vbb (mV)"
+	Env   string
+	// AbsErr[kind] is the mean absolute error in the row's units.
+	AbsErr map[floorplan.Kind]float64
+	// PctErr[kind] is the error as % of nominal (absent for Vbb, whose
+	// nominal is zero, as in the paper).
+	PctErr map[floorplan.Kind]float64
+}
+
+// RunTable2 measures fuzzy-controller accuracy against Exhaustive on fresh
+// chips, reproducing Table 2. NomFreqGHz converts relative frequency errors
+// to MHz (the paper's 4 GHz nominal).
+func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
+	cfg, _, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	const nomFreqMHz = 4000.0
+	const nomVddMV = 1000.0
+	envs := []struct {
+		name string
+		cfg  tech.Config
+	}{
+		{"TS", tech.Config{TimingSpec: true}},
+		{"TS+ABB", tech.Config{TimingSpec: true, ABB: true}},
+		{"TS+ASV", tech.Config{TimingSpec: true, ASV: true}},
+		{"TS+ABB+ASV", tech.Config{TimingSpec: true, ABB: true, ASV: true}},
+	}
+	var rows []Table2Row
+	for _, env := range envs {
+		type acc struct {
+			fErr, vddErr, vbbErr []float64
+		}
+		byKind := map[floorplan.Kind]*acc{
+			floorplan.Memory: {}, floorplan.Mixed: {}, floorplan.Logic: {},
+		}
+		rng := mathx.NewRNG(cfg.SeedBase + 77)
+		for ci := 0; ci < cfg.Chips; ci++ {
+			chip := s.Chip(cfg.SeedBase + int64(ci))
+			core, err := s.BuildCoreWithConfig(chip, env.cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Per-chip controller training (§4.3.1): accuracy is measured
+			// on the chip whose model populated the controllers, at
+			// operating situations the training never saw.
+			solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < core.N(); i++ {
+				kind := core.Subs[i].Sub.Kind
+				for q := 0; q < 6; q++ {
+					query := adapt.FreqQuery{
+						THK:       rng.Uniform(48+273.15, 68+273.15),
+						AlphaF:    rng.Uniform(0.02, 1.0),
+						Variant:   vats.IdentityVariant(),
+						PowerMult: 1,
+					}
+					query.Rho = query.AlphaF * rng.Uniform(0.8, 4.5)
+					fx := core.FreqSolve(i, query).FMax
+					ff := solver.FreqMax(core, i, query)
+					byKind[kind].fErr = append(byKind[kind].fErr, absF(fx-ff)*nomFreqMHz)
+					fCore := tech.SnapFRelDown(fx * rng.Uniform(0.8, 1.0))
+					pxV, pxB := (adapt.Exhaustive{}).PowerLevels(core, i, fCore, query)
+					pfV, pfB := solver.PowerLevels(core, i, fCore, query)
+					byKind[kind].vddErr = append(byKind[kind].vddErr, absF(pxV-pfV)*1000)
+					byKind[kind].vbbErr = append(byKind[kind].vbbErr, absF(pxB-pfB)*1000)
+				}
+			}
+		}
+		freqRow := Table2Row{Param: "Freq (MHz)", Env: env.name,
+			AbsErr: map[floorplan.Kind]float64{}, PctErr: map[floorplan.Kind]float64{}}
+		for k, a := range byKind {
+			freqRow.AbsErr[k] = mathx.Mean(a.fErr)
+			freqRow.PctErr[k] = mathx.Mean(a.fErr) / nomFreqMHz * 100
+		}
+		rows = append(rows, freqRow)
+		if env.cfg.ASV {
+			r := Table2Row{Param: "Vdd (mV)", Env: env.name,
+				AbsErr: map[floorplan.Kind]float64{}, PctErr: map[floorplan.Kind]float64{}}
+			for k, a := range byKind {
+				r.AbsErr[k] = mathx.Mean(a.vddErr)
+				r.PctErr[k] = mathx.Mean(a.vddErr) / nomVddMV * 100
+			}
+			rows = append(rows, r)
+		}
+		if env.cfg.ABB {
+			r := Table2Row{Param: "Vbb (mV)", Env: env.name,
+				AbsErr: map[floorplan.Kind]float64{}}
+			for k, a := range byKind {
+				r.AbsErr[k] = mathx.Mean(a.vbbErr)
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

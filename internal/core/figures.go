@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adapt"
+	"repro/internal/floorplan"
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+	"repro/internal/thermal"
+	"repro/internal/vats"
+	"repro/internal/workload"
+)
+
+// CurvePoint is one sample of a per-subsystem or processor-level series.
+type CurvePoint struct {
+	FRel float64
+	Y    float64
+}
+
+// SubsystemSeries is one subsystem's PE(f) curve.
+type SubsystemSeries struct {
+	ID     floorplan.ID
+	Kind   floorplan.Kind
+	Points []CurvePoint
+}
+
+// Figure8Result carries the §6.1 study for one chip and application:
+// per-subsystem error-rate curves and the processor performance curve,
+// without (TS) and with per-subsystem ASV/ABB reshaping.
+type Figure8Result struct {
+	App       string
+	ChipSeed  int64
+	Reshaped  bool
+	Subsystem []SubsystemSeries
+	Perf      []CurvePoint // performance relative to NoVar
+	// PeakF and PeakPerf locate the optimum (Figure 8's annotations).
+	PeakF    float64
+	PeakPerf float64
+}
+
+// figureFGrid is the frequency sweep of Figures 8 and 9.
+func figureFGrid() []float64 {
+	var fs []float64
+	for f := 0.70; f <= 1.30+1e-9; f += 0.02 {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// Figure8 reproduces Figures 8(a-d) for one chip and one application.
+// With reshaped=false, every subsystem runs at nominal supply (the TS
+// environment); with reshaped=true, at each frequency the Exhaustive Power
+// algorithm picks per-subsystem (Vdd, Vbb) — reshaping the curves so they
+// converge near PEMAX until the supply range runs out and some curves
+// escape upward.
+func (s *Simulator) Figure8(chipSeed int64, appName string, reshaped bool) (*Figure8Result, error) {
+	app, err := workload.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.Profile(app, app.Phases[0])
+	if err != nil {
+		return nil, err
+	}
+	chip := s.Chip(chipSeed)
+	env := TS
+	if reshaped {
+		env = TSASVABB
+	}
+	core, err := s.BuildCore(chip, env)
+	if err != nil {
+		return nil, err
+	}
+	noVarRun, err := s.RunNoVar(app)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Figure8Result{App: appName, ChipSeed: chipSeed, Reshaped: reshaped}
+	for i := 0; i < core.N(); i++ {
+		res.Subsystem = append(res.Subsystem, SubsystemSeries{
+			ID:   core.Subs[i].Sub.ID,
+			Kind: core.Subs[i].Sub.Kind,
+		})
+	}
+
+	n := core.N()
+	op := adapt.OperatingPoint{
+		VddV: make([]float64, n),
+		VbbV: make([]float64, n),
+	}
+	for i := range op.VddV {
+		op.VddV[i] = s.opts.Varius.VddNomV
+	}
+	for _, f := range figureFGrid() {
+		op.FCore = f
+		if reshaped {
+			// Per-subsystem reshape at this frequency: minimum power
+			// meeting f within constraints; infeasible subsystems keep
+			// their fastest achievable setting and their curves escape.
+			th := s.th.Params().THBaseK + 12
+			for i := 0; i < n; i++ {
+				q := core.QueryFor(i, prof, th, tech.QueueFull, tech.FUNormal)
+				r := core.PowerSolve(i, f, q)
+				op.VddV[i], op.VbbV[i] = r.VddV, r.VbbV
+			}
+		}
+		st, err := core.Evaluate(op, prof)
+		if err != nil {
+			return nil, err
+		}
+		// Per-subsystem PE at the solved temperatures.
+		for i := 0; i < n; i++ {
+			curve := core.Subs[i].Stage.Eval(vats.Cond{
+				VddV: op.VddV[i], VbbV: op.VbbV[i], TK: st.Core.Subs[i].TK,
+			}, vats.IdentityVariant())
+			res.Subsystem[i].Points = append(res.Subsystem[i].Points,
+				CurvePoint{FRel: f, Y: curve.PE(f)})
+		}
+		perfR := 0.0
+		if noVarRun.Perf > 0 {
+			perfR = st.PerfRel / noVarRun.Perf
+		}
+		res.Perf = append(res.Perf, CurvePoint{FRel: f, Y: perfR})
+		if perfR > res.PeakPerf {
+			res.PeakPerf = perfR
+			res.PeakF = f
+		}
+	}
+	return res, nil
+}
+
+// SurfacePoint is one sample of the Figure 9 power-error-frequency surface.
+type SurfacePoint struct {
+	PowerW float64
+	FRel   float64
+	PE     float64 // minimum realizable PE at (PowerW, FRel)
+	PerfR  float64 // processor performance with the ALU at that point
+}
+
+// Figure9 reproduces the §6.1 three-dimensional study for the integer ALU:
+// for each (power budget, frequency) cell, the minimum error probability
+// realizable with any per-subsystem ASV/ABB setting whose steady-state
+// power fits the budget.
+func (s *Simulator) Figure9(chipSeed int64, appName string) ([]SurfacePoint, error) {
+	app, err := workload.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.Profile(app, app.Phases[0])
+	if err != nil {
+		return nil, err
+	}
+	chip := s.Chip(chipSeed)
+	core, err := s.BuildCore(chip, TSASVABB)
+	if err != nil {
+		return nil, err
+	}
+	aluIdx := -1
+	for i := range core.Subs {
+		if core.Subs[i].Sub.ID == floorplan.IntALU {
+			aluIdx = i
+		}
+	}
+	if aluIdx < 0 {
+		return nil, fmt.Errorf("core: floorplan has no IntALU")
+	}
+	noVarRun, err := s.RunNoVar(app)
+	if err != nil {
+		return nil, err
+	}
+
+	th := s.th.Params().THBaseK + 12
+	alpha := prof.Activity[floorplan.IntALU]
+	var out []SurfacePoint
+	powers := []float64{0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0}
+	for _, pBudget := range powers {
+		for _, f := range figureFGrid() {
+			best := math.Inf(1)
+			for _, vdd := range core.Config.VddLevels(1.0) {
+				for _, vbb := range core.Config.VbbLevels() {
+					st := s.th.SubsystemSteady(thermal.SubsystemInput{
+						Index:  aluIdx,
+						Vt0Eff: core.Subs[aluIdx].Vt0EffV,
+						AlphaF: alpha,
+						VddV:   vdd,
+						VbbV:   vbb,
+						FRel:   f,
+					}, th)
+					if !st.Converged || st.PowerW() > pBudget ||
+						st.TK > s.opts.Limits.TMaxK {
+						continue
+					}
+					curve := core.Subs[aluIdx].Stage.Eval(vats.Cond{
+						VddV: vdd, VbbV: vbb, TK: st.TK,
+					}, vats.IdentityVariant())
+					if pe := curve.PE(f); pe < best {
+						best = pe
+					}
+				}
+			}
+			if math.IsInf(best, 1) {
+				continue // no setting fits this power budget at all
+			}
+			perf := pipeline.Perf(pipeline.PerfInputs{
+				FRel:           f,
+				CPIComp:        prof.CPICompFull,
+				Mr:             prof.Mr,
+				MpNomCycles:    prof.MpNomCycles,
+				PE:             best,
+				RecoveryCycles: s.opts.Checker.RecoveryCycles,
+			})
+			perfR := 0.0
+			if noVarRun.Perf > 0 {
+				perfR = perf / noVarRun.Perf
+			}
+			out = append(out, SurfacePoint{PowerW: pBudget, FRel: f, PE: best, PerfR: perfR})
+		}
+	}
+	return out, nil
+}
+
+// Figure1Result holds the conceptual curves of Figure 1: a stage's path
+// delay distribution without and with variation, the stage PE(f) curves,
+// and the pipeline-level composition.
+type Figure1Result struct {
+	// DelayNoVar and DelayVar sample the dynamic path-delay densities (in
+	// nominal periods) of one memory stage.
+	DelayNoVar, DelayVar []CurvePoint
+	// StagePE is the with-variation stage's PE(f).
+	StagePE []CurvePoint
+	// PipelinePE is the full-core Eq. 4 error rate per instruction.
+	PipelinePE []CurvePoint
+}
+
+// Figure1 generates the Figure 1 curves from the Dcache stage of one chip.
+func (s *Simulator) Figure1(chipSeed int64) (*Figure1Result, error) {
+	corner := s.designCorner()
+	novar := s.gen.NoVarChip()
+	chip := s.Chip(chipSeed)
+	sub, err := s.fp.ByID(floorplan.Dcache)
+	if err != nil {
+		return nil, err
+	}
+	stNV, err := vats.NewStage(*sub, novar, s.opts.Varius)
+	if err != nil {
+		return nil, err
+	}
+	stV, err := vats.NewStage(*sub, chip, s.opts.Varius)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{}
+	// Density via numerical differentiation of the delay CDF (1 - PE at
+	// f = 1/tau, up to the paths-per-access factor).
+	cvNV := stNV.Eval(corner, vats.IdentityVariant())
+	cvV := stV.Eval(corner, vats.IdentityVariant())
+	for tau := 0.70; tau <= 1.45; tau += 0.01 {
+		res.DelayNoVar = append(res.DelayNoVar, CurvePoint{FRel: tau, Y: delayDensity(cvNV, tau)})
+		res.DelayVar = append(res.DelayVar, CurvePoint{FRel: tau, Y: delayDensity(cvV, tau)})
+	}
+	for _, f := range figureFGrid() {
+		res.StagePE = append(res.StagePE, CurvePoint{FRel: f, Y: cvV.PE(f)})
+	}
+	// Pipeline composition with unit activities.
+	pl, err := vats.NewPipeline(s.fp, chip, s.opts.Varius)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]*vats.Curve, len(pl.Stages))
+	rhos := make([]float64, len(pl.Stages))
+	for i, st := range pl.Stages {
+		curves[i] = st.Eval(corner, vats.IdentityVariant())
+		rhos[i] = 0.5
+	}
+	for _, f := range figureFGrid() {
+		res.PipelinePE = append(res.PipelinePE, CurvePoint{FRel: f, Y: pl.PE(curves, rhos, f)})
+	}
+	return res, nil
+}
+
+// delayDensity numerically differentiates a stage's exceedance curve to
+// recover the (per-access) path-delay density near the critical region.
+func delayDensity(cv *vats.Curve, tau float64) float64 {
+	const h = 5e-3
+	pHi := cv.PE(1 / (tau + h)) // P(D > tau+h)
+	pLo := cv.PE(1 / (tau - h))
+	d := (pLo - pHi) / (2 * h)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Figure2Result holds the taxonomy curves of Figure 2: the Perf(f) peak
+// under timing speculation and the before/after PE(f) curves of the tilt,
+// shift, and reshape techniques.
+type Figure2Result struct {
+	Perf          []CurvePoint // (a): Perf(f) with its peak
+	PE            []CurvePoint // (a): the PE(f) behind it
+	TiltBefore    []CurvePoint // (b)
+	TiltAfter     []CurvePoint
+	ShiftBefore   []CurvePoint // (c)
+	ShiftAfter    []CurvePoint
+	ReshapeBefore []CurvePoint // (d): nominal supply
+	ReshapeAfter  []CurvePoint // (d): slow stage boosted, fast stage slowed
+}
+
+// Figure2 generates the Figure 2 curves from one chip.
+func (s *Simulator) Figure2(chipSeed int64, appName string) (*Figure2Result, error) {
+	app, err := workload.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.Profile(app, app.Phases[0])
+	if err != nil {
+		return nil, err
+	}
+	chip := s.Chip(chipSeed)
+	corner := s.designCorner()
+	res := &Figure2Result{}
+
+	// (a) Perf(f) and PE(f) for the whole core under TS.
+	pl, err := vats.NewPipeline(s.fp, chip, s.opts.Varius)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]*vats.Curve, len(pl.Stages))
+	rhos := make([]float64, len(pl.Stages))
+	cpi := prof.CPITotalNom(tech.QueueFull)
+	for i, st := range pl.Stages {
+		curves[i] = st.Eval(corner, vats.IdentityVariant())
+		rhos[i] = prof.Activity[st.Sub.ID] * cpi
+	}
+	chk := s.opts.Checker
+	for _, f := range figureFGrid() {
+		pe := pl.PE(curves, rhos, f)
+		perf := pipeline.Perf(pipeline.PerfInputs{
+			FRel:           f,
+			CPIComp:        prof.CPICompFull,
+			Mr:             prof.Mr,
+			MpNomCycles:    prof.MpNomCycles,
+			PE:             pe,
+			RecoveryCycles: chk.RecoveryCycles,
+			Checker:        &chk,
+		})
+		res.Perf = append(res.Perf, CurvePoint{FRel: f, Y: perf})
+		res.PE = append(res.PE, CurvePoint{FRel: f, Y: pe})
+	}
+
+	// (b) Tilt: the FU before and after enabling the LowSlope replica.
+	alu, err := pl.Stage(floorplan.IntALU)
+	if err != nil {
+		return nil, err
+	}
+	before := alu.Eval(corner, vats.IdentityVariant())
+	after := alu.Eval(corner, tech.FULowSlope.Variant())
+	for _, f := range figureFGrid() {
+		res.TiltBefore = append(res.TiltBefore, CurvePoint{FRel: f, Y: before.PE(f)})
+		res.TiltAfter = append(res.TiltAfter, CurvePoint{FRel: f, Y: after.PE(f)})
+	}
+
+	// (c) Shift: the issue queue at full and 3/4 size.
+	iq, err := pl.Stage(floorplan.IntQ)
+	if err != nil {
+		return nil, err
+	}
+	qBefore := iq.Eval(corner, vats.IdentityVariant())
+	qAfter := iq.Eval(corner, tech.QueueThreeQuarter.Variant())
+	for _, f := range figureFGrid() {
+		res.ShiftBefore = append(res.ShiftBefore, CurvePoint{FRel: f, Y: qBefore.PE(f)})
+		res.ShiftAfter = append(res.ShiftAfter, CurvePoint{FRel: f, Y: qAfter.PE(f)})
+	}
+
+	// (d) Reshape: boost a slow memory stage with ASV (pushing the curve's
+	// bottom right) while slowing a fast logic stage to save power (pushing
+	// its top left); the processor-level curve reshapes.
+	ireg, err := pl.Stage(floorplan.IntReg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := pl.Stage(floorplan.Decode)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range figureFGrid() {
+		beforeY := 0.5*ireg.Eval(corner, vats.IdentityVariant()).PE(f) +
+			0.5*dec.Eval(corner, vats.IdentityVariant()).PE(f)
+		afterY := 0.5*ireg.Eval(vats.Cond{VddV: 1.15, TK: corner.TK}, vats.IdentityVariant()).PE(f) +
+			0.5*dec.Eval(vats.Cond{VddV: 0.9, TK: corner.TK}, vats.IdentityVariant()).PE(f)
+		res.ReshapeBefore = append(res.ReshapeBefore, CurvePoint{FRel: f, Y: beforeY})
+		res.ReshapeAfter = append(res.ReshapeAfter, CurvePoint{FRel: f, Y: afterY})
+	}
+	return res, nil
+}
+
+// SingleDomainFMax computes the best core frequency achievable when ASV has
+// a single chip-wide domain instead of per-subsystem domains — the ablation
+// quantifying what fine-grain adaptation buys (cf. §7's contrast with
+// whole-chip DVFS).
+func (s *Simulator) SingleDomainFMax(core *adapt.Core, prof pipeline.Profile, thK float64) float64 {
+	best := 0.0
+	for _, vdd := range core.Config.VddLevels(s.opts.Varius.VddNomV) {
+		minF := math.Inf(1)
+		for i := 0; i < core.N(); i++ {
+			q := core.QueryFor(i, prof, thK, tech.QueueFull, tech.FUNormal)
+			fr := core.FreqSolveAt(i, q, []float64{vdd}, []float64{0})
+			if fr.FMax < minF {
+				minF = fr.FMax
+			}
+		}
+		if minF > best {
+			best = minF
+		}
+	}
+	return best
+}

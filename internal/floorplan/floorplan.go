@@ -1,0 +1,225 @@
+// Package floorplan describes the processor core used throughout the
+// evaluation: the 15 subsystems of Figure 7(b) — their kind (logic, memory,
+// or mixed), their area, and their placement on the die — plus the area
+// overheads of the EVAL additions tabulated in Figure 7(d).
+//
+// The floorplan determines which cells of a chip's variation map belong to
+// each subsystem, and provides the per-subsystem area constants from which
+// the power model derives Kdyn, Ksta and the thermal model derives Rth.
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Kind classifies a subsystem's circuit structure, which sets the shape of
+// its dynamic path-delay distribution (§6.1): memory structures have
+// homogeneous paths and a rapid error onset; logic has a wide variety of
+// path lengths and a gradual onset; mixed falls in between.
+type Kind int
+
+const (
+	Logic Kind = iota
+	Memory
+	Mixed
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Logic:
+		return "logic"
+	case Memory:
+		return "memory"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ID identifies one of the core's subsystems.
+type ID int
+
+// The 15 subsystems of Figure 7(b).
+const (
+	Icache ID = iota
+	ITLB
+	BranchPred
+	Decode
+	IntMap
+	IntQ
+	IntReg
+	IntALU
+	FPMap
+	FPQ
+	FPReg
+	FPUnit
+	LdStQ
+	Dcache
+	DTLB
+	NumSubsystems // sentinel
+)
+
+// String returns the subsystem's conventional name.
+func (id ID) String() string {
+	names := [...]string{
+		"Icache", "ITLB", "BranchPred", "Decode", "IntMap", "IntQ",
+		"IntReg", "IntALU", "FPMap", "FPQ", "FPReg", "FPUnit", "LdStQ",
+		"Dcache", "DTLB",
+	}
+	if id < 0 || int(id) >= len(names) {
+		return fmt.Sprintf("ID(%d)", int(id))
+	}
+	return names[id]
+}
+
+// Subsystem describes one core subsystem.
+type Subsystem struct {
+	ID   ID
+	Kind Kind
+	// AreaFrac is the subsystem's area as a fraction of core area.
+	AreaFrac float64
+	// Rect is the subsystem's placement in die coordinates (same units as
+	// the variation-map grid).
+	Rect grid.Rect
+	// PathDepth is the typical number of gates (FO4-equivalents) on an
+	// exercised path; the random per-transistor variation component
+	// averages over this depth.
+	PathDepth int
+	// DynDensity and StaDensity are relative power densities (per unit
+	// area) used to apportion the core's nominal dynamic and static power
+	// across subsystems when calibrating Kdyn and Ksta.
+	DynDensity float64
+	StaDensity float64
+	// TypicalAlpha is the suite-mean activity factor (accesses/cycle) of
+	// the subsystem, measured over the 26-app proxy suite; the power
+	// calibration anchors each subsystem's nominal dynamic power at its
+	// own typical activity so that atypical access rates scale around it.
+	TypicalAlpha float64
+	// IntSide and FPSide mark which application classes exercise the
+	// subsystem heavily (drives default activity factors).
+	IntSide, FPSide bool
+}
+
+// Floorplan is a complete core description.
+type Floorplan struct {
+	CoreSide   float64 // die-coordinate side length of the core
+	Subsystems []Subsystem
+}
+
+// Default returns the evaluation core: an AMD-Athlon-64-like 3-issue core
+// with the Figure 7(b) subsystem list, laid out on a square of the given
+// side (die units; the 4-core CMP of the paper makes each core half the
+// chip side).
+func Default(coreSide float64) (*Floorplan, error) {
+	if coreSide <= 0 {
+		return nil, fmt.Errorf("floorplan: core side %g must be positive", coreSide)
+	}
+	// Layout in fractional core coordinates (x0, y0, x1, y1); scaled to
+	// die units below. Areas follow the die-photo measurements quoted in
+	// Figure 7(a) for the FUs (IntALU 0.55%, FP add+mul 1.90%) and
+	// representative Athlon-64 proportions for the rest.
+	type entry struct {
+		id                     ID
+		kind                   Kind
+		x0, y0, x1, y1         float64
+		depth                  int
+		dynDensity, staDensity float64
+		typAlpha               float64
+		intSide, fpSide        bool
+	}
+	entries := []entry{
+		{Icache, Memory, 0.00, 0.00, 0.50, 0.40, 8, 0.8, 1.5, 0.14, true, true},
+		{ITLB, Memory, 0.50, 0.00, 0.55, 0.30, 8, 0.7, 1.4, 0.14, true, true},
+		{BranchPred, Mixed, 0.55, 0.00, 0.75, 0.20, 10, 1.0, 1.2, 0.15, true, true},
+		{Decode, Logic, 0.75, 0.00, 1.00, 0.32, 14, 1.2, 1.0, 0.43, true, true},
+		{IntMap, Memory, 0.50, 0.30, 0.60, 0.50, 8, 1.1, 1.3, 0.38, true, false},
+		{IntQ, Mixed, 0.70, 0.32, 0.85, 0.52, 10, 4.0, 1.2, 0.38, true, false},
+		{IntReg, Memory, 0.50, 0.50, 0.60, 0.70, 8, 1.6, 1.3, 0.57, true, false},
+		{IntALU, Logic, 0.70, 0.52, 0.755, 0.62, 14, 5.0, 1.0, 0.21, true, false},
+		{FPMap, Memory, 0.60, 0.32, 0.70, 0.52, 8, 1.0, 1.3, 0.06, false, true},
+		{FPQ, Mixed, 0.85, 0.32, 0.95, 0.52, 10, 3.0, 1.2, 0.06, false, true},
+		{FPReg, Memory, 0.60, 0.52, 0.70, 0.72, 8, 1.3, 1.3, 0.08, false, true},
+		{FPUnit, Logic, 0.755, 0.52, 0.85, 0.72, 16, 3.5, 1.0, 0.06, false, true},
+		{LdStQ, Mixed, 0.50, 0.72, 0.65, 0.92, 10, 2.0, 1.2, 0.17, true, true},
+		{Dcache, Memory, 0.00, 0.40, 0.50, 0.80, 8, 0.9, 1.5, 0.17, true, true},
+		{DTLB, Memory, 0.65, 0.72, 0.725, 0.92, 8, 0.8, 1.4, 0.17, true, true},
+	}
+	subs := make([]Subsystem, 0, len(entries))
+	for _, e := range entries {
+		r := grid.Rect{
+			X0: e.x0 * coreSide, Y0: e.y0 * coreSide,
+			X1: e.x1 * coreSide, Y1: e.y1 * coreSide,
+		}
+		subs = append(subs, Subsystem{
+			ID:           e.id,
+			Kind:         e.kind,
+			AreaFrac:     (e.x1 - e.x0) * (e.y1 - e.y0),
+			Rect:         r,
+			PathDepth:    e.depth,
+			DynDensity:   e.dynDensity,
+			StaDensity:   e.staDensity,
+			TypicalAlpha: e.typAlpha,
+			IntSide:      e.intSide,
+			FPSide:       e.fpSide,
+		})
+	}
+	return &Floorplan{CoreSide: coreSide, Subsystems: subs}, nil
+}
+
+// N returns the number of subsystems.
+func (f *Floorplan) N() int { return len(f.Subsystems) }
+
+// ByID returns the subsystem with the given ID.
+func (f *Floorplan) ByID(id ID) (*Subsystem, error) {
+	for i := range f.Subsystems {
+		if f.Subsystems[i].ID == id {
+			return &f.Subsystems[i], nil
+		}
+	}
+	return nil, fmt.Errorf("floorplan: no subsystem %v", id)
+}
+
+// TotalAreaFrac returns the summed area fraction of all subsystems (the
+// remainder of the core is interconnect, L2 interface, and other
+// uninstrumented logic).
+func (f *Floorplan) TotalAreaFrac() float64 {
+	s := 0.0
+	for i := range f.Subsystems {
+		s += f.Subsystems[i].AreaFrac
+	}
+	return s
+}
+
+// AreaOverhead describes one row of Figure 7(d): the additional processor
+// area consumed by an EVAL mechanism.
+type AreaOverhead struct {
+	Source  string
+	Percent float64 // % of processor area
+}
+
+// AreaOverheads returns the Figure 7(d) budget. The sum is the paper's
+// headline 10.6% area cost.
+func AreaOverheads() []AreaOverhead {
+	return []AreaOverhead{
+		{"Checker", 7.0},
+		{"IntALU Repl", 0.7},
+		{"FPAdd/Mul Repl", 2.5},
+		{"I-Queue Resize", 0.0},
+		{"Phase Detector", 0.3},
+		{"Sensors", 0.1},
+		{"ASV", 0.0},
+	}
+}
+
+// TotalAreaOverheadPercent sums the Figure 7(d) budget.
+func TotalAreaOverheadPercent() float64 {
+	t := 0.0
+	for _, o := range AreaOverheads() {
+		t += o.Percent
+	}
+	return t
+}

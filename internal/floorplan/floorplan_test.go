@@ -1,0 +1,182 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func defaultPlan(t *testing.T) *Floorplan {
+	t.Helper()
+	f, err := Default(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDefaultHas15Subsystems(t *testing.T) {
+	f := defaultPlan(t)
+	if f.N() != int(NumSubsystems) {
+		t.Fatalf("N = %d, want %d", f.N(), int(NumSubsystems))
+	}
+	if f.N() != 15 {
+		t.Fatalf("the paper models 15 subsystems per core, got %d", f.N())
+	}
+}
+
+func TestDefaultRejectsBadSide(t *testing.T) {
+	if _, err := Default(0); err == nil {
+		t.Error("expected error for zero core side")
+	}
+	if _, err := Default(-1); err == nil {
+		t.Error("expected error for negative core side")
+	}
+}
+
+func TestAllIDsPresentOnce(t *testing.T) {
+	f := defaultPlan(t)
+	seen := map[ID]int{}
+	for _, s := range f.Subsystems {
+		seen[s.ID]++
+	}
+	for id := ID(0); id < NumSubsystems; id++ {
+		if seen[id] != 1 {
+			t.Errorf("subsystem %v appears %d times", id, seen[id])
+		}
+	}
+}
+
+func TestKindDistribution(t *testing.T) {
+	f := defaultPlan(t)
+	counts := map[Kind]int{}
+	for _, s := range f.Subsystems {
+		counts[s.Kind]++
+	}
+	// The paper's Figure 7(b) labels the register/cache/TLB/map structures
+	// memory, queues and predictor mixed, and FUs/decode logic.
+	if counts[Memory] != 8 || counts[Mixed] != 4 || counts[Logic] != 3 {
+		t.Errorf("kind counts = %v, want memory:8 mixed:4 logic:3", counts)
+	}
+}
+
+func TestRectsInsideCoreAndDisjoint(t *testing.T) {
+	f := defaultPlan(t)
+	for i, a := range f.Subsystems {
+		if a.Rect.X0 < 0 || a.Rect.Y0 < 0 ||
+			a.Rect.X1 > f.CoreSide+1e-12 || a.Rect.Y1 > f.CoreSide+1e-12 {
+			t.Errorf("%v rect %+v outside core", a.ID, a.Rect)
+		}
+		if a.Rect.X0 >= a.Rect.X1 || a.Rect.Y0 >= a.Rect.Y1 {
+			t.Errorf("%v rect %+v degenerate", a.ID, a.Rect)
+		}
+		for _, b := range f.Subsystems[i+1:] {
+			if rectsOverlap(a.Rect.X0, a.Rect.Y0, a.Rect.X1, a.Rect.Y1,
+				b.Rect.X0, b.Rect.Y0, b.Rect.X1, b.Rect.Y1) {
+				t.Errorf("%v and %v overlap", a.ID, b.ID)
+			}
+		}
+	}
+}
+
+func rectsOverlap(ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 float64) bool {
+	return ax0 < bx1 && bx0 < ax1 && ay0 < by1 && by0 < ay1
+}
+
+func TestAreaFracMatchesRect(t *testing.T) {
+	f := defaultPlan(t)
+	coreArea := f.CoreSide * f.CoreSide
+	for _, s := range f.Subsystems {
+		frac := s.Rect.Area() / coreArea
+		if math.Abs(frac-s.AreaFrac) > 1e-9 {
+			t.Errorf("%v AreaFrac %v != rect fraction %v", s.ID, s.AreaFrac, frac)
+		}
+	}
+}
+
+func TestFUAreasMatchPaper(t *testing.T) {
+	f := defaultPlan(t)
+	alu, err := f.ByID(IntALU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 7(a): IntALU subsystem = 0.55% of proc area.
+	if math.Abs(alu.AreaFrac-0.0055) > 0.0005 {
+		t.Errorf("IntALU area = %.4f%%, want ~0.55%%", alu.AreaFrac*100)
+	}
+	fpu, err := f.ByID(FPUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 7(a): FP adder + multiplier = 1.90% of proc area.
+	if math.Abs(fpu.AreaFrac-0.019) > 0.002 {
+		t.Errorf("FPUnit area = %.4f%%, want ~1.90%%", fpu.AreaFrac*100)
+	}
+}
+
+func TestTotalAreaReasonable(t *testing.T) {
+	f := defaultPlan(t)
+	total := f.TotalAreaFrac()
+	if total < 0.5 || total > 1.0 {
+		t.Errorf("total subsystem area fraction = %v, want in [0.5, 1.0]", total)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	f := defaultPlan(t)
+	if _, err := f.ByID(ID(99)); err == nil {
+		t.Error("expected error for unknown ID")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Icache.String() != "Icache" || FPUnit.String() != "FPUnit" {
+		t.Error("ID.String misbehaves")
+	}
+	if ID(99).String() == "" {
+		t.Error("out-of-range ID should still print")
+	}
+	if Logic.String() != "logic" || Memory.String() != "memory" || Mixed.String() != "mixed" {
+		t.Error("Kind.String misbehaves")
+	}
+	if Kind(9).String() == "" {
+		t.Error("out-of-range Kind should still print")
+	}
+}
+
+func TestAreaOverheadsTotal10_6(t *testing.T) {
+	// Figure 7(d): the EVAL additions cost 10.6% of processor area.
+	if got := TotalAreaOverheadPercent(); math.Abs(got-10.6) > 1e-9 {
+		t.Errorf("total area overhead = %v%%, want 10.6%%", got)
+	}
+	rows := AreaOverheads()
+	if len(rows) != 7 {
+		t.Errorf("Figure 7(d) has 7 sources, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Percent < 0 {
+			t.Errorf("negative overhead for %s", r.Source)
+		}
+	}
+}
+
+func TestIntFPSides(t *testing.T) {
+	f := defaultPlan(t)
+	intOnly := map[ID]bool{IntMap: true, IntQ: true, IntReg: true, IntALU: true}
+	fpOnly := map[ID]bool{FPMap: true, FPQ: true, FPReg: true, FPUnit: true}
+	for _, s := range f.Subsystems {
+		switch {
+		case intOnly[s.ID]:
+			if !s.IntSide || s.FPSide {
+				t.Errorf("%v should be int-side only", s.ID)
+			}
+		case fpOnly[s.ID]:
+			if s.IntSide || !s.FPSide {
+				t.Errorf("%v should be fp-side only", s.ID)
+			}
+		default:
+			if !s.IntSide || !s.FPSide {
+				t.Errorf("%v should serve both sides", s.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is the physical reading of one fuzzy rule (Appendix A notes that,
+// unlike perceptrons or neural networks, fuzzy rules can be inspected and
+// even hand-extended with expert information): "IF input_j is near
+// Center[j] (within ~Width[j]) for all j THEN output is Consequent".
+// Centers and widths are reported in the controller's *denormalized* input
+// units.
+type Rule struct {
+	Index      int
+	Centers    []float64
+	Widths     []float64
+	Consequent float64
+}
+
+// Rule returns rule i in physical units.
+func (c *Controller) Rule(i int) (Rule, error) {
+	if i < 0 || i >= len(c.mu) {
+		return Rule{}, fmt.Errorf("fuzzy: rule %d out of range [0, %d)", i, len(c.mu))
+	}
+	r := Rule{
+		Index:      i,
+		Centers:    make([]float64, len(c.lo)),
+		Widths:     make([]float64, len(c.lo)),
+		Consequent: c.y[i],
+	}
+	for j := range c.lo {
+		span := c.hi[j] - c.lo[j]
+		r.Centers[j] = c.lo[j] + c.mu[i][j]*span
+		r.Widths[j] = c.sigma[i][j] * span
+	}
+	return r, nil
+}
+
+// RulesByWeight orders rule indices by the magnitude of their consequent's
+// deviation from the controller's fallback output — a rough "influence"
+// ranking for inspection.
+func (c *Controller) RulesByWeight() []int {
+	idx := make([]int, len(c.y))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da := abs(c.y[idx[a]] - c.fallback)
+		db := abs(c.y[idx[b]] - c.fallback)
+		return da > db
+	})
+	return idx
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Describe renders the controller's rules as text, one per line, with the
+// given input names (names beyond the dimensionality are ignored; missing
+// names fall back to x0, x1, ...).
+func (c *Controller) Describe(names []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fuzzy controller: %d rules over %d inputs (fallback %.4g)\n",
+		len(c.mu), len(c.lo), c.fallback)
+	for i := range c.mu {
+		r, err := c.Rule(i)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "  R%02d: IF ", i)
+		for j := range r.Centers {
+			if j > 0 {
+				sb.WriteString(" AND ")
+			}
+			name := fmt.Sprintf("x%d", j)
+			if j < len(names) && names[j] != "" {
+				name = names[j]
+			}
+			fmt.Fprintf(&sb, "%s≈%.4g(±%.2g)", name, r.Centers[j], r.Widths[j])
+		}
+		fmt.Fprintf(&sb, " THEN %.4g\n", r.Consequent)
+	}
+	return sb.String()
+}
+
+// Footprint returns the controller's storage size in bytes (the quantity
+// the paper budgets at ~120 KB for the whole controller system).
+func (c *Controller) Footprint() int {
+	n, m := len(c.mu), len(c.lo)
+	// mu + sigma matrices, y vector, normalization ranges; 8 bytes each.
+	return 8 * (2*n*m + n + 2*m)
+}

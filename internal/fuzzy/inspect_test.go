@@ -1,0 +1,102 @@
+package fuzzy
+
+import (
+	"strings"
+	"testing"
+)
+
+func trained(t *testing.T) *Controller {
+	t.Helper()
+	c, err := Train(genExamples(500, 99), DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRuleInspection(t *testing.T) {
+	c := trained(t)
+	r, err := c.Rule(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Centers) != c.Inputs() || len(r.Widths) != c.Inputs() {
+		t.Fatalf("rule shape wrong: %+v", r)
+	}
+	// Centers are reported in input units: the training inputs live in
+	// [0,1], so (allowing for gradient drift) centers stay near that box.
+	for j, ctr := range r.Centers {
+		if ctr < -0.5 || ctr > 1.5 {
+			t.Errorf("center[%d] = %v far outside the input range", j, ctr)
+		}
+		if r.Widths[j] <= 0 {
+			t.Errorf("width[%d] = %v must be positive", j, r.Widths[j])
+		}
+	}
+	if _, err := c.Rule(-1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := c.Rule(c.Rules()); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+func TestRulesByWeight(t *testing.T) {
+	c := trained(t)
+	order := c.RulesByWeight()
+	if len(order) != c.Rules() {
+		t.Fatalf("ordering has %d entries", len(order))
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		if seen[i] {
+			t.Fatal("duplicate rule in ordering")
+		}
+		seen[i] = true
+	}
+	// Deviations must be non-increasing.
+	prev := -1.0
+	for k, i := range order {
+		d := c.y[i] - c.fallback
+		if d < 0 {
+			d = -d
+		}
+		if k > 0 && d > prev+1e-12 {
+			t.Fatal("ordering not by decreasing influence")
+		}
+		prev = d
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := trained(t)
+	out := c.Describe([]string{"TH", "Rth"})
+	if !strings.Contains(out, "25 rules") {
+		t.Errorf("missing rule count:\n%s", out[:80])
+	}
+	if !strings.Contains(out, "TH≈") || !strings.Contains(out, "Rth≈") {
+		t.Error("named inputs missing")
+	}
+	if !strings.Contains(out, "x2≈") {
+		t.Error("unnamed input should fall back to x2")
+	}
+	if strings.Count(out, "THEN") != c.Rules() {
+		t.Errorf("expected %d THEN clauses", c.Rules())
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := trained(t)
+	// 25 rules x 3 inputs: 2*75 matrix entries + 25 consequents + 6 range
+	// bounds = 181 floats = 1448 bytes.
+	want := 8 * (2*25*3 + 25 + 2*3)
+	if got := c.Footprint(); got != want {
+		t.Errorf("Footprint = %d, want %d", got, want)
+	}
+	// The full controller system (45 controllers: 15 subsystems x 3
+	// outputs, 6-7 inputs) lands in the paper's ~120 KB ballpark.
+	perFC := 8 * (2*25*7 + 25 + 2*7)
+	if total := perFC * 45; total > 200_000 {
+		t.Errorf("system footprint %d bytes far above the paper's ~120 KB", total)
+	}
+}

@@ -1,0 +1,250 @@
+// Package grid models the spatial discretization of a chip used by the
+// variation model of Sarangi et al. (VARIUS): the die is divided into a
+// grid of cells, and the systematic component of a process parameter takes
+// a single value per cell, drawn from a multivariate normal distribution
+// whose correlation depends only on the distance between cells and decays
+// to zero at a distance phi (the "range").
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Grid describes a W x H cell discretization of a square die region.
+// Coordinates are normalized so that the region spans [0, Side] x [0, Side].
+type Grid struct {
+	W, H int
+	Side float64
+}
+
+// New returns a validated grid.
+func New(w, h int, side float64) (Grid, error) {
+	if w <= 0 || h <= 0 {
+		return Grid{}, fmt.Errorf("grid: dimensions must be positive, got %dx%d", w, h)
+	}
+	if side <= 0 {
+		return Grid{}, fmt.Errorf("grid: side must be positive, got %g", side)
+	}
+	return Grid{W: w, H: h, Side: side}, nil
+}
+
+// N returns the number of cells.
+func (g Grid) N() int { return g.W * g.H }
+
+// CellCenter returns the physical coordinates of cell i's center.
+func (g Grid) CellCenter(i int) (x, y float64) {
+	cx := i % g.W
+	cy := i / g.W
+	dx := g.Side / float64(g.W)
+	dy := g.Side / float64(g.H)
+	return (float64(cx) + 0.5) * dx, (float64(cy) + 0.5) * dy
+}
+
+// CellAt returns the index of the cell containing physical point (x, y),
+// clamping to the die boundary.
+func (g Grid) CellAt(x, y float64) int {
+	cx := int(x / g.Side * float64(g.W))
+	cy := int(y / g.Side * float64(g.H))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.W {
+		cx = g.W - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.H {
+		cy = g.H - 1
+	}
+	return cy*g.W + cx
+}
+
+// Dist returns the Euclidean distance between the centers of cells i and j.
+func (g Grid) Dist(i, j int) float64 {
+	xi, yi := g.CellCenter(i)
+	xj, yj := g.CellCenter(j)
+	return math.Hypot(xi-xj, yi-yj)
+}
+
+// CorrelationFunc maps a distance to a correlation coefficient in [0, 1].
+type CorrelationFunc func(d float64) float64
+
+// Spherical returns the spherical (range-phi) correlation function used by
+// the VARIUS model: correlation decreases from 1 at distance 0 to exactly 0
+// at distance phi, and stays 0 beyond. phi is expressed in the same units
+// as the grid side.
+func Spherical(phi float64) CorrelationFunc {
+	return func(d float64) float64 {
+		if d <= 0 {
+			return 1
+		}
+		if d >= phi {
+			return 0
+		}
+		r := d / phi
+		return 1 - 1.5*r + 0.5*r*r*r
+	}
+}
+
+// FieldGenerator samples spatially correlated Gaussian fields on a grid.
+// Building one factors the grid's correlation matrix once (O(n^3)); each
+// Sample is then an O(n^2) matrix-vector product, so generating many chips
+// that share a grid and correlation structure amortizes the factorization.
+type FieldGenerator struct {
+	grid Grid
+	chol *mathx.SymMatrix
+}
+
+// NewFieldGenerator builds a generator for the given grid and correlation
+// function.
+func NewFieldGenerator(g Grid, corr CorrelationFunc) (*FieldGenerator, error) {
+	if corr == nil {
+		return nil, errors.New("grid: nil correlation function")
+	}
+	n := g.N()
+	c := mathx.NewSymMatrix(n)
+	for i := 0; i < n; i++ {
+		c.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			c.Set(i, j, corr(g.Dist(i, j)))
+		}
+	}
+	l, err := mathx.Cholesky(c, 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("grid: correlation matrix: %w", err)
+	}
+	return &FieldGenerator{grid: g, chol: l}, nil
+}
+
+// Grid returns the generator's grid.
+func (fg *FieldGenerator) Grid() Grid { return fg.grid }
+
+// Sample draws one correlated Gaussian field with per-cell marginal
+// distribution N(mu, sigma^2).
+func (fg *FieldGenerator) Sample(rng *mathx.RNG, mu, sigma float64) *Field {
+	n := fg.grid.N()
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.StdNormal()
+	}
+	v := mathx.MulLowerVec(fg.chol, z)
+	for i := range v {
+		v[i] = mu + sigma*v[i]
+	}
+	return &Field{Grid: fg.grid, Values: v}
+}
+
+// Field is a realization of a per-cell scalar parameter on a grid.
+type Field struct {
+	Grid   Grid
+	Values []float64
+}
+
+// Uniform returns a field with every cell equal to v, used for the
+// no-variation (NoVar) environment.
+func Uniform(g Grid, v float64) *Field {
+	vals := make([]float64, g.N())
+	for i := range vals {
+		vals[i] = v
+	}
+	return &Field{Grid: g, Values: vals}
+}
+
+// At returns the value of cell i.
+func (f *Field) At(i int) float64 { return f.Values[i] }
+
+// AtXY returns the field value at physical point (x, y) (nearest cell).
+func (f *Field) AtXY(x, y float64) float64 {
+	return f.Values[f.Grid.CellAt(x, y)]
+}
+
+// Rect is an axis-aligned rectangle in die coordinates.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Contains reports whether the rectangle contains point (x, y).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.X1 - r.X0) * (r.Y1 - r.Y0) }
+
+// Region returns the values of all cells whose centers fall inside rect.
+// If no cell center falls inside (a very small rectangle), the value of the
+// cell containing the rectangle's center is returned so that every
+// subsystem sees at least one sample.
+func (f *Field) Region(rect Rect) []float64 {
+	var out []float64
+	for i := range f.Values {
+		x, y := f.Grid.CellCenter(i)
+		if rect.Contains(x, y) {
+			out = append(out, f.Values[i])
+		}
+	}
+	if len(out) == 0 {
+		cx := 0.5 * (rect.X0 + rect.X1)
+		cy := 0.5 * (rect.Y0 + rect.Y1)
+		out = append(out, f.AtXY(cx, cy))
+	}
+	return out
+}
+
+// Stats summarizes the field values.
+func (f *Field) Stats() mathx.Summary {
+	s, _ := mathx.Summarize(f.Values)
+	return s
+}
+
+// Map applies fn to every cell value, returning a new field on the same grid.
+func (f *Field) Map(fn func(float64) float64) *Field {
+	vals := make([]float64, len(f.Values))
+	for i, v := range f.Values {
+		vals[i] = fn(v)
+	}
+	return &Field{Grid: f.Grid, Values: vals}
+}
+
+// MoranI computes Moran's I spatial-autocorrelation statistic of a field,
+// using binary neighbor weights for cell pairs closer than maxDist. Values
+// near +1 indicate strong positive spatial correlation (what a systematic
+// variation map must show for distances within the range phi); values near
+// 0 indicate spatial randomness. Returns an error when no pair qualifies
+// or the field is constant.
+func (f *Field) MoranI(maxDist float64) (float64, error) {
+	n := f.Grid.N()
+	mean := 0.0
+	for _, v := range f.Values {
+		mean += v
+	}
+	mean /= float64(n)
+	var denom float64
+	for _, v := range f.Values {
+		denom += (v - mean) * (v - mean)
+	}
+	if denom == 0 {
+		return 0, fmt.Errorf("grid: Moran's I undefined for a constant field")
+	}
+	var num, wsum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if f.Grid.Dist(i, j) <= maxDist {
+				num += (f.Values[i] - mean) * (f.Values[j] - mean)
+				wsum++
+			}
+		}
+	}
+	if wsum == 0 {
+		return 0, fmt.Errorf("grid: no cell pairs within %g", maxDist)
+	}
+	return float64(n) / wsum * num / denom, nil
+}

@@ -1,0 +1,293 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func mustGrid(t *testing.T, w, h int, side float64) Grid {
+	t.Helper()
+	g, err := New(w, h, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 1); err == nil {
+		t.Error("expected error for zero width")
+	}
+	if _, err := New(4, -1, 1); err == nil {
+		t.Error("expected error for negative height")
+	}
+	if _, err := New(4, 4, 0); err == nil {
+		t.Error("expected error for zero side")
+	}
+}
+
+func TestCellGeometry(t *testing.T) {
+	g := mustGrid(t, 4, 4, 1.0)
+	if g.N() != 16 {
+		t.Fatalf("N = %d, want 16", g.N())
+	}
+	x, y := g.CellCenter(0)
+	if math.Abs(x-0.125) > 1e-12 || math.Abs(y-0.125) > 1e-12 {
+		t.Errorf("CellCenter(0) = (%v, %v), want (0.125, 0.125)", x, y)
+	}
+	x, y = g.CellCenter(15)
+	if math.Abs(x-0.875) > 1e-12 || math.Abs(y-0.875) > 1e-12 {
+		t.Errorf("CellCenter(15) = (%v, %v)", x, y)
+	}
+}
+
+func TestCellAtRoundTrip(t *testing.T) {
+	g := mustGrid(t, 8, 6, 2.0)
+	for i := 0; i < g.N(); i++ {
+		x, y := g.CellCenter(i)
+		if got := g.CellAt(x, y); got != i {
+			t.Errorf("CellAt(CellCenter(%d)) = %d", i, got)
+		}
+	}
+	// Out-of-range points clamp to the boundary cells.
+	if g.CellAt(-1, -1) != 0 {
+		t.Error("negative coordinates should clamp to cell 0")
+	}
+	if g.CellAt(100, 100) != g.N()-1 {
+		t.Error("large coordinates should clamp to last cell")
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	g := mustGrid(t, 5, 5, 1.0)
+	for i := 0; i < g.N(); i += 3 {
+		for j := 0; j < g.N(); j += 4 {
+			if math.Abs(g.Dist(i, j)-g.Dist(j, i)) > 1e-15 {
+				t.Fatalf("distance not symmetric for (%d,%d)", i, j)
+			}
+		}
+	}
+	if g.Dist(3, 3) != 0 {
+		t.Error("self-distance should be 0")
+	}
+}
+
+func TestSphericalCorrelation(t *testing.T) {
+	c := Spherical(0.5)
+	if c(0) != 1 {
+		t.Error("correlation at distance 0 should be 1")
+	}
+	if c(0.5) != 0 || c(1.0) != 0 {
+		t.Error("correlation at or beyond range should be 0")
+	}
+	// Monotone decreasing on [0, phi].
+	prev := 1.0
+	for d := 0.01; d < 0.5; d += 0.01 {
+		v := c(d)
+		if v > prev {
+			t.Fatalf("correlation not monotone at d=%v", d)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("correlation out of [0,1] at d=%v: %v", d, v)
+		}
+		prev = v
+	}
+}
+
+func TestSphericalProperty(t *testing.T) {
+	f := func(dRaw, phiRaw uint16) bool {
+		phi := 0.01 + float64(phiRaw)/65535
+		d := float64(dRaw) / 65535 * 2
+		v := Spherical(phi)(d)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldGeneratorMarginals(t *testing.T) {
+	g := mustGrid(t, 6, 6, 1.0)
+	fg, err := NewFieldGenerator(g, Spherical(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(11)
+	const samples = 400
+	var all []float64
+	for s := 0; s < samples; s++ {
+		f := fg.Sample(rng, 10, 2)
+		all = append(all, f.Values...)
+	}
+	m := mathx.Mean(all)
+	sd := mathx.StdDev(all)
+	if math.Abs(m-10) > 0.15 {
+		t.Errorf("marginal mean = %v, want ~10", m)
+	}
+	if math.Abs(sd-2) > 0.15 {
+		t.Errorf("marginal stddev = %v, want ~2", sd)
+	}
+}
+
+func TestFieldGeneratorSpatialCorrelation(t *testing.T) {
+	g := mustGrid(t, 8, 8, 1.0)
+	phi := 0.6
+	fg, err := NewFieldGenerator(g, Spherical(phi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(13)
+	const samples = 600
+	// Track correlation between a close pair and a far pair of cells.
+	near1, near2 := 0, 1     // adjacent cells: distance 0.125
+	far1, far2 := 0, g.N()-1 // opposite corners: distance ~1.24 > phi
+	var a1, a2, b1, b2 []float64
+	for s := 0; s < samples; s++ {
+		f := fg.Sample(rng, 0, 1)
+		a1 = append(a1, f.At(near1))
+		a2 = append(a2, f.At(near2))
+		b1 = append(b1, f.At(far1))
+		b2 = append(b2, f.At(far2))
+	}
+	corrNear := empiricalCorr(a1, a2)
+	corrFar := empiricalCorr(b1, b2)
+	wantNear := Spherical(phi)(g.Dist(near1, near2))
+	if math.Abs(corrNear-wantNear) > 0.1 {
+		t.Errorf("near correlation = %v, want ~%v", corrNear, wantNear)
+	}
+	if math.Abs(corrFar) > 0.1 {
+		t.Errorf("far correlation = %v, want ~0", corrFar)
+	}
+}
+
+func empiricalCorr(xs, ys []float64) float64 {
+	mx, my := mathx.Mean(xs), mathx.Mean(ys)
+	var num, dx, dy float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		dx += (xs[i] - mx) * (xs[i] - mx)
+		dy += (ys[i] - my) * (ys[i] - my)
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+func TestNewFieldGeneratorNilCorr(t *testing.T) {
+	g := mustGrid(t, 2, 2, 1.0)
+	if _, err := NewFieldGenerator(g, nil); err == nil {
+		t.Error("expected error for nil correlation function")
+	}
+}
+
+func TestUniformField(t *testing.T) {
+	g := mustGrid(t, 3, 3, 1.0)
+	f := Uniform(g, 7)
+	for i := 0; i < g.N(); i++ {
+		if f.At(i) != 7 {
+			t.Fatalf("Uniform field cell %d = %v", i, f.At(i))
+		}
+	}
+}
+
+func TestRegion(t *testing.T) {
+	g := mustGrid(t, 4, 4, 1.0)
+	f := Uniform(g, 1)
+	// Lower-left quadrant contains 4 cell centers.
+	vals := f.Region(Rect{0, 0, 0.5, 0.5})
+	if len(vals) != 4 {
+		t.Errorf("region has %d cells, want 4", len(vals))
+	}
+	// A tiny rectangle still returns one value.
+	vals = f.Region(Rect{0.49, 0.49, 0.51, 0.51})
+	if len(vals) != 1 {
+		t.Errorf("tiny region has %d cells, want 1", len(vals))
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{0, 0, 2, 3}
+	if r.Area() != 6 {
+		t.Errorf("Area = %v, want 6", r.Area())
+	}
+	if !r.Contains(1, 1) || r.Contains(2, 1) || r.Contains(-0.1, 1) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestFieldMap(t *testing.T) {
+	g := mustGrid(t, 2, 2, 1.0)
+	f := Uniform(g, 3)
+	f2 := f.Map(func(v float64) float64 { return v * v })
+	for i := 0; i < g.N(); i++ {
+		if f2.At(i) != 9 {
+			t.Fatalf("mapped cell %d = %v, want 9", i, f2.At(i))
+		}
+		if f.At(i) != 3 {
+			t.Fatal("Map mutated original field")
+		}
+	}
+}
+
+func TestFieldStats(t *testing.T) {
+	g := mustGrid(t, 2, 2, 1.0)
+	f := &Field{Grid: g, Values: []float64{1, 2, 3, 4}}
+	s := f.Stats()
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestMoranIOnCorrelatedField(t *testing.T) {
+	g := mustGrid(t, 10, 10, 1.0)
+	fg, err := NewFieldGenerator(g, Spherical(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(31)
+	var correlated, random []float64
+	for s := 0; s < 20; s++ {
+		f := fg.Sample(rng, 0, 1)
+		mi, err := f.MoranI(0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correlated = append(correlated, mi)
+		// A spatially random field with the same marginals.
+		vals := make([]float64, g.N())
+		for i := range vals {
+			vals[i] = rng.StdNormal()
+		}
+		mi, err = (&Field{Grid: g, Values: vals}).MoranI(0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random = append(random, mi)
+	}
+	mc := mathx.Mean(correlated)
+	mr := mathx.Mean(random)
+	if mc < 0.3 {
+		t.Errorf("correlated field Moran's I = %v, want strongly positive", mc)
+	}
+	if math.Abs(mr) > 0.1 {
+		t.Errorf("random field Moran's I = %v, want ~0", mr)
+	}
+	if mc <= mr {
+		t.Error("correlated field must exceed random field in Moran's I")
+	}
+}
+
+func TestMoranIErrors(t *testing.T) {
+	g := mustGrid(t, 4, 4, 1.0)
+	if _, err := Uniform(g, 3).MoranI(0.5); err == nil {
+		t.Error("constant field should error")
+	}
+	f := &Field{Grid: g, Values: make([]float64, g.N())}
+	for i := range f.Values {
+		f.Values[i] = float64(i)
+	}
+	if _, err := f.MoranI(1e-9); err == nil {
+		t.Error("no qualifying pairs should error")
+	}
+}

@@ -1,0 +1,157 @@
+// Package phase implements the hardware application phase detector of
+// §4.3.2-4.3.3, after Sherwood et al.: basic-block execution frequencies
+// are accumulated into a compact basic-block vector (BBV) of 32 buckets
+// with 6-bit saturating counters; intervals whose vectors are close form a
+// stable phase, and a table of past phase signatures lets the controller
+// reuse a saved configuration when a phase recurs.
+package phase
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Detector geometry (Figure 7(a)).
+const (
+	Buckets       = 32
+	BitsPerBucket = 6
+	maxCount      = 1<<BitsPerBucket - 1 // 63
+)
+
+// BBV is a basic-block vector: 32 buckets of 6-bit saturating counts.
+type BBV [Buckets]uint8
+
+// FromSignature expands a workload phase signature into its BBV — the
+// deterministic stand-in for accumulating real basic-block frequencies
+// during an interval.
+func FromSignature(sig uint64) BBV {
+	var b BBV
+	z := sig
+	for i := 0; i < Buckets; i++ {
+		// SplitMix64 stream over the signature.
+		z += 0x9E3779B97F4A7C15
+		x := z
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		x ^= x >> 31
+		b[i] = uint8(x % (maxCount + 1))
+	}
+	return b
+}
+
+// Noisy returns a copy of the BBV with bounded per-bucket sampling noise,
+// modeling interval-to-interval measurement jitter within one phase.
+func (b BBV) Noisy(rng *mathx.RNG, amplitude int) BBV {
+	out := b
+	if amplitude <= 0 {
+		return out
+	}
+	for i := range out {
+		d := rng.Intn(2*amplitude+1) - amplitude
+		v := int(out[i]) + d
+		if v < 0 {
+			v = 0
+		}
+		if v > maxCount {
+			v = maxCount
+		}
+		out[i] = uint8(v)
+	}
+	return out
+}
+
+// Distance returns the normalized Manhattan distance between two BBVs,
+// in [0, 1].
+func Distance(a, b BBV) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return sum / (Buckets * maxCount)
+}
+
+// Detector recognizes recurring phases by BBV proximity.
+type Detector struct {
+	threshold float64
+	table     []BBV // phase ID -> representative vector
+	current   int
+}
+
+// NewDetector returns a detector; threshold is the normalized BBV distance
+// below which two intervals belong to the same phase.
+func NewDetector(threshold float64) (*Detector, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("phase: threshold %g out of (0, 1)", threshold)
+	}
+	return &Detector{threshold: threshold, current: -1}, nil
+}
+
+// DefaultThreshold matches the stability criterion that yields ~120 ms
+// stable phases covering 90-95% of SPEC execution (§5, after Isci et al.).
+const DefaultThreshold = 0.10
+
+// Observation is the detector's verdict on one interval.
+type Observation struct {
+	// PhaseID identifies the matched or newly created phase.
+	PhaseID int
+	// New is true when the interval started a never-seen phase (the
+	// controller must run its algorithm).
+	New bool
+	// Changed is true when the phase differs from the previous interval
+	// (the processor is interrupted; a saved configuration may be reused).
+	Changed bool
+}
+
+// Observe classifies one interval's BBV.
+func (d *Detector) Observe(b BBV) Observation {
+	bestID, bestDist := -1, math.Inf(1)
+	for id, ref := range d.table {
+		if dist := Distance(b, ref); dist < bestDist {
+			bestID, bestDist = id, dist
+		}
+	}
+	if bestID >= 0 && bestDist <= d.threshold {
+		obs := Observation{PhaseID: bestID, Changed: bestID != d.current}
+		d.current = bestID
+		return obs
+	}
+	id := len(d.table)
+	d.table = append(d.table, b)
+	obs := Observation{PhaseID: id, New: true, Changed: true}
+	d.current = id
+	return obs
+}
+
+// Phases returns how many distinct phases have been seen.
+func (d *Detector) Phases() int { return len(d.table) }
+
+// Current returns the current phase ID (-1 before any observation).
+func (d *Detector) Current() int { return d.current }
+
+// Timeline constants of Figure 6 (§4.3.3).
+const (
+	// MeanPhaseLengthMS: the phase detector fires on average every 120 ms.
+	MeanPhaseLengthMS = 120.0
+	// MeasureUS: counters estimate alpha_f and the two queue-size CPIs.
+	MeasureUS = 20.0
+	// ControllerUS: the fuzzy-controller routines occupy the CPU.
+	ControllerUS = 6.0
+	// TransitionUS: settling to the chosen f/Vdd/Vbb working point.
+	TransitionUS = 10.0
+	// RetuneStepMS: a thermal/power violation is sensed within a thermal
+	// time constant.
+	RetuneStepMS = 2.0
+	// THRefreshS: the heat-sink sensor refresh period.
+	THRefreshS = 2.5
+)
+
+// AdaptationOverheadFraction returns the fraction of execution time lost to
+// the controller and the working-point transition per average phase — the
+// paper's argument that adapting at phase boundaries has minimal overhead.
+// (Measurement and retuning overlap execution and cost nothing directly.)
+func AdaptationOverheadFraction() float64 {
+	lostUS := ControllerUS + TransitionUS
+	return lostUS / (MeanPhaseLengthMS * 1000)
+}

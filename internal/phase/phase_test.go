@@ -1,0 +1,171 @@
+package phase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestFromSignatureDeterministic(t *testing.T) {
+	a := FromSignature(12345)
+	b := FromSignature(12345)
+	if a != b {
+		t.Fatal("same signature gave different BBVs")
+	}
+	c := FromSignature(12346)
+	if a == c {
+		t.Fatal("different signatures gave identical BBVs")
+	}
+}
+
+func TestBBVWithinCounterRange(t *testing.T) {
+	f := func(sig uint64) bool {
+		b := FromSignature(sig)
+		for _, v := range b {
+			if v > maxCount {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := FromSignature(1)
+	b := FromSignature(2)
+	if Distance(a, a) != 0 {
+		t.Error("self-distance should be 0")
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Error("distance should be symmetric")
+	}
+	if d := Distance(a, b); d <= 0 || d > 1 {
+		t.Errorf("distance %v out of (0, 1]", d)
+	}
+	// Extremes: all-zero vs all-max is exactly 1.
+	var zero, full BBV
+	for i := range full {
+		full[i] = maxCount
+	}
+	if Distance(zero, full) != 1 {
+		t.Errorf("max distance = %v, want 1", Distance(zero, full))
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0); err == nil {
+		t.Error("zero threshold should be rejected")
+	}
+	if _, err := NewDetector(1); err == nil {
+		t.Error("unit threshold should be rejected")
+	}
+	if _, err := NewDetector(DefaultThreshold); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectorRecognizesRecurringPhases(t *testing.T) {
+	d, err := NewDetector(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigA := FromSignature(100)
+	sigB := FromSignature(200)
+
+	obs := d.Observe(sigA)
+	if !obs.New || !obs.Changed || obs.PhaseID != 0 {
+		t.Errorf("first observation = %+v", obs)
+	}
+	obs = d.Observe(sigA)
+	if obs.New || obs.Changed {
+		t.Errorf("repeat observation = %+v", obs)
+	}
+	obs = d.Observe(sigB)
+	if !obs.New || !obs.Changed || obs.PhaseID != 1 {
+		t.Errorf("new phase observation = %+v", obs)
+	}
+	// Returning to a previously seen phase is Changed but not New: the
+	// saved configuration can be reused (§4.3.3).
+	obs = d.Observe(sigA)
+	if obs.New || !obs.Changed || obs.PhaseID != 0 {
+		t.Errorf("recurrence observation = %+v", obs)
+	}
+	if d.Phases() != 2 {
+		t.Errorf("detector tracked %d phases, want 2", d.Phases())
+	}
+	if d.Current() != 0 {
+		t.Errorf("current phase = %d, want 0", d.Current())
+	}
+}
+
+func TestDetectorToleratesNoise(t *testing.T) {
+	d, err := NewDetector(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(5)
+	base := FromSignature(42)
+	d.Observe(base)
+	misclassified := 0
+	for i := 0; i < 100; i++ {
+		obs := d.Observe(base.Noisy(rng, 2))
+		if obs.New {
+			misclassified++
+		}
+	}
+	if misclassified > 2 {
+		t.Errorf("%d/100 noisy intervals misclassified as new phases", misclassified)
+	}
+}
+
+func TestDetectorInitialState(t *testing.T) {
+	d, err := NewDetector(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Current() != -1 || d.Phases() != 0 {
+		t.Error("fresh detector should have no phases")
+	}
+}
+
+func TestNoisyBounds(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	var zero BBV
+	n := zero.Noisy(rng, 5)
+	for _, v := range n {
+		if v > maxCount {
+			t.Fatal("noise escaped counter range")
+		}
+	}
+	if zero.Noisy(rng, 0) != zero {
+		t.Error("zero-amplitude noise should be identity")
+	}
+}
+
+func TestAdaptationOverheadSmall(t *testing.T) {
+	// The paper: 6 us controller + <=10 us transition per ~120 ms phase —
+	// a negligible fraction.
+	got := AdaptationOverheadFraction()
+	want := 16.0 / 120000.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("overhead = %v, want %v", got, want)
+	}
+	if got > 0.001 {
+		t.Errorf("overhead %v should be well under 0.1%%", got)
+	}
+}
+
+func TestTimelineConstantsMatchFigure6(t *testing.T) {
+	if MeanPhaseLengthMS != 120 || MeasureUS != 20 || ControllerUS != 6 ||
+		TransitionUS != 10 || RetuneStepMS != 2 {
+		t.Error("timeline constants do not match Figure 6")
+	}
+	if Buckets != 32 || BitsPerBucket != 6 {
+		t.Error("detector geometry does not match Figure 7(a)")
+	}
+}

@@ -1,0 +1,431 @@
+// Package pipeline is the performance substrate standing in for the
+// paper's SESC cycle-level simulator: a trace-driven out-of-order core
+// model of the evaluation machine (3-issue, Athlon-64-like, with the
+// Figure 7(a) memory hierarchy: L1 2 cycles, L2 8 cycles, memory 208
+// cycles round trip).
+//
+// It synthesizes instruction traces from workload mixes, simulates them
+// through dispatch/issue/commit with issue-queue, ROB, and functional-unit
+// constraints, and produces exactly the quantities the paper's evaluation
+// needs: CPIcomp for each issue-queue size, the non-overlapped L2-miss
+// penalty mp, per-subsystem activity factors alpha_f, and the Perf(f)
+// composition of Eq. 5.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/mathx"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// Machine parameters (Figure 7(a)).
+const (
+	DispatchWidth = 3
+	CommitWidth   = 3
+	ROBEntries    = 96
+	// Round-trip latencies in cycles at nominal frequency.
+	L1HitCycles = 2
+	L2HitCycles = 8
+	MemCycles   = 208
+	// Execution latencies.
+	IntLatency   = 1
+	FPLatency    = 4
+	StoreLatency = 1
+	// Issue ports.
+	IntPorts = 3
+	FPPorts  = 2
+	MemPorts = 2
+	// BaseBranchPenalty is the misprediction flush/refill penalty.
+	BaseBranchPenalty = 12
+)
+
+// Op is a dynamic instruction type.
+type Op int
+
+const (
+	OpInt Op = iota
+	OpFP
+	OpLoad
+	OpStore
+	OpBranch
+)
+
+// Instr is one dynamic instruction of a synthetic trace.
+type Instr struct {
+	Op         Op
+	Dep1, Dep2 int // register dependency distances (0 = none)
+	// Addr is the memory address of loads and stores (synthetic, with
+	// temporal locality); store-to-load forwarding matches on it.
+	Addr       uint16
+	L1Miss     bool
+	L2Miss     bool
+	Mispredict bool
+}
+
+// Store-to-load forwarding parameters: a load that hits a store to the
+// same address within the store-queue window reads the value directly.
+const (
+	ForwardWindow  = 48 // dynamic-instruction reach of the store queue
+	ForwardLatency = 1  // cycles for a forwarded load
+)
+
+// GenerateTrace synthesizes n instructions from a workload mix.
+func GenerateTrace(mix workload.Mix, n int, rng *mathx.RNG) []Instr {
+	trace := make([]Instr, n)
+	pDep := 1 / mix.DepDistMean
+	// Recent store addresses, for the temporal locality that makes
+	// store-to-load forwarding happen.
+	var recentStores [8]uint16
+	nStores := 0
+	addr := func() uint16 { return uint16(rng.Intn(1 << 14)) }
+	for i := range trace {
+		var in Instr
+		r := rng.Float64()
+		switch {
+		case r < mix.LoadFrac:
+			in.Op = OpLoad
+			// Some loads read recently stored data (stack, spills).
+			if nStores > 0 && rng.Float64() < 0.25 {
+				in.Addr = recentStores[rng.Intn(min(nStores, len(recentStores)))]
+			} else {
+				in.Addr = addr()
+			}
+			if rng.Float64() < mix.L1MissRate {
+				in.L1Miss = true
+			}
+			// L2MissRate is per instruction; convert to per-load.
+			if mix.LoadFrac > 0 && rng.Float64() < mix.L2MissRate/mix.LoadFrac {
+				in.L1Miss = true
+				in.L2Miss = true
+			}
+		case r < mix.LoadFrac+mix.StoreFrac:
+			in.Op = OpStore
+			in.Addr = addr()
+			recentStores[nStores%len(recentStores)] = in.Addr
+			nStores++
+		case r < mix.LoadFrac+mix.StoreFrac+mix.BranchFrac:
+			in.Op = OpBranch
+			in.Mispredict = rng.Float64() < mix.BranchMispredictRate
+		default:
+			if rng.Float64() < mix.FPFrac {
+				in.Op = OpFP
+			} else {
+				in.Op = OpInt
+			}
+		}
+		in.Dep1 = 1 + rng.Geometric(pDep)
+		if rng.Float64() < 0.5 {
+			in.Dep2 = 1 + rng.Geometric(pDep)
+		}
+		trace[i] = in
+	}
+	return trace
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Config controls one simulation.
+type Config struct {
+	// IntQEntries and FPQEntries are the issue-queue capacities in effect.
+	IntQEntries int
+	FPQEntries  int
+	// SquashL2Misses treats L2 misses as L2 hits, isolating CPIcomp.
+	SquashL2Misses bool
+}
+
+// DefaultConfig returns the full-queue machine.
+func DefaultConfig() Config {
+	return Config{IntQEntries: tech.IntQueueEntries, FPQEntries: tech.FPQueueEntries}
+}
+
+// Validate checks simulation configuration.
+func (c Config) Validate() error {
+	if c.IntQEntries < 4 || c.FPQEntries < 4 {
+		return fmt.Errorf("pipeline: queue sizes %d/%d too small", c.IntQEntries, c.FPQEntries)
+	}
+	return nil
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Instructions int
+	Cycles       int64
+	CPI          float64
+	// Activity is the per-subsystem activity factor alpha_f in accesses
+	// per cycle, indexed by floorplan.ID.
+	Activity [floorplan.NumSubsystems]float64
+	// MispredictsPerInstr is the rate of mispredicted branches.
+	MispredictsPerInstr float64
+	// L2MissesPerInstr is the measured mr.
+	L2MissesPerInstr float64
+	// ForwardedLoadFrac is the fraction of loads served by
+	// store-to-load forwarding.
+	ForwardedLoadFrac float64
+	// IntQOccupancyMean and FPQOccupancyMean are the mean issue-queue
+	// occupancies observed at dispatch — the pressure that makes queue
+	// resizing cost CPI.
+	IntQOccupancyMean float64
+	FPQOccupancyMean  float64
+}
+
+// ports tracks k identical pipelined issue ports.
+type ports struct {
+	free []int64 // next-free cycle per port
+}
+
+func newPorts(k int) *ports { return &ports{free: make([]int64, k)} }
+
+// take returns the earliest cycle >= ready at which a port is free, and
+// occupies that port for one cycle.
+func (p *ports) take(ready int64) int64 {
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	at := p.free[best]
+	if ready > at {
+		at = ready
+	}
+	p.free[best] = at + 1
+	return at
+}
+
+// Simulate runs the trace through the core model and returns measured CPI
+// and activity factors.
+func Simulate(trace []Instr, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(trace) == 0 {
+		return Result{}, fmt.Errorf("pipeline: empty trace")
+	}
+	n := len(trace)
+	dispatch := make([]int64, n)
+	complete := make([]int64, n)
+	commit := make([]int64, n)
+
+	// Per-queue FIFO of issue times for the queue-occupancy constraint:
+	// instruction k of queue q cannot dispatch until the (k - size)-th
+	// instruction of q has issued and freed its entry.
+	intQIssues := make([]int64, 0, n)
+	fpQIssues := make([]int64, 0, n)
+
+	intPorts := newPorts(IntPorts)
+	fpPorts := newPorts(FPPorts)
+	memPorts := newPorts(MemPorts)
+
+	var cycle int64      // current dispatch cycle
+	slots := 0           // dispatch slots used this cycle
+	var stallUntil int64 // front-end stall from branch mispredictions
+
+	mispredicts := 0
+	l2misses := 0
+	forwarded := 0
+	loads := 0
+	lastStore := make(map[uint16]int)
+	var intOccSum, fpOccSum float64
+	var counts [floorplan.NumSubsystems]float64
+
+	for i, in := range trace {
+		// Earliest dispatch: program order, front-end stalls, ROB space,
+		// and issue-queue space.
+		earliest := cycle
+		if stallUntil > earliest {
+			earliest = stallUntil
+		}
+		if i >= ROBEntries && commit[i-ROBEntries]+1 > earliest {
+			earliest = commit[i-ROBEntries] + 1
+		}
+		isFP := in.Op == OpFP
+		if isFP {
+			if k := len(fpQIssues) - cfg.FPQEntries; k >= 0 && fpQIssues[k]+1 > earliest {
+				earliest = fpQIssues[k] + 1
+			}
+		} else {
+			if k := len(intQIssues) - cfg.IntQEntries; k >= 0 && intQIssues[k]+1 > earliest {
+				earliest = intQIssues[k] + 1
+			}
+		}
+		if in.Op == OpLoad {
+			loads++
+		}
+		if earliest > cycle {
+			cycle = earliest
+			slots = 0
+		} else if slots >= DispatchWidth {
+			cycle++
+			slots = 0
+		}
+		dispatch[i] = cycle
+		slots++
+
+		// Operand readiness.
+		ready := cycle + 1
+		if d := in.Dep1; d > 0 && i-d >= 0 && complete[i-d]+1 > ready {
+			ready = complete[i-d] + 1
+		}
+		if d := in.Dep2; d > 0 && i-d >= 0 && complete[i-d]+1 > ready {
+			ready = complete[i-d] + 1
+		}
+
+		// Issue and execute.
+		var issue, done int64
+		switch in.Op {
+		case OpInt:
+			issue = intPorts.take(ready)
+			done = issue + IntLatency
+		case OpFP:
+			issue = fpPorts.take(ready)
+			done = issue + FPLatency
+		case OpLoad:
+			issue = memPorts.take(ready)
+			lat := int64(L1HitCycles)
+			if si, ok := lastStore[in.Addr]; ok && i-si <= ForwardWindow {
+				// Store-to-load forwarding: the load reads the store
+				// queue; it must wait for the store's data but skips the
+				// cache entirely.
+				lat = ForwardLatency
+				if complete[si]+ForwardLatency > issue+lat {
+					lat = complete[si] + ForwardLatency - issue
+				}
+				forwarded++
+			} else if in.L2Miss && !cfg.SquashL2Misses {
+				lat = MemCycles
+			} else if in.L1Miss {
+				lat = L2HitCycles
+			}
+			done = issue + lat
+		case OpStore:
+			issue = memPorts.take(ready)
+			done = issue + StoreLatency
+			lastStore[in.Addr] = i
+		case OpBranch:
+			issue = intPorts.take(ready)
+			done = issue + IntLatency
+			if in.Mispredict {
+				mispredicts++
+				if s := done + BaseBranchPenalty; s > stallUntil {
+					stallUntil = s
+				}
+			}
+		}
+		complete[i] = done
+		if isFP {
+			fpQOccSumAdd(&fpOccSum, fpQIssues, cycle, cfg.FPQEntries)
+			fpQIssues = append(fpQIssues, issue)
+		} else {
+			fpQOccSumAdd(&intOccSum, intQIssues, cycle, cfg.IntQEntries)
+			intQIssues = append(intQIssues, issue)
+		}
+
+		// In-order commit, CommitWidth per cycle.
+		c := done
+		if i > 0 && commit[i-1] > c {
+			c = commit[i-1]
+		}
+		if i >= CommitWidth && commit[i-CommitWidth]+1 > c {
+			c = commit[i-CommitWidth] + 1
+		}
+		commit[i] = c
+
+		if in.L2Miss {
+			l2misses++
+		}
+		tally(&counts, in)
+	}
+
+	total := commit[n-1] + 1
+	res := Result{
+		Instructions:        n,
+		Cycles:              total,
+		CPI:                 float64(total) / float64(n),
+		MispredictsPerInstr: float64(mispredicts) / float64(n),
+		L2MissesPerInstr:    float64(l2misses) / float64(n),
+	}
+	if loads > 0 {
+		res.ForwardedLoadFrac = float64(forwarded) / float64(loads)
+	}
+	var intCount, fpCount float64
+	for _, in := range trace {
+		if in.Op == OpFP {
+			fpCount++
+		} else {
+			intCount++
+		}
+	}
+	if intCount > 0 {
+		res.IntQOccupancyMean = intOccSum / intCount
+	}
+	if fpCount > 0 {
+		res.FPQOccupancyMean = fpOccSum / fpCount
+	}
+	for id := range counts {
+		res.Activity[id] = counts[id] / float64(total)
+	}
+	return res, nil
+}
+
+// tally attributes one instruction's structure accesses.
+func tally(counts *[floorplan.NumSubsystems]float64, in Instr) {
+	// Front end: every instruction is fetched, predicted-over, decoded,
+	// and renamed.
+	counts[floorplan.Icache] += 1.0 / DispatchWidth // fetch-group granularity
+	counts[floorplan.ITLB] += 1.0 / DispatchWidth
+	counts[floorplan.Decode] += 1.0
+	counts[floorplan.BranchPred] += 0.25 // fetch-group lookup
+	isFP := in.Op == OpFP
+	if isFP {
+		counts[floorplan.FPMap] += 1.0
+		counts[floorplan.FPQ] += 1.0
+		counts[floorplan.FPReg] += 1.5 // operand reads + writeback
+		counts[floorplan.FPUnit] += 1.0
+	} else {
+		counts[floorplan.IntMap] += 1.0
+		counts[floorplan.IntQ] += 1.0
+		counts[floorplan.IntReg] += 1.5
+	}
+	switch in.Op {
+	case OpInt:
+		counts[floorplan.IntALU] += 1.0
+	case OpBranch:
+		counts[floorplan.IntALU] += 1.0
+		counts[floorplan.BranchPred] += 1.0
+	case OpLoad, OpStore:
+		counts[floorplan.LdStQ] += 1.0
+		counts[floorplan.Dcache] += 1.0
+		counts[floorplan.DTLB] += 1.0
+	}
+}
+
+// fpQOccSumAdd accumulates the queue occupancy seen at a dispatch: the
+// number of older entries (within the last capacity entries) that had not
+// yet issued at the dispatch cycle.
+func fpQOccSumAdd(sum *float64, issues []int64, cycle int64, capacity int) {
+	lo := len(issues) - capacity
+	if lo < 0 {
+		lo = 0
+	}
+	occ := 0
+	for k := len(issues) - 1; k >= lo; k-- {
+		if issues[k] > cycle {
+			occ++
+		}
+	}
+	*sum += float64(occ)
+}
+
+// clampActivity keeps measured activities within the power model's sane
+// range (an access factor above ~3/cycle would mean more than one access
+// per issue slot).
+func clampActivity(a float64) float64 { return math.Min(a, 3) }

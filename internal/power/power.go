@@ -1,0 +1,144 @@
+// Package power implements the per-subsystem power model of §4.1: dynamic
+// power Pdyn = Kdyn * alpha_f * Vdd^2 * f (Eq. 7) and static power
+// Psta = Ksta * Vdd * T^2 * exp(-q Vt / k T) (Eq. 8).
+//
+// The per-subsystem constants Kdyn and Ksta are what the paper's CAD tools
+// would estimate from the number and type of devices in each subsystem; we
+// calibrate them by apportioning the core's nominal dynamic and static
+// power budgets across subsystems in proportion to area times power
+// density, so that the no-variation core at nominal conditions consumes the
+// paper's reported ~25 W (core + L1 + L2).
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/varius"
+)
+
+// Params configures the calibration.
+type Params struct {
+	// PdynCoreNomW is the summed dynamic power of the 15 subsystems at
+	// nominal voltage, nominal frequency, and reference activity.
+	PdynCoreNomW float64
+	// PstaCoreNomW is the summed subsystem leakage at the nominal
+	// operating point (nominal Vt, Vdd, and the design-corner T).
+	PstaCoreNomW float64
+	// AlphaScale globally scales the per-subsystem typical activity
+	// factors (floorplan.Subsystem.TypicalAlpha) at which PdynCoreNomW is
+	// defined; 1.0 anchors the budget at suite-typical behavior.
+	AlphaScale float64
+	// UncoreDynW and UncoreStaW model the private L2 and the uninstrumented
+	// remainder of the core, which are not in any ASV/ABB domain: their
+	// dynamic part scales with core frequency, their static part with the
+	// heat-sink temperature's leakage factor.
+	UncoreDynW float64
+	UncoreStaW float64
+}
+
+// DefaultParams returns the calibration that reproduces the paper's power
+// figures (NoVar ~25 W average, PMAX = 30 W per processor).
+func DefaultParams() Params {
+	return Params{
+		PdynCoreNomW: 15.0,
+		PstaCoreNomW: 4.5,
+		AlphaScale:   1.0,
+		UncoreDynW:   2.5,
+		UncoreStaW:   1.0,
+	}
+}
+
+// Validate checks calibration sanity.
+func (p Params) Validate() error {
+	if p.PdynCoreNomW <= 0 || p.PstaCoreNomW <= 0 {
+		return fmt.Errorf("power: core budgets must be positive, got %g/%g",
+			p.PdynCoreNomW, p.PstaCoreNomW)
+	}
+	if p.AlphaScale <= 0 {
+		return fmt.Errorf("power: AlphaScale must be positive, got %g", p.AlphaScale)
+	}
+	if p.UncoreDynW < 0 || p.UncoreStaW < 0 {
+		return fmt.Errorf("power: uncore budgets must be non-negative")
+	}
+	return nil
+}
+
+// Model evaluates subsystem power. Voltages are in volts, temperatures in
+// kelvin, frequencies relative to nominal, powers in watts.
+type Model struct {
+	params Params
+	vp     varius.Params
+	// kdyn[i]: watts at the subsystem's typical activity, nominal Vdd,
+	// fRel = 1. ksta[i]: watts at the nominal leakage operating point.
+	kdyn, ksta []float64
+	// alphaRef[i] is the activity at which kdyn[i] is anchored.
+	alphaRef []float64
+}
+
+// NewModel calibrates a power model for the floorplan.
+func NewModel(fp *floorplan.Floorplan, vp varius.Params, p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var wDyn, wSta float64
+	for _, s := range fp.Subsystems {
+		wDyn += s.AreaFrac * s.DynDensity
+		wSta += s.AreaFrac * s.StaDensity
+	}
+	if wDyn <= 0 || wSta <= 0 {
+		return nil, fmt.Errorf("power: floorplan has zero power-density weight")
+	}
+	m := &Model{
+		params:   p,
+		vp:       vp,
+		kdyn:     make([]float64, fp.N()),
+		ksta:     make([]float64, fp.N()),
+		alphaRef: make([]float64, fp.N()),
+	}
+	for i, s := range fp.Subsystems {
+		if s.TypicalAlpha <= 0 {
+			return nil, fmt.Errorf("power: subsystem %v has no typical activity", s.ID)
+		}
+		m.kdyn[i] = p.PdynCoreNomW * s.AreaFrac * s.DynDensity / wDyn
+		m.ksta[i] = p.PstaCoreNomW * s.AreaFrac * s.StaDensity / wSta
+		m.alphaRef[i] = s.TypicalAlpha * p.AlphaScale
+	}
+	return m, nil
+}
+
+// Params returns the model's calibration parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Kdyn returns subsystem i's calibrated dynamic-power constant (W at
+// its typical activity, nominal Vdd, nominal f).
+func (m *Model) Kdyn(i int) float64 { return m.kdyn[i] }
+
+// AlphaRef returns the activity at which subsystem i's Kdyn is anchored.
+func (m *Model) AlphaRef(i int) float64 { return m.alphaRef[i] }
+
+// Ksta returns subsystem i's calibrated static-power constant (W at the
+// nominal leakage point).
+func (m *Model) Ksta(i int) float64 { return m.ksta[i] }
+
+// Pdyn evaluates Eq. 7 for subsystem i: activity alphaF (accesses/cycle),
+// supply vddV, relative frequency fRel.
+func (m *Model) Pdyn(i int, alphaF, vddV, fRel float64) float64 {
+	r := vddV / m.vp.VddNomV
+	return m.kdyn[i] * (alphaF / m.alphaRef[i]) * r * r * fRel
+}
+
+// Psta evaluates Eq. 8 for subsystem i at operating threshold voltage vt
+// (already adjusted for T, Vdd, Vbb via Eq. 9), supply vddV, and
+// temperature tK.
+func (m *Model) Psta(i int, vt, vddV, tK float64) float64 {
+	return m.ksta[i] * m.vp.LeakageFactor(vt, vddV, tK)
+}
+
+// Uncore returns the power of the L2 and the uninstrumented core remainder
+// at relative frequency fRel and heat-sink temperature thK. These blocks
+// stay at nominal supply and nominal Vt.
+func (m *Model) Uncore(fRel, thK float64) float64 {
+	return m.params.UncoreDynW*fRel +
+		m.params.UncoreStaW*m.vp.LeakageFactor(m.vp.VtNomOp(), m.vp.VddNomV, thK)
+}

@@ -1,0 +1,164 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/varius"
+)
+
+func newModel(t *testing.T) (*Model, *floorplan.Floorplan, varius.Params) {
+	t.Helper()
+	vp := varius.DefaultParams()
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(fp, vp, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fp, vp
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.PdynCoreNomW = 0 },
+		func(p *Params) { p.PstaCoreNomW = -1 },
+		func(p *Params) { p.AlphaScale = 0 },
+		func(p *Params) { p.UncoreDynW = -0.1 },
+	}
+	for i, mutate := range bad {
+		q := DefaultParams()
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCalibrationSumsToBudget(t *testing.T) {
+	m, fp, vp := newModel(t)
+	p := DefaultParams()
+	// At each subsystem's typical activity, nominal Vdd, fRel=1, subsystem
+	// dynamic power sums to the calibrated budget.
+	var dyn float64
+	for i, sub := range fp.Subsystems {
+		dyn += m.Pdyn(i, sub.TypicalAlpha, vp.VddNomV, 1.0)
+	}
+	if math.Abs(dyn-p.PdynCoreNomW) > 1e-9 {
+		t.Errorf("dynamic budget = %v, want %v", dyn, p.PdynCoreNomW)
+	}
+	// At nominal Vt and the design corner, static power sums to budget.
+	var sta float64
+	for i := range fp.Subsystems {
+		sta += m.Psta(i, vp.VtNomOp(), vp.VddNomV, vp.TOpRefK)
+	}
+	if math.Abs(sta-p.PstaCoreNomW) > 1e-9 {
+		t.Errorf("static budget = %v, want %v", sta, p.PstaCoreNomW)
+	}
+}
+
+func TestPdynScalings(t *testing.T) {
+	m, _, vp := newModel(t)
+	base := m.Pdyn(0, 0.3, vp.VddNomV, 1.0)
+	if m.AlphaRef(0) <= 0 {
+		t.Fatal("AlphaRef must be positive")
+	}
+	// Linear in activity.
+	if got := m.Pdyn(0, 0.6, vp.VddNomV, 1.0); math.Abs(got-2*base) > 1e-12 {
+		t.Errorf("activity scaling: %v, want %v", got, 2*base)
+	}
+	// Linear in frequency.
+	if got := m.Pdyn(0, 0.3, vp.VddNomV, 0.5); math.Abs(got-0.5*base) > 1e-12 {
+		t.Errorf("frequency scaling: %v, want %v", got, 0.5*base)
+	}
+	// Quadratic in Vdd.
+	if got := m.Pdyn(0, 0.3, 1.2*vp.VddNomV, 1.0); math.Abs(got-1.44*base) > 1e-12 {
+		t.Errorf("Vdd scaling: %v, want %v", got, 1.44*base)
+	}
+}
+
+func TestPstaTrends(t *testing.T) {
+	m, _, vp := newModel(t)
+	base := m.Psta(0, vp.VtNomOp(), vp.VddNomV, vp.TOpRefK)
+	if base <= 0 {
+		t.Fatal("static power must be positive")
+	}
+	// Lower Vt leaks more.
+	if m.Psta(0, vp.VtNomOp()-0.05, vp.VddNomV, vp.TOpRefK) <= base {
+		t.Error("lower Vt should leak more")
+	}
+	// Hotter leaks more.
+	if m.Psta(0, vp.VtNomOp(), vp.VddNomV, vp.TOpRefK+15) <= base {
+		t.Error("hotter should leak more")
+	}
+	// Higher Vdd leaks more.
+	if m.Psta(0, vp.VtNomOp(), vp.VddNomV*1.2, vp.TOpRefK) <= base {
+		t.Error("higher Vdd should leak more")
+	}
+}
+
+func TestKdynProportionalToAreaDensity(t *testing.T) {
+	m, fp, _ := newModel(t)
+	// Ratio of Kdyn between two subsystems equals ratio of area*density.
+	i, j := 0, 1
+	wi := fp.Subsystems[i].AreaFrac * fp.Subsystems[i].DynDensity
+	wj := fp.Subsystems[j].AreaFrac * fp.Subsystems[j].DynDensity
+	if math.Abs(m.Kdyn(i)/m.Kdyn(j)-wi/wj) > 1e-9 {
+		t.Errorf("Kdyn ratio %v, want %v", m.Kdyn(i)/m.Kdyn(j), wi/wj)
+	}
+	if m.Ksta(i) <= 0 || m.Kdyn(i) <= 0 {
+		t.Error("calibrated constants must be positive")
+	}
+}
+
+func TestUncore(t *testing.T) {
+	m, _, vp := newModel(t)
+	p := DefaultParams()
+	u := m.Uncore(1.0, vp.TOpRefK)
+	// At fRel=1 and the design corner the uncore consumes its full budget.
+	if math.Abs(u-(p.UncoreDynW+p.UncoreStaW)) > 1e-9 {
+		t.Errorf("uncore at nominal = %v, want %v", u, p.UncoreDynW+p.UncoreStaW)
+	}
+	// Slower and cooler means less.
+	if m.Uncore(0.5, vp.TOpRefK-20) >= u {
+		t.Error("uncore power should fall with f and T")
+	}
+}
+
+func TestNewModelRejectsBadParams(t *testing.T) {
+	vp := varius.DefaultParams()
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.AlphaScale = -1
+	if _, err := NewModel(fp, vp, bad); err == nil {
+		t.Error("expected error for invalid params")
+	}
+}
+
+func TestNominalCorePowerNear25W(t *testing.T) {
+	// The paper reports ~25 W average for NoVar (core + L1 + L2). With
+	// each subsystem at its typical activity, nominal f and Vdd,
+	// subsystems plus uncore should land in that neighborhood at a typical
+	// operating temperature (below the design corner, so leakage is a bit
+	// lower than its calibration point).
+	m, fp, vp := newModel(t)
+	tK := 65 + varius.CelsiusOffset
+	total := m.Uncore(1.0, tK)
+	for i, sub := range fp.Subsystems {
+		vt := vp.VtAt(vp.VtMeanV, tK, vp.VddNomV, 0)
+		total += m.Pdyn(i, sub.TypicalAlpha, vp.VddNomV, 1.0) + m.Psta(i, vt, vp.VddNomV, tK)
+	}
+	if total < 20 || total > 30 {
+		t.Errorf("nominal core power = %.1f W, want ~25 W", total)
+	}
+}

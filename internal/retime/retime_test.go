@@ -1,0 +1,152 @@
+package retime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/mathx"
+	"repro/internal/varius"
+)
+
+func fixtures(t *testing.T) (*floorplan.Floorplan, *varius.Generator) {
+	t.Helper()
+	vp := varius.DefaultParams()
+	gen, err := varius.NewGenerator(vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, gen
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.MaxDonationFrac = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative donation cap should be rejected")
+	}
+	bad2 := DefaultConfig()
+	bad2.LoopCarriedFrac = 1.5
+	if err := bad2.Validate(); err == nil {
+		t.Error("loop fraction > 1 should be rejected")
+	}
+}
+
+func TestRetimeNeverHurts(t *testing.T) {
+	fp, gen := fixtures(t)
+	vp := gen.Params()
+	for seed := int64(0); seed < 6; seed++ {
+		res, err := Retime(fp, gen.Chip(seed), vp, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FRetimed < res.FBaseline {
+			t.Errorf("chip %d: retiming lowered frequency: %v -> %v",
+				seed, res.FBaseline, res.FRetimed)
+		}
+		if res.Gain() < 1 {
+			t.Errorf("chip %d: gain %v < 1", seed, res.Gain())
+		}
+	}
+}
+
+func TestRetimeGainInPublishedBand(t *testing.T) {
+	// §7: dynamic retiming gains 10-20%, versus EVAL's 40%.
+	fp, gen := fixtures(t)
+	vp := gen.Params()
+	var gains []float64
+	for seed := int64(0); seed < 12; seed++ {
+		res, err := Retime(fp, gen.Chip(seed), vp, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gains = append(gains, res.Gain())
+	}
+	mean := mathx.Mean(gains)
+	if mean < 1.05 || mean > 1.30 {
+		t.Errorf("mean retiming gain = %.3f, want roughly the published 1.10-1.20 band", mean)
+	}
+	t.Logf("mean retiming gain = %.3f (paper: 1.10-1.20)", mean)
+}
+
+func TestRetimeNoVarChipHasNothingToGain(t *testing.T) {
+	fp, gen := fixtures(t)
+	vp := gen.Params()
+	res, err := Retime(fp, gen.NoVarChip(), vp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no variation, all stages already meet 1.0; retiming adds ~0.
+	if res.Gain() > 1.02 {
+		t.Errorf("NoVar retiming gain = %v, want ~1.0", res.Gain())
+	}
+}
+
+func TestDonationConservation(t *testing.T) {
+	fp, gen := fixtures(t)
+	vp := gen.Params()
+	res, err := Retime(fp, gen.Chip(3), vp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recv, don float64
+	for _, m := range res.Donations {
+		if m > 0 {
+			recv += m
+		} else {
+			don -= m
+		}
+	}
+	if recv > don+1e-9 {
+		t.Errorf("received time %v exceeds donated time %v", recv, don)
+	}
+	cfg := DefaultConfig()
+	for i, m := range res.Donations {
+		if math.Abs(m) > cfg.MaxDonationFrac+1e-9 {
+			t.Errorf("stage %d donation %v exceeds the skew budget", i, m)
+		}
+	}
+}
+
+func TestLargerSkewBudgetGainsMore(t *testing.T) {
+	fp, gen := fixtures(t)
+	vp := gen.Params()
+	chip := gen.Chip(5)
+	small := DefaultConfig()
+	small.MaxDonationFrac = 0.03
+	big := DefaultConfig()
+	big.MaxDonationFrac = 0.30
+	rs, err := Retime(fp, chip, vp, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Retime(fp, chip, vp, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.FRetimed < rs.FRetimed-1e-12 {
+		t.Errorf("bigger skew budget should not gain less: %v vs %v", rb.FRetimed, rs.FRetimed)
+	}
+}
+
+func TestZeroBudgetIsBaseline(t *testing.T) {
+	fp, gen := fixtures(t)
+	vp := gen.Params()
+	cfg := DefaultConfig()
+	cfg.MaxDonationFrac = 0
+	res, err := Retime(fp, gen.Chip(7), vp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FRetimed-res.FBaseline) > 1e-12 {
+		t.Errorf("zero skew budget must reproduce baseline: %v vs %v",
+			res.FRetimed, res.FBaseline)
+	}
+}

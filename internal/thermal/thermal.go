@@ -1,0 +1,233 @@
+// Package thermal implements the steady-state temperature model of §4.1:
+// each subsystem sits at T = TH + Rth * (Pdyn + Psta) above the common heat
+// sink (Eq. 6), where its static power in turn depends on its temperature
+// (Eqs. 8-9), so the (T, Psta, Vt) system is solved by fixed-point
+// iteration exactly as the paper prescribes ("these equations form a
+// feedback system and need to be solved iteratively").
+//
+// The heat-sink temperature TH itself rises with the core's total power —
+// the slow (seconds-scale) outer feedback the paper's controller samples
+// with a sensor every 2-3 s.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/varius"
+)
+
+// Params configures the thermal network.
+type Params struct {
+	// THBaseK is the heat-sink temperature at zero core power (ambient
+	// plus case offset).
+	THBaseK float64
+	// RthHSKPerW is the effective heat-sink thermal resistance seen by one
+	// core's power (K/W): TH = THBaseK + RthHS * Pcore.
+	RthHSKPerW float64
+	// RthCoefKMM2PerW is the vertical thermal-resistance coefficient:
+	// Rth_i = coef / (A_i + SpreadMM2) with A_i in mm^2. Rth is a function
+	// of subsystem area, as the paper notes (§4.1).
+	RthCoefKMM2PerW float64
+	// SpreadMM2 models lateral heat spreading, which keeps very small
+	// blocks (the ALU) from having unboundedly large Rth.
+	SpreadMM2 float64
+	// CoreAreaMM2 is the physical area of core + L1s at 45 nm.
+	CoreAreaMM2 float64
+	// MaxIter and TolK bound the fixed-point iteration.
+	MaxIter int
+	TolK    float64
+}
+
+// DefaultParams returns the calibrated thermal network: a core that reaches
+// the paper's TH_MAX = 70 C heat-sink limit near PMAX = 30 W, and hotspot
+// rises of a few kelvin to ~15 K depending on density.
+func DefaultParams() Params {
+	return Params{
+		THBaseK:         45 + varius.CelsiusOffset,
+		RthHSKPerW:      0.8,
+		RthCoefKMM2PerW: 1.6,
+		SpreadMM2:       0.05,
+		CoreAreaMM2:     15.0,
+		MaxIter:         60,
+		TolK:            1e-3,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.THBaseK <= 0 || p.RthHSKPerW < 0 || p.RthCoefKMM2PerW <= 0 ||
+		p.CoreAreaMM2 <= 0 || p.SpreadMM2 < 0 {
+		return fmt.Errorf("thermal: invalid params %+v", p)
+	}
+	if p.MaxIter < 1 || p.TolK <= 0 {
+		return fmt.Errorf("thermal: invalid iteration control %+v", p)
+	}
+	return nil
+}
+
+// Model is the thermal network for one core.
+type Model struct {
+	params Params
+	vp     varius.Params
+	pw     *power.Model
+	rth    []float64 // K/W per subsystem
+}
+
+// NewModel builds the network, deriving each subsystem's Rth from its area.
+func NewModel(fp *floorplan.Floorplan, vp varius.Params, pw *power.Model, p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{params: p, vp: vp, pw: pw, rth: make([]float64, fp.N())}
+	for i, s := range fp.Subsystems {
+		areaMM2 := s.AreaFrac * p.CoreAreaMM2
+		m.rth[i] = p.RthCoefKMM2PerW / (areaMM2 + p.SpreadMM2)
+	}
+	return m, nil
+}
+
+// Params returns the thermal configuration.
+func (m *Model) Params() Params { return m.params }
+
+// Rth returns subsystem i's thermal resistance to the heat sink (K/W).
+func (m *Model) Rth(i int) float64 { return m.rth[i] }
+
+// SubsystemInput is the operating point of one subsystem for thermal/power
+// evaluation: exactly the controller inputs of §4.1 (minus TH, passed
+// separately).
+type SubsystemInput struct {
+	Index  int     // floorplan index
+	Vt0Eff float64 // leakage-effective tester-referred Vt0 (V)
+	AlphaF float64 // activity factor (accesses/cycle)
+	VddV   float64
+	VbbV   float64
+	FRel   float64 // relative core frequency
+	// PowerMult scales both dynamic and static power, modeling structure
+	// choices (the LowSlope FU replica costs ~30% more power; a downsized
+	// queue saves some). Zero means 1.
+	PowerMult float64
+}
+
+// powerMult returns the effective multiplier.
+func (in SubsystemInput) powerMult() float64 {
+	if in.PowerMult == 0 {
+		return 1
+	}
+	return in.PowerMult
+}
+
+// SubsystemState is the converged steady state of one subsystem.
+type SubsystemState struct {
+	TK        float64 // device temperature
+	PdynW     float64
+	PstaW     float64
+	VtV       float64 // operating threshold voltage at TK
+	Converged bool
+}
+
+// PowerW returns total subsystem power.
+func (s SubsystemState) PowerW() float64 { return s.PdynW + s.PstaW }
+
+// SubsystemSteady solves the Eq. 6-9 feedback for one subsystem at heat-sink
+// temperature thK. Non-convergence (thermal runaway at an absurd operating
+// point) is reported via Converged=false with the last iterate, which will
+// violate any temperature constraint and so be rejected by callers.
+func (m *Model) SubsystemSteady(in SubsystemInput, thK float64) SubsystemState {
+	mult := in.powerMult()
+	pdyn := mult * m.pw.Pdyn(in.Index, in.AlphaF, in.VddV, in.FRel)
+	t := thK
+	var vt, psta float64
+	for iter := 0; iter < m.params.MaxIter; iter++ {
+		vt = m.vp.VtAt(in.Vt0Eff, t, in.VddV, in.VbbV)
+		psta = mult * m.pw.Psta(in.Index, vt, in.VddV, t)
+		next := thK + m.rth[in.Index]*(pdyn+psta)
+		if math.Abs(next-t) < m.params.TolK {
+			return SubsystemState{TK: next, PdynW: pdyn, PstaW: psta, VtV: vt, Converged: true}
+		}
+		// The map T -> TH + Rth*Psta(T) is a contraction away from thermal
+		// runaway (its slope is well below 1), so the undamped update
+		// converges fast; the hard cap catches runaway.
+		t = next
+		if t > 500 { // > 225 C: unambiguous runaway, stop early
+			break
+		}
+	}
+	return SubsystemState{TK: t, PdynW: pdyn, PstaW: psta, VtV: vt, Converged: false}
+}
+
+// FRelMaxForTemp returns the highest relative frequency at which subsystem
+// in (ignoring in.FRel) stays at or below tmaxK given heat-sink temperature
+// thK. Because Pdyn is linear in f and at the T = TMAX boundary the static
+// power is known exactly, this is closed-form. Returns 0 if the subsystem
+// exceeds tmaxK even at f = 0 (leakage alone), and +Inf if it can never
+// reach tmaxK (zero Rth paths are excluded by construction).
+func (m *Model) FRelMaxForTemp(in SubsystemInput, thK, tmaxK float64) float64 {
+	mult := in.powerMult()
+	vtAtMax := m.vp.VtAt(in.Vt0Eff, tmaxK, in.VddV, in.VbbV)
+	pstaAtMax := mult * m.pw.Psta(in.Index, vtAtMax, in.VddV, tmaxK)
+	budget := (tmaxK-thK)/m.rth[in.Index] - pstaAtMax
+	if budget <= 0 {
+		return 0
+	}
+	pdynPerF := mult * m.pw.Pdyn(in.Index, in.AlphaF, in.VddV, 1.0)
+	if pdynPerF <= 0 {
+		return math.Inf(1)
+	}
+	return budget / pdynPerF
+}
+
+// CoreState is the converged steady state of the whole core at one
+// operating point.
+type CoreState struct {
+	THK     float64
+	Subs    []SubsystemState
+	UncoreW float64
+	TotalW  float64
+}
+
+// MaxTK returns the hottest subsystem temperature.
+func (c CoreState) MaxTK() float64 {
+	t := 0.0
+	for _, s := range c.Subs {
+		if s.TK > t {
+			t = s.TK
+		}
+	}
+	return t
+}
+
+// CoreSteady solves the whole core: the inner per-subsystem fixed points
+// nested in the outer heat-sink feedback TH = THBase + RthHS * Ptotal.
+// fRel is the core frequency applied to the uncore; each subsystem input
+// carries its own FRel (equal to the core's in practice).
+func (m *Model) CoreSteady(ins []SubsystemInput, fRel float64) (CoreState, error) {
+	th := m.params.THBaseK
+	var st CoreState
+	for outer := 0; outer < m.params.MaxIter; outer++ {
+		subs := make([]SubsystemState, len(ins))
+		total := m.pw.Uncore(fRel, th)
+		uncore := total
+		for i, in := range ins {
+			subs[i] = m.SubsystemSteady(in, th)
+			total += subs[i].PowerW()
+		}
+		nextTH := m.params.THBaseK + m.params.RthHSKPerW*total
+		st = CoreState{THK: nextTH, Subs: subs, UncoreW: uncore, TotalW: total}
+		if math.Abs(nextTH-th) < m.params.TolK {
+			for i, s := range subs {
+				if !s.Converged {
+					return st, fmt.Errorf("thermal: subsystem %d did not converge", i)
+				}
+			}
+			return st, nil
+		}
+		th = 0.5*th + 0.5*nextTH
+		if th > 500 {
+			return st, fmt.Errorf("thermal: heat-sink runaway (TH = %.0f K)", th)
+		}
+	}
+	return st, fmt.Errorf("thermal: core fixed point did not converge")
+}

@@ -1,0 +1,230 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/varius"
+)
+
+func newModel(t *testing.T) (*Model, *floorplan.Floorplan, varius.Params) {
+	t.Helper()
+	vp := varius.DefaultParams()
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := power.NewModel(fp, vp, power.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(fp, vp, pw, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fp, vp
+}
+
+func nominalInputs(fp *floorplan.Floorplan, vp varius.Params, fRel float64) []SubsystemInput {
+	ins := make([]SubsystemInput, fp.N())
+	for i, sub := range fp.Subsystems {
+		ins[i] = SubsystemInput{
+			Index:  i,
+			Vt0Eff: vp.VtMeanV,
+			AlphaF: sub.TypicalAlpha,
+			VddV:   vp.VddNomV,
+			VbbV:   0,
+			FRel:   fRel,
+		}
+	}
+	return ins
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.RthCoefKMM2PerW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error")
+	}
+	bad2 := DefaultParams()
+	bad2.MaxIter = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected validation error for MaxIter")
+	}
+}
+
+func TestRthDecreasesWithArea(t *testing.T) {
+	m, fp, _ := newModel(t)
+	// IntALU (tiny) must have a larger Rth than Dcache (large).
+	var alu, dc int
+	for i, s := range fp.Subsystems {
+		switch s.ID {
+		case floorplan.IntALU:
+			alu = i
+		case floorplan.Dcache:
+			dc = i
+		}
+	}
+	if m.Rth(alu) <= m.Rth(dc) {
+		t.Errorf("Rth(IntALU)=%v should exceed Rth(Dcache)=%v", m.Rth(alu), m.Rth(dc))
+	}
+	for i := range fp.Subsystems {
+		if m.Rth(i) <= 0 {
+			t.Errorf("Rth(%d) = %v not positive", i, m.Rth(i))
+		}
+	}
+}
+
+func TestSubsystemSteadyConverges(t *testing.T) {
+	m, fp, vp := newModel(t)
+	th := 60 + varius.CelsiusOffset
+	for _, in := range nominalInputs(fp, vp, 1.0) {
+		st := m.SubsystemSteady(in, th)
+		if !st.Converged {
+			t.Fatalf("subsystem %d did not converge", in.Index)
+		}
+		if st.TK <= th {
+			t.Errorf("subsystem %d at %.2f K not above heat sink %.2f K", in.Index, st.TK, th)
+		}
+		if st.PdynW <= 0 || st.PstaW <= 0 {
+			t.Errorf("subsystem %d has non-positive power", in.Index)
+		}
+		// Eq. 6 holds at the fixed point.
+		want := th + m.Rth(in.Index)*(st.PdynW+st.PstaW)
+		if math.Abs(st.TK-want) > 0.01 {
+			t.Errorf("subsystem %d: T=%v but Eq.6 gives %v", in.Index, st.TK, want)
+		}
+	}
+}
+
+func TestHigherVddRunsHotter(t *testing.T) {
+	m, fp, vp := newModel(t)
+	th := 60 + varius.CelsiusOffset
+	in := nominalInputs(fp, vp, 1.0)[0]
+	base := m.SubsystemSteady(in, th)
+	in.VddV = 1.2
+	boosted := m.SubsystemSteady(in, th)
+	if boosted.TK <= base.TK {
+		t.Errorf("higher Vdd should run hotter: %v vs %v", boosted.TK, base.TK)
+	}
+}
+
+func TestReverseBodyBiasCoolsLeakage(t *testing.T) {
+	m, fp, vp := newModel(t)
+	th := 60 + varius.CelsiusOffset
+	in := nominalInputs(fp, vp, 1.0)[0]
+	base := m.SubsystemSteady(in, th)
+	in.VbbV = -0.4 // RBB raises Vt, cutting leakage
+	rbb := m.SubsystemSteady(in, th)
+	if rbb.PstaW >= base.PstaW {
+		t.Errorf("RBB should cut leakage: %v vs %v", rbb.PstaW, base.PstaW)
+	}
+	if rbb.TK >= base.TK {
+		t.Errorf("RBB should cool the block: %v vs %v", rbb.TK, base.TK)
+	}
+}
+
+func TestFRelMaxForTemp(t *testing.T) {
+	m, fp, vp := newModel(t)
+	th := 60 + varius.CelsiusOffset
+	tmax := 85 + varius.CelsiusOffset
+	for _, in := range nominalInputs(fp, vp, 1.0) {
+		fmax := m.FRelMaxForTemp(in, th, tmax)
+		if fmax <= 0 {
+			t.Fatalf("subsystem %d: fmax = %v", in.Index, fmax)
+		}
+		if math.IsInf(fmax, 1) {
+			continue
+		}
+		// Running exactly at fmax must not exceed TMAX.
+		in.FRel = fmax
+		st := m.SubsystemSteady(in, th)
+		if st.TK > tmax+0.05 {
+			t.Errorf("subsystem %d at fmax: T = %v exceeds TMAX %v", in.Index, st.TK, tmax)
+		}
+		// Running 10%% faster must exceed TMAX (the bound is tight).
+		in.FRel = fmax * 1.1
+		st = m.SubsystemSteady(in, th)
+		if st.Converged && st.TK < tmax-0.05 {
+			t.Errorf("subsystem %d bound not tight: T = %v at 1.1*fmax", in.Index, st.TK)
+		}
+	}
+}
+
+func TestFRelMaxForTempInfeasible(t *testing.T) {
+	m, fp, vp := newModel(t)
+	in := nominalInputs(fp, vp, 1.0)[0]
+	// Heat sink already above TMAX: no frequency is feasible.
+	if fmax := m.FRelMaxForTemp(in, 95+varius.CelsiusOffset, 85+varius.CelsiusOffset); fmax != 0 {
+		t.Errorf("fmax = %v, want 0 when TH > TMAX", fmax)
+	}
+}
+
+func TestCoreSteadyNominal(t *testing.T) {
+	m, fp, vp := newModel(t)
+	st, err := m.CoreSteady(nominalInputs(fp, vp, 1.0), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nominal core should land near the paper's 25 W and below the
+	// 70 C heat-sink limit.
+	if st.TotalW < 18 || st.TotalW > 32 {
+		t.Errorf("core power = %.1f W, want ~25 W", st.TotalW)
+	}
+	thC := st.THK - varius.CelsiusOffset
+	if thC < 55 || thC > 72 {
+		t.Errorf("heat sink = %.1f C, want in the 55-72 C band", thC)
+	}
+	if st.MaxTK() <= st.THK {
+		t.Error("hottest subsystem should exceed heat-sink temperature")
+	}
+	if st.MaxTK() > 95+varius.CelsiusOffset {
+		t.Errorf("hotspot %.1f C implausibly hot", st.MaxTK()-varius.CelsiusOffset)
+	}
+	if st.UncoreW <= 0 {
+		t.Error("uncore power must be positive")
+	}
+}
+
+func TestCoreSteadyScalesWithFrequency(t *testing.T) {
+	m, fp, vp := newModel(t)
+	slow, err := m.CoreSteady(nominalInputs(fp, vp, 0.78), 0.78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.CoreSteady(nominalInputs(fp, vp, 1.2), 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TotalW >= fast.TotalW {
+		t.Errorf("power should grow with f: %v vs %v", slow.TotalW, fast.TotalW)
+	}
+	if slow.THK >= fast.THK {
+		t.Errorf("heat sink should warm with f: %v vs %v", slow.THK, fast.THK)
+	}
+	// Baseline-like operation (0.78x) should be well below 25 W, echoing
+	// the paper's ~17 W Baseline.
+	if slow.TotalW > 24 {
+		t.Errorf("baseline-like power = %.1f W, expected well below nominal", slow.TotalW)
+	}
+}
+
+func TestCoreSteadyDeterministic(t *testing.T) {
+	m, fp, vp := newModel(t)
+	a, err := m.CoreSteady(nominalInputs(fp, vp, 1.0), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CoreSteady(nominalInputs(fp, vp, 1.0), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalW != b.TotalW || a.THK != b.THK {
+		t.Error("CoreSteady is not deterministic")
+	}
+}

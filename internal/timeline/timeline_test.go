@@ -1,0 +1,178 @@
+package timeline
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func fixtures(t *testing.T) (*core.Simulator, *adapt.Core, workload.App) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.TraceLen = 20000
+	sim, err := core.NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := sim.BuildCore(sim.Chip(3), core.TSASV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, cpu, app
+}
+
+func TestRunBasics(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	events, sum, err := Run(sim, cpu, app, adapt.Exhaustive{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if sum.Intervals == 0 || sum.NewPhases == 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Time must be nondecreasing.
+	prev := -1.0
+	for _, ev := range events {
+		if ev.TimeMS < prev {
+			t.Fatalf("events out of order at %v", ev.TimeMS)
+		}
+		prev = ev.TimeMS
+	}
+	// The adapted frequency must be set after the first adaptation.
+	if events[0].Kind != EventNewPhase || events[0].FCore <= 0 {
+		t.Errorf("first event should be an adaptation, got %+v", events[0])
+	}
+}
+
+func TestRunOverheadNegligible(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	cfg := DefaultConfig()
+	cfg.DurationMS = 2000
+	_, sum, err := Run(sim, cpu, app, adapt.Exhaustive{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3.3: adapting at phase boundaries has minimal overhead.
+	if sum.OverheadFrac > 0.002 {
+		t.Errorf("adaptation overhead %.4f%% should be well under 0.2%%", sum.OverheadFrac*100)
+	}
+}
+
+func TestRunReusesRecurringPhases(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	cfg := DefaultConfig()
+	cfg.DurationMS = 3000 // long enough to revisit phases
+	_, sum, err := Run(sim, cpu, app, adapt.Exhaustive{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An app has 3-5 phases; a 3 s run (~25 intervals) must revisit them.
+	if sum.NewPhases > len(app.Phases)+1 {
+		t.Errorf("%d new phases for an app with %d", sum.NewPhases, len(app.Phases))
+	}
+	if sum.ReusedPhases == 0 {
+		t.Error("no phase reuse in a long run")
+	}
+	// Stable/recognized phases should dominate, echoing the paper's 90-95%.
+	if sum.StablePhaseFrac < 0.7 {
+		t.Errorf("stable-phase fraction %.2f too low", sum.StablePhaseFrac)
+	}
+}
+
+func TestRunIncludesTHRefreshes(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	cfg := DefaultConfig()
+	cfg.DurationMS = 6000 // > 2 refresh periods
+	events, _, err := Run(sim, cpu, app, adapt.Exhaustive{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshes := 0
+	for _, ev := range events {
+		if ev.Kind == EventTHRefresh {
+			refreshes++
+		}
+	}
+	if refreshes < 2 {
+		t.Errorf("expected >= 2 heat-sink refreshes in 6 s, got %d", refreshes)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	evA, sumA, err := Run(sim, cpu, app, adapt.Exhaustive{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, sumB, err := Run(sim, cpu, app, adapt.Exhaustive{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumA != sumB || len(evA) != len(evB) {
+		t.Error("timeline runs are not deterministic")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	cfg := DefaultConfig()
+	cfg.DurationMS = 0
+	if _, _, err := Run(sim, cpu, app, adapt.Exhaustive{}, cfg); err == nil {
+		t.Error("zero duration should error")
+	}
+	cfg = DefaultConfig()
+	cfg.Threshold = 0
+	if _, _, err := Run(sim, cpu, app, adapt.Exhaustive{}, cfg); err == nil {
+		t.Error("invalid threshold should error")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	names := map[EventKind]string{
+		EventNewPhase: "new-phase", EventReusePhase: "reuse-phase",
+		EventStablePhase: "stable", EventTHRefresh: "th-refresh",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestTHRefreshCarriesSensorReading(t *testing.T) {
+	sim, cpu, app := fixtures(t)
+	cfg := DefaultConfig()
+	cfg.DurationMS = 6000
+	events, _, err := Run(sim, cpu, app, adapt.Exhaustive{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cpu.Thermal.Params().THBaseK
+	for _, ev := range events {
+		if ev.Kind != EventTHRefresh {
+			continue
+		}
+		// The reading must be a plausible heat-sink temperature near the
+		// operating state (within sensor noise + quantization).
+		if ev.SensedTHK < base-2 || ev.SensedTHK > base+40 {
+			t.Errorf("sensed TH %v K implausible (base %v K)", ev.SensedTHK, base)
+		}
+		// Quantized to the sensor's 0.5 K step.
+		steps := ev.SensedTHK / 0.5
+		if diff := steps - float64(int64(steps+0.5)); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("sensed TH %v not on the 0.5 K grid", ev.SensedTHK)
+		}
+	}
+}

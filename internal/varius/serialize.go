@@ -1,0 +1,64 @@
+package varius
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// chipState is the serialized form of a chip's variation maps — what a
+// manufacturer's tester database would hold per die.
+type chipState struct {
+	Seed         int64     `json:"seed"`
+	GridW        int       `json:"grid_w"`
+	GridH        int       `json:"grid_h"`
+	Side         float64   `json:"side"`
+	VtSys        []float64 `json:"vt_sys"`
+	LeffSys      []float64 `json:"leff_sys"`
+	VtSigmaRan   float64   `json:"vt_sigma_ran"`
+	LeffSigmaRan float64   `json:"leff_sigma_ran"`
+	NoVariation  bool      `json:"no_variation"`
+}
+
+// MarshalJSON serializes the chip maps.
+func (c *ChipMaps) MarshalJSON() ([]byte, error) {
+	g := c.VtSys.Grid
+	return json.Marshal(chipState{
+		Seed:         c.Seed,
+		GridW:        g.W,
+		GridH:        g.H,
+		Side:         g.Side,
+		VtSys:        c.VtSys.Values,
+		LeffSys:      c.LeffSys.Values,
+		VtSigmaRan:   c.VtSigmaRan,
+		LeffSigmaRan: c.LeffSigmaRan,
+		NoVariation:  c.NoVariation,
+	})
+}
+
+// UnmarshalJSON restores chip maps, validating the geometry.
+func (c *ChipMaps) UnmarshalJSON(data []byte) error {
+	var st chipState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	g, err := grid.New(st.GridW, st.GridH, st.Side)
+	if err != nil {
+		return fmt.Errorf("varius: corrupt chip state: %w", err)
+	}
+	if len(st.VtSys) != g.N() || len(st.LeffSys) != g.N() {
+		return fmt.Errorf("varius: corrupt chip state: %d/%d values for a %d-cell grid",
+			len(st.VtSys), len(st.LeffSys), g.N())
+	}
+	if st.VtSigmaRan < 0 || st.LeffSigmaRan < 0 {
+		return fmt.Errorf("varius: corrupt chip state: negative random sigma")
+	}
+	c.Seed = st.Seed
+	c.VtSys = &grid.Field{Grid: g, Values: st.VtSys}
+	c.LeffSys = &grid.Field{Grid: g, Values: st.LeffSys}
+	c.VtSigmaRan = st.VtSigmaRan
+	c.LeffSigmaRan = st.LeffSigmaRan
+	c.NoVariation = st.NoVariation
+	return nil
+}

@@ -1,0 +1,62 @@
+package varius
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestChipSerializationRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := gen.Chip(42)
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored ChipMaps
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Seed != orig.Seed ||
+		restored.VtSigmaRan != orig.VtSigmaRan ||
+		restored.LeffSigmaRan != orig.LeffSigmaRan ||
+		restored.NoVariation != orig.NoVariation {
+		t.Error("scalar fields differ after round trip")
+	}
+	if restored.VtSys.Grid != orig.VtSys.Grid {
+		t.Error("grid geometry differs after round trip")
+	}
+	for i := range orig.VtSys.Values {
+		if restored.VtSys.Values[i] != orig.VtSys.Values[i] ||
+			restored.LeffSys.Values[i] != orig.LeffSys.Values[i] {
+			t.Fatal("map values differ after round trip")
+		}
+	}
+	// The restored chip must be usable: region statistics agree.
+	p := gen.Params()
+	region := grid.Rect{X0: 0, Y0: 0, X1: 0.25, Y1: 0.25}
+	m1, x1, l1 := orig.RegionVtStats(region, p)
+	m2, x2, l2 := restored.RegionVtStats(region, p)
+	if m1 != m2 || x1 != x2 || l1 != l2 {
+		t.Error("region statistics differ after round trip")
+	}
+}
+
+func TestChipUnmarshalRejectsCorrupt(t *testing.T) {
+	var c ChipMaps
+	cases := []string{
+		`not json`,
+		`{"grid_w":0,"grid_h":4,"side":1}`,
+		`{"grid_w":2,"grid_h":2,"side":1,"vt_sys":[1,2],"leff_sys":[1,2,3,4]}`,
+		`{"grid_w":2,"grid_h":2,"side":1,"vt_sys":[1,2,3,4],"leff_sys":[1,2,3,4],"vt_sigma_ran":-1}`,
+	}
+	for i, blob := range cases {
+		if err := json.Unmarshal([]byte(blob), &c); err == nil {
+			t.Errorf("case %d: corrupt state accepted", i)
+		}
+	}
+}

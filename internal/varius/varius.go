@@ -1,0 +1,317 @@
+// Package varius implements the within-die process-variation model the
+// paper adopts from Sarangi et al. (the VARIUS model, §2.1), plus the
+// device-physics relations (alpha-power gate delay, subthreshold leakage,
+// and the Vt(T, Vdd, Vbb) coupling of Eq. 9) that the rest of the stack
+// builds on.
+//
+// The model: the threshold voltage Vt and effective channel length Leff of
+// every chip region deviate from nominal with a systematic component —
+// a multivariate normal field over a die grid whose correlation depends
+// only on distance and vanishes at the range phi — and a random component
+// that acts per transistor and is carried analytically as a sigma.
+package varius
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/mathx"
+)
+
+// Physical constants.
+const (
+	// QOverK is q/k in kelvin per volt: electron charge over Boltzmann
+	// constant, the coefficient in the subthreshold leakage exponent.
+	QOverK = 11604.5
+	// CelsiusOffset converts Celsius to Kelvin.
+	CelsiusOffset = 273.15
+)
+
+// Params configures the variation model and device physics. The defaults
+// reproduce Figure 7(a) of the paper.
+type Params struct {
+	// VtMeanV is the nominal threshold voltage (V) at the reference
+	// temperature TRefK. Figure 7(a): 150 mV at 100 C.
+	VtMeanV float64
+	// VtSigmaRatio is total sigma/mu for Vt. Figure 7(a): 0.09.
+	VtSigmaRatio float64
+	// SysFraction is the fraction of total Vt (and Leff) variance that is
+	// systematic; the paper uses equal systematic and random contributions
+	// (0.5), giving sigma_sys/mu = sigma_ran/mu = sqrt(sigma^2/2)/mu.
+	SysFraction float64
+	// LeffSigmaFactor scales Vt's sigma/mu to obtain Leff's.
+	// Figure 7(a): 0.5, so Leff sigma/mu = 0.045.
+	LeffSigmaFactor float64
+	// Phi is the correlation range as a fraction of the full chip side.
+	// Figure 7(a): 0.5.
+	Phi float64
+	// AlphaPower is the exponent of the alpha-power delay law (Eq. 1).
+	AlphaPower float64
+	// VddNomV is the nominal supply voltage (V).
+	VddNomV float64
+	// TRefK is the reference temperature (K) at which VtMeanV is defined.
+	TRefK float64
+	// TOpRefK is the operating temperature at which the nominal design
+	// frequency is specified; delays and leakage are normalized to 1.0 at
+	// (VtNomOp, VddNomV, TOpRefK). The nominal design corner is TMAX=85 C.
+	TOpRefK float64
+	// K1 couples Vt to temperature (V/K), K2 to Vdd (V/V), K3 to Vbb (V/V)
+	// per Eq. 9 (values after Martin et al.). K1 < 0: hotter devices have
+	// lower Vt; K2 < 0: higher Vdd lowers Vt (DIBL); K3 < 0: forward body
+	// bias (positive Vbb) lowers Vt.
+	K1, K2, K3 float64
+	// MobilityExp is the exponent of mobility's temperature dependence
+	// (mu ~ T^-MobilityExp); hotter devices are slower.
+	MobilityExp float64
+	// GridW, GridH discretize one core; CoreSide is the core's side as a
+	// fraction of the full chip side (4-core CMP: 0.5).
+	GridW, GridH int
+	CoreSide     float64
+	// D2DSigmaRatio adds a die-to-die component: each chip's whole Vt map
+	// shifts by a normal draw with sigma = D2DSigmaRatio * VtMeanV (and
+	// Leff analogously, scaled by LeffSigmaFactor). The paper evaluates
+	// within-die variation only (0 by default); the VARIUS model it
+	// builds on includes D2D, so it is exposed for ablations.
+	D2DSigmaRatio float64
+}
+
+// DefaultParams returns the Figure 7(a) configuration.
+func DefaultParams() Params {
+	return Params{
+		VtMeanV:         0.150,
+		VtSigmaRatio:    0.09,
+		SysFraction:     0.5,
+		LeffSigmaFactor: 0.5,
+		Phi:             0.5,
+		AlphaPower:      1.3,
+		VddNomV:         1.0,
+		TRefK:           100 + CelsiusOffset,
+		TOpRefK:         85 + CelsiusOffset,
+		K1:              -2.5e-4,
+		K2:              -0.05,
+		K3:              -0.18,
+		MobilityExp:     1.5,
+		GridW:           16,
+		GridH:           16,
+		CoreSide:        0.5,
+		D2DSigmaRatio:   0,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.VtMeanV <= 0 || p.VtMeanV >= p.VddNomV:
+		return fmt.Errorf("varius: VtMeanV %g out of (0, Vdd)", p.VtMeanV)
+	case p.VtSigmaRatio < 0 || p.VtSigmaRatio > 0.5:
+		return fmt.Errorf("varius: VtSigmaRatio %g out of [0, 0.5]", p.VtSigmaRatio)
+	case p.SysFraction < 0 || p.SysFraction > 1:
+		return fmt.Errorf("varius: SysFraction %g out of [0, 1]", p.SysFraction)
+	case p.Phi <= 0:
+		return fmt.Errorf("varius: Phi %g must be positive", p.Phi)
+	case p.AlphaPower <= 1:
+		return fmt.Errorf("varius: AlphaPower %g must exceed 1", p.AlphaPower)
+	case p.GridW <= 0 || p.GridH <= 0:
+		return fmt.Errorf("varius: grid %dx%d invalid", p.GridW, p.GridH)
+	case p.CoreSide <= 0 || p.CoreSide > 1:
+		return fmt.Errorf("varius: CoreSide %g out of (0, 1]", p.CoreSide)
+	case p.D2DSigmaRatio < 0 || p.D2DSigmaRatio > 0.3:
+		return fmt.Errorf("varius: D2DSigmaRatio %g out of [0, 0.3]", p.D2DSigmaRatio)
+	}
+	return nil
+}
+
+// VtSigmaSys returns the systematic component's sigma for Vt in volts.
+func (p Params) VtSigmaSys() float64 {
+	return p.VtMeanV * p.VtSigmaRatio * math.Sqrt(p.SysFraction)
+}
+
+// VtSigmaRan returns the random component's per-transistor sigma for Vt in
+// volts.
+func (p Params) VtSigmaRan() float64 {
+	return p.VtMeanV * p.VtSigmaRatio * math.Sqrt(1-p.SysFraction)
+}
+
+// LeffSigmaSys returns the systematic sigma for relative Leff (nominal 1.0).
+func (p Params) LeffSigmaSys() float64 {
+	return p.VtSigmaRatio * p.LeffSigmaFactor * math.Sqrt(p.SysFraction)
+}
+
+// LeffSigmaRan returns the random per-transistor sigma for relative Leff.
+func (p Params) LeffSigmaRan() float64 {
+	return p.VtSigmaRatio * p.LeffSigmaFactor * math.Sqrt(1-p.SysFraction)
+}
+
+// VtNomOp returns the nominal threshold voltage at the operating reference
+// temperature TOpRefK (converted from its definition at TRefK via Eq. 9).
+func (p Params) VtNomOp() float64 {
+	return p.VtMeanV + p.K1*(p.TOpRefK-p.TRefK)
+}
+
+// VtAt applies Eq. 9: the threshold voltage of a device with tester-measured
+// Vt0 (defined at TRefK, VddNomV, Vbb=0) when operated at temperature tK,
+// supply vdd, and body bias vbb.
+func (p Params) VtAt(vt0, tK, vdd, vbb float64) float64 {
+	return vt0 + p.K1*(tK-p.TRefK) + p.K2*(vdd-p.VddNomV) + p.K3*vbb
+}
+
+// RelGateDelay evaluates the alpha-power delay law (Eq. 1) normalized so
+// that a nominal device (vt = VtNomOp, leffRel = 1) at vdd = VddNomV and
+// tK = TOpRefK has delay exactly 1.0. vt is the *operating* threshold
+// voltage (already adjusted via VtAt).
+func (p Params) RelGateDelay(vt, leffRel, vdd, tK float64) float64 {
+	return p.RelGateDelayDerated(vt, leffRel, vdd, tK, 0)
+}
+
+// RelGateDelayDerated is RelGateDelay for circuits whose switching devices
+// operate with reduced gate overdrive — SRAM cell reads, where the access
+// path is driven by minimum-size cell transistors well below full
+// overdrive. derate (V) is subtracted from the drive voltage of both the
+// evaluated device and the normalization reference, so a nominal device
+// still has delay 1.0 at the nominal operating point; what changes is the
+// *sensitivity* to Vdd and Vt, which is what makes ASV disproportionately
+// effective on memory structures.
+func (p Params) RelGateDelayDerated(vt, leffRel, vdd, tK, derate float64) float64 {
+	drive := vdd - vt - derate
+	if drive <= 0.02 {
+		// Device effectively cannot switch; return a huge but finite delay
+		// so callers can treat the operating point as infeasible without
+		// tripping over infinities.
+		drive = 0.02
+	}
+	nomDrive := p.VddNomV - p.VtNomOp() - derate
+	if nomDrive <= 0.02 {
+		nomDrive = 0.02
+	}
+	mobility := math.Pow(tK/p.TOpRefK, -p.MobilityExp)
+	return (vdd / p.VddNomV) * leffRel *
+		math.Pow(nomDrive/drive, p.AlphaPower) / mobility
+}
+
+// LeakageFactor evaluates the subthreshold-leakage law (Eq. 2) normalized
+// to 1.0 at the nominal operating point (VtNomOp, VddNomV, TOpRefK).
+// vt is the operating threshold voltage.
+func (p Params) LeakageFactor(vt, vdd, tK float64) float64 {
+	ref := p.VddNomV * p.TOpRefK * p.TOpRefK *
+		math.Exp(-QOverK*p.VtNomOp()/p.TOpRefK)
+	cur := vdd * tK * tK * math.Exp(-QOverK*vt/tK)
+	return cur / ref
+}
+
+// ChipMaps holds one chip's personalized variation maps: the systematic
+// per-cell fields plus the analytic random sigmas.
+type ChipMaps struct {
+	// Seed identifies the chip.
+	Seed int64
+	// VtSys is the systematic Vt0 component per cell, in absolute volts at
+	// the reference temperature (tester conditions).
+	VtSys *grid.Field
+	// LeffSys is the systematic relative Leff per cell (1.0 = nominal).
+	LeffSys *grid.Field
+	// VtSigmaRan and LeffSigmaRan are the per-transistor random sigmas.
+	VtSigmaRan   float64
+	LeffSigmaRan float64
+	// NoVariation marks the idealized chip of the NoVar environment.
+	NoVariation bool
+}
+
+// Generator produces chips. It factors the grid correlation matrix once and
+// reuses it for every chip, mirroring how the paper draws 100 chips from
+// one (sigma, phi) configuration.
+type Generator struct {
+	params Params
+	fgen   *grid.FieldGenerator
+}
+
+// NewGenerator validates p and prepares the correlated-field machinery.
+func NewGenerator(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(p.GridW, p.GridH, p.CoreSide)
+	if err != nil {
+		return nil, err
+	}
+	fg, err := grid.NewFieldGenerator(g, grid.Spherical(p.Phi))
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{params: p, fgen: fg}, nil
+}
+
+// Params returns the generator's configuration.
+func (g *Generator) Params() Params { return g.params }
+
+// Grid returns the die grid chips are generated on.
+func (g *Generator) Grid() grid.Grid { return g.fgen.Grid() }
+
+// Chip generates the personalized variation maps for one chip,
+// deterministically from the seed.
+func (g *Generator) Chip(seed int64) *ChipMaps {
+	p := g.params
+	rng := mathx.NewRNG(seed)
+	// Die-to-die component: one mean shift for the whole chip.
+	var vtShift, leffShift float64
+	if p.D2DSigmaRatio > 0 {
+		d2d := rng.Split(3)
+		vtShift = d2d.Normal(0, p.VtMeanV*p.D2DSigmaRatio)
+		leffShift = d2d.Normal(0, p.D2DSigmaRatio*p.LeffSigmaFactor)
+	}
+	vt := g.fgen.Sample(rng.Split(1), p.VtMeanV+vtShift, p.VtSigmaSys())
+	leff := g.fgen.Sample(rng.Split(2), 1.0+leffShift, p.LeffSigmaSys())
+	// Clamp pathological draws: Vt must stay meaningfully below Vdd and
+	// above ~0 for the device equations to stay physical.
+	vt = vt.Map(func(v float64) float64 {
+		return mathx.Clamp(v, 0.02, p.VddNomV*0.8)
+	})
+	leff = leff.Map(func(v float64) float64 {
+		return mathx.Clamp(v, 0.5, 1.5)
+	})
+	return &ChipMaps{
+		Seed:         seed,
+		VtSys:        vt,
+		LeffSys:      leff,
+		VtSigmaRan:   p.VtSigmaRan(),
+		LeffSigmaRan: p.LeffSigmaRan(),
+	}
+}
+
+// NoVarChip returns the idealized chip with no variation at all: uniform
+// nominal Vt and Leff and zero random sigma (the NoVar environment of
+// Table 1).
+func (g *Generator) NoVarChip() *ChipMaps {
+	p := g.params
+	return &ChipMaps{
+		Seed:        -1,
+		VtSys:       grid.Uniform(g.fgen.Grid(), p.VtMeanV),
+		LeffSys:     grid.Uniform(g.fgen.Grid(), 1.0),
+		NoVariation: true,
+	}
+}
+
+// RegionVtStats summarizes the systematic Vt0 over a floorplan rectangle:
+// the mean, the max (slowest device corner), and the leakage-effective Vt0
+// (the Vt that reproduces the region's average leakage, i.e. a log-mean-exp,
+// which is what a tester powering the subsystem alone would infer from the
+// current it draws — §4.1).
+func (c *ChipMaps) RegionVtStats(r grid.Rect, p Params) (mean, max, leakEff float64) {
+	vals := c.VtSys.Region(r)
+	mean = mathx.Mean(vals)
+	max = mathx.Max(vals)
+	// Leakage-effective Vt at tester temperature TRefK:
+	// exp(-q vtEff / k T) = mean_i exp(-q vt_i / k T).
+	s := 0.0
+	for _, v := range vals {
+		s += math.Exp(-QOverK * v / p.TRefK)
+	}
+	s /= float64(len(vals))
+	leakEff = -math.Log(s) * p.TRefK / QOverK
+	return mean, max, leakEff
+}
+
+// RegionLeffStats summarizes the systematic relative Leff over a rectangle.
+func (c *ChipMaps) RegionLeffStats(r grid.Rect) (mean, max float64) {
+	vals := c.LeffSys.Region(r)
+	return mathx.Mean(vals), mathx.Max(vals)
+}

@@ -1,0 +1,314 @@
+package varius
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/mathx"
+)
+
+func defaultGen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := NewGenerator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.VtMeanV = 0 },
+		func(p *Params) { p.VtMeanV = 2 },
+		func(p *Params) { p.VtSigmaRatio = -0.1 },
+		func(p *Params) { p.VtSigmaRatio = 0.6 },
+		func(p *Params) { p.SysFraction = 1.5 },
+		func(p *Params) { p.Phi = 0 },
+		func(p *Params) { p.AlphaPower = 1 },
+		func(p *Params) { p.GridW = 0 },
+		func(p *Params) { p.CoreSide = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSigmaDecomposition(t *testing.T) {
+	p := DefaultParams()
+	// Equal split: sigma_sys = sigma_ran = sqrt(sigma^2/2).
+	wantEach := p.VtMeanV * p.VtSigmaRatio / math.Sqrt2
+	if math.Abs(p.VtSigmaSys()-wantEach) > 1e-12 {
+		t.Errorf("VtSigmaSys = %v, want %v", p.VtSigmaSys(), wantEach)
+	}
+	if math.Abs(p.VtSigmaRan()-wantEach) > 1e-12 {
+		t.Errorf("VtSigmaRan = %v, want %v", p.VtSigmaRan(), wantEach)
+	}
+	// Paper: sigma_sys/mu = 0.064 for Vt.
+	if r := p.VtSigmaSys() / p.VtMeanV; math.Abs(r-0.0636) > 0.001 {
+		t.Errorf("VtSigmaSys/mu = %v, want ~0.064", r)
+	}
+	// Leff: sigma/mu = 0.045 total, 0.032 each component.
+	if r := p.LeffSigmaSys(); math.Abs(r-0.0318) > 0.001 {
+		t.Errorf("LeffSigmaSys = %v, want ~0.032", r)
+	}
+	total := math.Sqrt(p.VtSigmaSys()*p.VtSigmaSys() + p.VtSigmaRan()*p.VtSigmaRan())
+	if math.Abs(total-p.VtMeanV*p.VtSigmaRatio) > 1e-12 {
+		t.Errorf("components do not recompose total sigma: %v", total)
+	}
+}
+
+func TestVtAtEquation9(t *testing.T) {
+	p := DefaultParams()
+	// At the reference point Vt equals Vt0.
+	if v := p.VtAt(0.15, p.TRefK, p.VddNomV, 0); v != 0.15 {
+		t.Errorf("VtAt(reference) = %v, want 0.15", v)
+	}
+	// Hotter => lower Vt (K1 < 0).
+	if p.VtAt(0.15, p.TRefK+20, p.VddNomV, 0) >= 0.15 {
+		t.Error("Vt should drop with temperature")
+	}
+	// Forward body bias (positive Vbb) => lower Vt (K3 < 0).
+	if p.VtAt(0.15, p.TRefK, p.VddNomV, 0.4) >= 0.15 {
+		t.Error("FBB should lower Vt")
+	}
+	// Reverse body bias => higher Vt.
+	if p.VtAt(0.15, p.TRefK, p.VddNomV, -0.4) <= 0.15 {
+		t.Error("RBB should raise Vt")
+	}
+	// Higher Vdd => lower Vt (DIBL, K2 < 0).
+	if p.VtAt(0.15, p.TRefK, 1.2, 0) >= 0.15 {
+		t.Error("higher Vdd should lower Vt")
+	}
+}
+
+func TestRelGateDelayNormalization(t *testing.T) {
+	p := DefaultParams()
+	d := p.RelGateDelay(p.VtNomOp(), 1.0, p.VddNomV, p.TOpRefK)
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("nominal delay = %v, want 1.0", d)
+	}
+}
+
+func TestRelGateDelayMonotonicities(t *testing.T) {
+	p := DefaultParams()
+	base := p.RelGateDelay(p.VtNomOp(), 1.0, p.VddNomV, p.TOpRefK)
+	// Higher Vt => slower.
+	if p.RelGateDelay(p.VtNomOp()+0.03, 1.0, p.VddNomV, p.TOpRefK) <= base {
+		t.Error("higher Vt should increase delay")
+	}
+	// Longer channel => slower.
+	if p.RelGateDelay(p.VtNomOp(), 1.05, p.VddNomV, p.TOpRefK) <= base {
+		t.Error("longer Leff should increase delay")
+	}
+	// Higher Vdd => faster (the (Vdd - Vt)^alpha term dominates the Vdd
+	// prefactor for alpha > 1).
+	if p.RelGateDelay(p.VtNomOp(), 1.0, 1.1, p.TOpRefK) >= base {
+		t.Error("higher Vdd should decrease delay")
+	}
+	// Hotter => slower (mobility degradation at fixed Vt).
+	if p.RelGateDelay(p.VtNomOp(), 1.0, p.VddNomV, p.TOpRefK+20) <= base {
+		t.Error("higher temperature should increase delay")
+	}
+	// Degenerate drive voltage stays finite.
+	d := p.RelGateDelay(p.VddNomV, 1.0, p.VddNomV, p.TOpRefK)
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("degenerate drive produced %v", d)
+	}
+}
+
+func TestRelGateDelayProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(vtRaw, vddRaw, tRaw uint8) bool {
+		vt := 0.05 + float64(vtRaw)/255*0.3  // 0.05..0.35 V
+		vdd := 0.8 + float64(vddRaw)/255*0.4 // 0.8..1.2 V
+		tK := 300 + float64(tRaw)/255*80     // 300..380 K
+		d := p.RelGateDelay(vt, 1.0, vdd, tK)
+		return d > 0 && !math.IsNaN(d) && !math.IsInf(d, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeakageFactorNormalizationAndTrends(t *testing.T) {
+	p := DefaultParams()
+	base := p.LeakageFactor(p.VtNomOp(), p.VddNomV, p.TOpRefK)
+	if math.Abs(base-1) > 1e-12 {
+		t.Errorf("nominal leakage factor = %v, want 1.0", base)
+	}
+	// Lower Vt => exponentially more leakage.
+	if p.LeakageFactor(p.VtNomOp()-0.05, p.VddNomV, p.TOpRefK) < 2 {
+		t.Error("50 mV lower Vt should multiply leakage severalfold")
+	}
+	// Hotter => more leakage.
+	if p.LeakageFactor(p.VtNomOp(), p.VddNomV, p.TOpRefK+20) <= 1 {
+		t.Error("leakage should increase with temperature")
+	}
+	// Higher Vdd => more leakage.
+	if p.LeakageFactor(p.VtNomOp(), 1.2, p.TOpRefK) <= 1 {
+		t.Error("leakage should increase with Vdd")
+	}
+}
+
+func TestChipDeterminism(t *testing.T) {
+	g := defaultGen(t)
+	a := g.Chip(77)
+	b := g.Chip(77)
+	for i := range a.VtSys.Values {
+		if a.VtSys.Values[i] != b.VtSys.Values[i] {
+			t.Fatal("same seed produced different Vt maps")
+		}
+		if a.LeffSys.Values[i] != b.LeffSys.Values[i] {
+			t.Fatal("same seed produced different Leff maps")
+		}
+	}
+	c := g.Chip(78)
+	same := 0
+	for i := range a.VtSys.Values {
+		if a.VtSys.Values[i] == c.VtSys.Values[i] {
+			same++
+		}
+	}
+	if same > len(a.VtSys.Values)/10 {
+		t.Error("different seeds produced nearly identical maps")
+	}
+}
+
+func TestChipMapStatistics(t *testing.T) {
+	g := defaultGen(t)
+	p := g.Params()
+	var all []float64
+	for seed := int64(0); seed < 40; seed++ {
+		c := g.Chip(seed)
+		all = append(all, c.VtSys.Values...)
+	}
+	m := mathx.Mean(all)
+	sd := mathx.StdDev(all)
+	if math.Abs(m-p.VtMeanV) > 0.004 {
+		t.Errorf("Vt map mean = %v, want ~%v", m, p.VtMeanV)
+	}
+	if math.Abs(sd-p.VtSigmaSys()) > 0.002 {
+		t.Errorf("Vt map stddev = %v, want ~%v", sd, p.VtSigmaSys())
+	}
+}
+
+func TestNoVarChip(t *testing.T) {
+	g := defaultGen(t)
+	c := g.NoVarChip()
+	if !c.NoVariation {
+		t.Error("NoVarChip should be flagged NoVariation")
+	}
+	p := g.Params()
+	for i := range c.VtSys.Values {
+		if c.VtSys.Values[i] != p.VtMeanV {
+			t.Fatal("NoVar Vt map not uniform nominal")
+		}
+		if c.LeffSys.Values[i] != 1.0 {
+			t.Fatal("NoVar Leff map not uniform 1.0")
+		}
+	}
+	if c.VtSigmaRan != 0 {
+		t.Error("NoVar chip should have zero random sigma")
+	}
+}
+
+func TestRegionVtStats(t *testing.T) {
+	g := defaultGen(t)
+	c := g.Chip(5)
+	r := grid.Rect{X0: 0, Y0: 0, X1: 0.25, Y1: 0.25}
+	mean, max, leakEff := c.RegionVtStats(r, g.Params())
+	if max < mean {
+		t.Errorf("max %v < mean %v", max, mean)
+	}
+	// The leakage-effective Vt is dominated by the leakiest (lowest-Vt)
+	// devices, so it must not exceed the mean.
+	if leakEff > mean+1e-12 {
+		t.Errorf("leakage-effective Vt %v exceeds mean %v", leakEff, mean)
+	}
+	vals := c.VtSys.Region(r)
+	if leakEff < mathx.Min(vals)-1e-12 {
+		t.Errorf("leakage-effective Vt %v below region minimum", leakEff)
+	}
+}
+
+func TestRegionLeffStats(t *testing.T) {
+	g := defaultGen(t)
+	c := g.Chip(6)
+	mean, max := c.RegionLeffStats(grid.Rect{X0: 0, Y0: 0, X1: 0.5, Y1: 0.5})
+	if max < mean {
+		t.Errorf("max %v < mean %v", max, mean)
+	}
+	if mean < 0.8 || mean > 1.2 {
+		t.Errorf("region Leff mean %v implausible", mean)
+	}
+}
+
+func TestSpatialCorrelationInChip(t *testing.T) {
+	// Neighboring cells should have much closer Vt than far-apart cells,
+	// averaged across chips.
+	g := defaultGen(t)
+	gr := g.Grid()
+	var nearDiff, farDiff []float64
+	for seed := int64(0); seed < 30; seed++ {
+		c := g.Chip(seed)
+		nearDiff = append(nearDiff, math.Abs(c.VtSys.At(0)-c.VtSys.At(1)))
+		farDiff = append(farDiff, math.Abs(c.VtSys.At(0)-c.VtSys.At(gr.N()-1)))
+	}
+	if mathx.Mean(nearDiff) >= mathx.Mean(farDiff) {
+		t.Errorf("near diff %v >= far diff %v: no spatial correlation",
+			mathx.Mean(nearDiff), mathx.Mean(farDiff))
+	}
+}
+
+func TestD2DComponentWidensSpread(t *testing.T) {
+	base := DefaultParams()
+	d2d := DefaultParams()
+	d2d.D2DSigmaRatio = 0.06
+	genBase, err := NewGenerator(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genD2D, err := NewGenerator(d2d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-chip mean Vt across chips: D2D must widen the spread of means.
+	var meansBase, meansD2D []float64
+	for seed := int64(0); seed < 25; seed++ {
+		meansBase = append(meansBase, mathx.Mean(genBase.Chip(seed).VtSys.Values))
+		meansD2D = append(meansD2D, mathx.Mean(genD2D.Chip(seed).VtSys.Values))
+	}
+	sdBase := mathx.StdDev(meansBase)
+	sdD2D := mathx.StdDev(meansD2D)
+	if sdD2D < sdBase*1.5 {
+		t.Errorf("D2D spread %v not clearly wider than WID-only %v", sdD2D, sdBase)
+	}
+	// The default configuration has no D2D (the paper studies WID only).
+	if base.D2DSigmaRatio != 0 {
+		t.Error("default must be WID-only")
+	}
+}
+
+func TestD2DValidation(t *testing.T) {
+	p := DefaultParams()
+	p.D2DSigmaRatio = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative D2D should be rejected")
+	}
+	p.D2DSigmaRatio = 0.5
+	if err := p.Validate(); err == nil {
+		t.Error("oversized D2D should be rejected")
+	}
+}

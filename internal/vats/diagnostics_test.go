@@ -1,0 +1,138 @@
+package vats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestCurveStats(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(3)
+	corner := designCorner(gen.Params())
+	for _, sub := range fp.Subsystems {
+		st, err := NewStage(sub, chip, gen.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv := st.Eval(corner, IdentityVariant())
+		stats := cv.Stats()
+		if stats.Cells <= 0 {
+			t.Errorf("%v: no cells", sub.ID)
+		}
+		if stats.MaxDelay < stats.MeanDelay {
+			t.Errorf("%v: max delay %v below mean %v", sub.ID, stats.MaxDelay, stats.MeanDelay)
+		}
+		if stats.Wall < stats.MaxDelay {
+			t.Errorf("%v: wall %v below max mean delay %v", sub.ID, stats.Wall, stats.MaxDelay)
+		}
+		if stats.FVar <= 0 || stats.OnsetSpan < 0 {
+			t.Errorf("%v: stats %+v", sub.ID, stats)
+		}
+		if !strings.Contains(stats.String(), "fvar=") {
+			t.Error("String() misses fields")
+		}
+	}
+}
+
+func TestOnsetSpanOrderingByKind(t *testing.T) {
+	// §6.1: memory rapid onset (small span), logic gradual (large span).
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(4)
+	corner := designCorner(gen.Params())
+	var memSpan, logicSpan []float64
+	for _, sub := range fp.Subsystems {
+		st, err := NewStage(sub, chip, gen.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := st.Eval(corner, IdentityVariant()).Stats().OnsetSpan
+		switch sub.Kind {
+		case floorplan.Memory:
+			memSpan = append(memSpan, span)
+		case floorplan.Logic:
+			if sub.ID != floorplan.IntALU && sub.ID != floorplan.FPUnit {
+				// FUs have an engineered critical-path wall; compare
+				// against plain logic (Decode).
+				logicSpan = append(logicSpan, span)
+			}
+		}
+	}
+	if len(memSpan) == 0 || len(logicSpan) == 0 {
+		t.Fatal("missing kinds")
+	}
+	maxMem := memSpan[0]
+	for _, s := range memSpan {
+		if s > maxMem {
+			maxMem = s
+		}
+	}
+	for _, s := range logicSpan {
+		if s <= maxMem {
+			t.Errorf("logic onset span %v not above all memory spans (max %v)", s, maxMem)
+		}
+	}
+}
+
+func TestCrossFRel(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(5)
+	st, err := NewStage(fp.Subsystems[0], chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.Eval(designCorner(gen.Params()), IdentityVariant())
+	f6, ok := cv.CrossFRel(1e-6)
+	if !ok {
+		t.Fatal("curve should reach 1e-6")
+	}
+	if pe := cv.PE(f6); pe < 1e-6*0.9 {
+		t.Errorf("PE at crossing = %g, want >= 1e-6", pe)
+	}
+	if pe := cv.PE(f6 * 0.98); pe > 1e-6 {
+		t.Errorf("PE just below crossing = %g, want < 1e-6", pe)
+	}
+	f2, ok := cv.CrossFRel(1e-2)
+	if !ok || f2 < f6 {
+		t.Errorf("crossings out of order: %v then %v", f6, f2)
+	}
+	// A level the curve never reaches in the bracket.
+	if _, ok := cv.CrossFRel(1.1); ok {
+		t.Error("PE cannot reach 1.1")
+	}
+}
+
+func TestRankStagesByFVar(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(6)
+	pl, err := NewPipeline(fp, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	rank := RankStagesByFVar(pl, corner)
+	if len(rank) != len(pl.Stages) {
+		t.Fatalf("rank has %d entries", len(rank))
+	}
+	seen := map[int]bool{}
+	prev := -1.0
+	for _, idx := range rank {
+		if seen[idx] {
+			t.Fatal("duplicate index in ranking")
+		}
+		seen[idx] = true
+		f := pl.Stages[idx].Eval(corner, IdentityVariant()).FVar()
+		if f < prev {
+			t.Fatal("ranking not ascending in FVar")
+		}
+		prev = f
+	}
+	// The most limiting stage must be the pipeline's fvar.
+	first := pl.Stages[rank[0]].Eval(corner, IdentityVariant()).FVar()
+	for _, st := range pl.Stages {
+		if st.Eval(corner, IdentityVariant()).FVar() < first-1e-12 {
+			t.Fatal("rank[0] is not the most limiting stage")
+		}
+	}
+}

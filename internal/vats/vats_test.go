@@ -1,0 +1,439 @@
+package vats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/mathx"
+	"repro/internal/varius"
+)
+
+func testFixtures(t *testing.T) (*floorplan.Floorplan, *varius.Generator) {
+	t.Helper()
+	p := varius.DefaultParams()
+	gen, err := varius.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.Default(p.CoreSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, gen
+}
+
+func designCorner(p varius.Params) Cond {
+	return Cond{VddV: p.VddNomV, VbbV: 0, TK: p.TOpRefK}
+}
+
+func TestStageParamsDesignClosure(t *testing.T) {
+	// For every kind: mean + zZero*sigma == 1.0 (the design's critical
+	// path meets the nominal period exactly).
+	for _, k := range []floorplan.Kind{floorplan.Logic, floorplan.Memory, floorplan.Mixed} {
+		sp := DefaultStageParams(k)
+		wall := sp.meanL() + sp.zZero()*sp.SigmaL
+		if math.Abs(wall-1.0) > 1e-9 {
+			t.Errorf("%v design wall = %v, want 1.0", k, wall)
+		}
+		if sp.meanL() <= 0 || sp.meanL() >= 1 {
+			t.Errorf("%v meanL = %v out of (0,1)", k, sp.meanL())
+		}
+	}
+}
+
+func TestMemoryStagesSteeperThanLogic(t *testing.T) {
+	// §6.1: memory subsystems have a rapid error onset, logic gradual.
+	mem := DefaultStageParams(floorplan.Memory)
+	logic := DefaultStageParams(floorplan.Logic)
+	mixed := DefaultStageParams(floorplan.Mixed)
+	if !(mem.SigmaL < mixed.SigmaL && mixed.SigmaL < logic.SigmaL) {
+		t.Errorf("sigma ordering violated: mem %v, mixed %v, logic %v",
+			mem.SigmaL, mixed.SigmaL, logic.SigmaL)
+	}
+}
+
+func TestNoVarChipMeetsNominalFrequency(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.NoVarChip()
+	pl, err := NewPipeline(fp, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	for _, st := range pl.Stages {
+		cv := st.Eval(corner, IdentityVariant())
+		fv := cv.FVar()
+		if math.Abs(fv-1.0) > 0.01 {
+			t.Errorf("%v NoVar FVar = %v, want ~1.0", st.Sub.ID, fv)
+		}
+		// And at fRel = 1.0 the stage is error-free.
+		// Allow a whisker of tail-model roundoff above the threshold.
+		if pe := cv.PE(1.0); pe > PEZero*1.5 {
+			t.Errorf("%v NoVar PE(1.0) = %g, want <= %g", st.Sub.ID, pe, PEZero)
+		}
+	}
+}
+
+func TestVariationLowersFVar(t *testing.T) {
+	fp, gen := testFixtures(t)
+	corner := designCorner(gen.Params())
+	lowered := 0
+	for seed := int64(0); seed < 5; seed++ {
+		chip := gen.Chip(seed)
+		pl, err := NewPipeline(fp, chip, gen.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		minFVar := math.Inf(1)
+		for _, st := range pl.Stages {
+			fv := st.Eval(corner, IdentityVariant()).FVar()
+			if fv < minFVar {
+				minFVar = fv
+			}
+		}
+		if minFVar < 0.99 {
+			lowered++
+		}
+	}
+	if lowered != 5 {
+		t.Errorf("only %d/5 chips lost frequency to variation", lowered)
+	}
+}
+
+func TestBaselineFrequencyCalibration(t *testing.T) {
+	// The paper's Baseline cycles at ~78% of the no-variation frequency
+	// (Figure 10). Our calibrated model should land in the same band.
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	fp, gen := testFixtures(t)
+	corner := designCorner(gen.Params())
+	var fvars []float64
+	for seed := int64(0); seed < 30; seed++ {
+		chip := gen.Chip(seed)
+		pl, err := NewPipeline(fp, chip, gen.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		minFVar := math.Inf(1)
+		for _, st := range pl.Stages {
+			fv := st.Eval(corner, IdentityVariant()).FVar()
+			if fv < minFVar {
+				minFVar = fv
+			}
+		}
+		fvars = append(fvars, minFVar)
+	}
+	mean := mathx.Mean(fvars)
+	if mean < 0.70 || mean > 0.86 {
+		t.Errorf("mean Baseline fRel = %v, want ~0.78 (band 0.70-0.86)", mean)
+	}
+	t.Logf("mean Baseline relative frequency = %.3f (paper: 0.78)", mean)
+}
+
+func TestPEMonotoneInFrequency(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(3)
+	pl, err := NewPipeline(fp, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	for _, st := range pl.Stages {
+		cv := st.Eval(corner, IdentityVariant())
+		prev := -1.0
+		for f := 0.5; f <= 2.0; f += 0.02 {
+			pe := cv.PE(f)
+			if pe < prev-1e-15 {
+				t.Fatalf("%v PE not monotone at f=%v", st.Sub.ID, f)
+			}
+			if pe < 0 || pe > 1 {
+				t.Fatalf("%v PE out of [0,1]: %v", st.Sub.ID, pe)
+			}
+			prev = pe
+		}
+	}
+}
+
+func TestPEZeroFrequencyEdge(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(3)
+	st, err := NewStage(fp.Subsystems[0], chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.Eval(designCorner(gen.Params()), IdentityVariant())
+	if cv.PE(0) != 0 || cv.PE(-1) != 0 {
+		t.Error("non-positive frequency should have zero error probability")
+	}
+}
+
+func TestFMaxForPEConsistent(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(4)
+	pl, err := NewPipeline(fp, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	for _, st := range pl.Stages {
+		cv := st.Eval(corner, IdentityVariant())
+		for _, budget := range []float64{1e-8, 1e-6, 1e-4} {
+			f := cv.FMaxForPE(budget)
+			if pe := cv.PE(f); pe > budget*1.001 {
+				t.Errorf("%v: PE(FMaxForPE(%g)) = %g exceeds budget", st.Sub.ID, budget, pe)
+			}
+			// Slightly above fmax the budget must be violated (unless fmax
+			// hit the search ceiling).
+			if f < 2.99 {
+				if pe := cv.PE(f * 1.02); pe <= budget {
+					t.Errorf("%v: budget %g not tight at fmax %v", st.Sub.ID, budget, f)
+				}
+			}
+		}
+	}
+}
+
+func TestFMaxMonotoneInBudget(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(5)
+	st, err := NewStage(fp.Subsystems[0], chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.Eval(designCorner(gen.Params()), IdentityVariant())
+	prev := 0.0
+	for _, b := range []float64{1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2} {
+		f := cv.FMaxForPE(b)
+		if f < prev {
+			t.Fatalf("FMaxForPE not monotone in budget at %g", b)
+		}
+		prev = f
+	}
+}
+
+func TestHigherVddRaisesFVar(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(6)
+	pl, err := NewPipeline(fp, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gen.Params()
+	for _, st := range pl.Stages {
+		base := st.Eval(Cond{VddV: 1.0, TK: p.TOpRefK}, IdentityVariant()).FVar()
+		boosted := st.Eval(Cond{VddV: 1.15, TK: p.TOpRefK}, IdentityVariant()).FVar()
+		if boosted <= base {
+			t.Errorf("%v: ASV boost did not raise FVar (%v -> %v)", st.Sub.ID, base, boosted)
+		}
+	}
+}
+
+func TestForwardBodyBiasRaisesFVar(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(7)
+	st, err := NewStage(fp.Subsystems[0], chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gen.Params()
+	base := st.Eval(Cond{VddV: 1.0, VbbV: 0, TK: p.TOpRefK}, IdentityVariant()).FVar()
+	fbb := st.Eval(Cond{VddV: 1.0, VbbV: 0.3, TK: p.TOpRefK}, IdentityVariant()).FVar()
+	rbb := st.Eval(Cond{VddV: 1.0, VbbV: -0.3, TK: p.TOpRefK}, IdentityVariant()).FVar()
+	if fbb <= base {
+		t.Errorf("FBB did not raise FVar (%v -> %v)", base, fbb)
+	}
+	if rbb >= base {
+		t.Errorf("RBB did not lower FVar (%v -> %v)", base, rbb)
+	}
+}
+
+func TestHotterLowersFVar(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(8)
+	st, err := NewStage(fp.Subsystems[0], chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gen.Params()
+	cool := st.Eval(Cond{VddV: 1.0, TK: p.TOpRefK - 30}, IdentityVariant()).FVar()
+	hot := st.Eval(Cond{VddV: 1.0, TK: p.TOpRefK + 10}, IdentityVariant()).FVar()
+	// Mobility degradation dominates the Vt drop with our constants, so
+	// hotter means slower.
+	if hot >= cool {
+		t.Errorf("hotter stage should be slower: cool %v, hot %v", cool, hot)
+	}
+}
+
+func TestShiftVariantMovesCurveRight(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(9)
+	// IntQ is a mixed-kind issue queue, the paper's shift target.
+	var sub floorplan.Subsystem
+	for _, s := range fp.Subsystems {
+		if s.ID == floorplan.IntQ {
+			sub = s
+		}
+	}
+	st, err := NewStage(sub, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	full := st.Eval(corner, IdentityVariant())
+	small := st.Eval(corner, ShiftVariant(0.94))
+	if small.FVar() <= full.FVar() {
+		t.Errorf("downsized queue should raise FVar: %v vs %v", small.FVar(), full.FVar())
+	}
+	// At any frequency, the smaller structure has no more errors.
+	for f := 0.8; f < 1.5; f += 0.05 {
+		if small.PE(f) > full.PE(f)+1e-15 {
+			t.Errorf("shift increased PE at f=%v", f)
+		}
+	}
+}
+
+func TestTiltVariantPreservesWallAndFlattensSlope(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(10)
+	var sub floorplan.Subsystem
+	for _, s := range fp.Subsystems {
+		if s.ID == floorplan.IntALU {
+			sub = s
+		}
+	}
+	st, err := NewStage(sub, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	normal := st.Eval(corner, IdentityVariant())
+	lowslope := st.Eval(corner, TiltVariant(0.75))
+	// The wall (and hence fvar) is essentially unchanged (the random
+	// per-transistor component couples weakly to the mean scale, so allow
+	// a small tolerance)...
+	if math.Abs(normal.Wall()-lowslope.Wall()) > 5e-3 {
+		t.Errorf("tilt moved the wall: %v -> %v", normal.Wall(), lowslope.Wall())
+	}
+	if math.Abs(normal.FVar()-lowslope.FVar()) > 0.02 {
+		t.Errorf("tilt moved FVar: %v -> %v", normal.FVar(), lowslope.FVar())
+	}
+	// ...but above fvar the low-sloped replica has fewer errors.
+	fvar := normal.FVar()
+	improved := false
+	for _, f := range []float64{fvar * 1.02, fvar * 1.05, fvar * 1.1} {
+		pn, pl := normal.PE(f), lowslope.PE(f)
+		if pl > pn*1.001+1e-18 {
+			t.Errorf("tilt increased PE at f=%v: %g vs %g", f, pl, pn)
+		}
+		if pl < pn*0.99 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("tilt produced no PE improvement above fvar")
+	}
+}
+
+func TestPipelinePEComposition(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(11)
+	pl, err := NewPipeline(fp, chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := designCorner(gen.Params())
+	curves := make([]*Curve, len(pl.Stages))
+	rhos := make([]float64, len(pl.Stages))
+	for i, st := range pl.Stages {
+		curves[i] = st.Eval(corner, IdentityVariant())
+		rhos[i] = 1
+	}
+	f := 1.0
+	total := pl.PE(curves, rhos, f)
+	sum := 0.0
+	for _, cv := range curves {
+		sum += cv.PE(f)
+	}
+	if math.Abs(total-sum) > 1e-15 {
+		t.Errorf("pipeline PE %g != sum of stage PEs %g", total, sum)
+	}
+	// Zero activity silences a stage.
+	rhos[0] = 0
+	if pl.PE(curves, rhos, f) > total {
+		t.Error("zeroing an activity factor should not raise PE")
+	}
+}
+
+func TestPipelineStageLookup(t *testing.T) {
+	fp, gen := testFixtures(t)
+	pl, err := NewPipeline(fp, gen.NoVarChip(), gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pl.Stage(floorplan.Dcache)
+	if err != nil || st.Sub.ID != floorplan.Dcache {
+		t.Errorf("Stage lookup failed: %v, %v", st, err)
+	}
+	if _, err := pl.Stage(floorplan.ID(99)); err == nil {
+		t.Error("expected error for unknown stage")
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	fp, gen := testFixtures(t)
+	chip := gen.Chip(12)
+	st, err := NewStage(fp.Subsystems[0], chip, gen.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.Eval(designCorner(gen.Params()), IdentityVariant())
+	pts := SampleCurve(cv, 0.8, 1.4, 25)
+	if len(pts) != 25 {
+		t.Fatalf("got %d points, want 25", len(pts))
+	}
+	if pts[0].FRel != 0.8 || math.Abs(pts[24].FRel-1.4) > 1e-12 {
+		t.Error("sample endpoints wrong")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PE < pts[i-1].PE-1e-15 {
+			t.Error("sampled PE not monotone")
+		}
+	}
+	// Degenerate n clamps to 2.
+	if got := SampleCurve(cv, 1, 2, 1); len(got) != 2 {
+		t.Errorf("n=1 should clamp to 2 points, got %d", len(got))
+	}
+}
+
+func TestMemoryBindsFrequency(t *testing.T) {
+	// Under variation the memory stages (with their amplified random
+	// component and steep onset) should usually be the frequency limiters.
+	fp, gen := testFixtures(t)
+	corner := designCorner(gen.Params())
+	memBinds := 0
+	const chips = 10
+	for seed := int64(0); seed < chips; seed++ {
+		chip := gen.Chip(seed)
+		pl, err := NewPipeline(fp, chip, gen.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := math.Inf(1)
+		var worstKind floorplan.Kind
+		for _, st := range pl.Stages {
+			fv := st.Eval(corner, IdentityVariant()).FVar()
+			if fv < worst {
+				worst = fv
+				worstKind = st.Sub.Kind
+			}
+		}
+		if worstKind == floorplan.Memory {
+			memBinds++
+		}
+	}
+	if memBinds < chips/2 {
+		t.Errorf("memory binds frequency on only %d/%d chips", memBinds, chips)
+	}
+}

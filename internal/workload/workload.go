@@ -1,0 +1,265 @@
+// Package workload defines the synthetic SPEC CPU2000 proxy suite that
+// stands in for the paper's benchmark binaries. Each of the 26 applications
+// is described by the generative parameters of its instruction stream —
+// type mix, dependency distances (ILP), branch predictability, cache and
+// memory miss behavior — per execution phase. The pipeline package
+// synthesizes traces from these mixes and measures CPI components and
+// per-subsystem activity factors, exactly the quantities (Eq. 5 terms and
+// alpha_f inputs) the paper's evaluation extracts from SESC running SPEC.
+//
+// The proxies are calibrated to the published character of each benchmark
+// (mcf/art/swim memory-bound with high L2 miss rates, crafty/eon/sixtrack
+// compute-bound, etc.); absolute CPIs are not meant to match the Athlon
+// simulation, but the spread of memory-boundedness, ILP, and int/fp
+// activity that drives the adaptation study is preserved.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mathx"
+)
+
+// Class partitions the suite, deciding whether the integer or the FP
+// structures (queues, FUs) are the adaptation targets for a run (§4.1).
+type Class int
+
+const (
+	Int Class = iota
+	FP
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == Int {
+		return "int"
+	}
+	return "fp"
+}
+
+// Mix holds the generative parameters of an instruction stream.
+type Mix struct {
+	// Instruction-type fractions; the remainder after loads, stores and
+	// branches is compute, split between integer and FP by FPFrac.
+	LoadFrac, StoreFrac, BranchFrac float64
+	FPFrac                          float64
+	// DepDistMean is the mean register dependency distance (in dynamic
+	// instructions); larger means more ILP.
+	DepDistMean float64
+	// BranchMispredictRate is the misprediction probability per branch.
+	BranchMispredictRate float64
+	// L1MissRate is the per-memory-op probability of missing L1 and
+	// hitting L2.
+	L1MissRate float64
+	// L2MissRate is the per-instruction rate of L2 misses to memory
+	// (the paper's mr).
+	L2MissRate float64
+	// MemOverlap is the fraction of main-memory latency hidden under
+	// computation and other misses (MLP); the paper's mp is the
+	// *non-overlapped* penalty.
+	MemOverlap float64
+}
+
+// Validate checks that the mix is a proper distribution.
+func (m Mix) Validate() error {
+	if m.LoadFrac < 0 || m.StoreFrac < 0 || m.BranchFrac < 0 ||
+		m.LoadFrac+m.StoreFrac+m.BranchFrac > 0.95 {
+		return fmt.Errorf("workload: type fractions invalid: %+v", m)
+	}
+	if m.FPFrac < 0 || m.FPFrac > 1 {
+		return fmt.Errorf("workload: FPFrac %g out of [0,1]", m.FPFrac)
+	}
+	if m.DepDistMean < 1 {
+		return fmt.Errorf("workload: DepDistMean %g must be >= 1", m.DepDistMean)
+	}
+	if m.BranchMispredictRate < 0 || m.BranchMispredictRate > 0.5 {
+		return fmt.Errorf("workload: BranchMispredictRate %g out of range", m.BranchMispredictRate)
+	}
+	if m.L1MissRate < 0 || m.L1MissRate > 1 {
+		return fmt.Errorf("workload: L1MissRate %g out of range", m.L1MissRate)
+	}
+	if m.L2MissRate < 0 || m.L2MissRate > 0.2 {
+		return fmt.Errorf("workload: L2MissRate %g out of range", m.L2MissRate)
+	}
+	if m.MemOverlap < 0 || m.MemOverlap >= 1 {
+		return fmt.Errorf("workload: MemOverlap %g out of [0,1)", m.MemOverlap)
+	}
+	return nil
+}
+
+// ComputeFrac returns the non-memory, non-branch fraction.
+func (m Mix) ComputeFrac() float64 {
+	return 1 - m.LoadFrac - m.StoreFrac - m.BranchFrac
+}
+
+// Phase is one stable execution phase of an application (the ~120 ms
+// regions the Sherwood-style detector finds; §4.3.3).
+type Phase struct {
+	Index int
+	// Weight is the fraction of execution time spent in this phase.
+	Weight float64
+	Mix    Mix
+	// Signature is the phase's basic-block-vector identity, used by the
+	// phase detector to recognize recurring phases.
+	Signature uint64
+}
+
+// App is one benchmark proxy.
+type App struct {
+	Name   string
+	Class  Class
+	Phases []Phase
+}
+
+// archetype is the per-app base mix; phases jitter around it.
+type archetype struct {
+	name  string
+	class Class
+	mix   Mix
+}
+
+// suite lists the 26 SPEC CPU2000 proxies with their published character.
+var suite = []archetype{
+	// SPECint 2000.
+	{"gzip", Int, Mix{0.22, 0.08, 0.17, 0.00, 2.2, 0.060, 0.030, 0.0008, 0.30}},
+	{"vpr", Int, Mix{0.28, 0.10, 0.12, 0.02, 2.8, 0.090, 0.035, 0.0025, 0.30}},
+	{"gcc", Int, Mix{0.26, 0.12, 0.18, 0.00, 2.5, 0.070, 0.040, 0.0030, 0.30}},
+	{"mcf", Int, Mix{0.32, 0.09, 0.17, 0.00, 3.5, 0.080, 0.120, 0.0300, 0.50}},
+	{"crafty", Int, Mix{0.28, 0.08, 0.12, 0.00, 2.0, 0.080, 0.012, 0.0004, 0.20}},
+	{"parser", Int, Mix{0.25, 0.10, 0.16, 0.00, 2.6, 0.080, 0.030, 0.0020, 0.30}},
+	{"eon", Int, Mix{0.26, 0.13, 0.10, 0.15, 1.9, 0.040, 0.006, 0.0002, 0.20}},
+	{"perlbmk", Int, Mix{0.28, 0.14, 0.15, 0.00, 2.3, 0.060, 0.020, 0.0010, 0.25}},
+	{"gap", Int, Mix{0.27, 0.10, 0.12, 0.02, 2.4, 0.050, 0.025, 0.0020, 0.30}},
+	{"vortex", Int, Mix{0.30, 0.15, 0.14, 0.00, 2.2, 0.040, 0.030, 0.0015, 0.30}},
+	{"bzip2", Int, Mix{0.24, 0.09, 0.14, 0.00, 2.3, 0.070, 0.025, 0.0015, 0.35}},
+	{"twolf", Int, Mix{0.27, 0.09, 0.13, 0.00, 2.7, 0.090, 0.045, 0.0030, 0.30}},
+	// SPECfp 2000.
+	{"wupwise", FP, Mix{0.30, 0.12, 0.05, 0.45, 3.5, 0.010, 0.020, 0.0020, 0.50}},
+	{"swim", FP, Mix{0.32, 0.14, 0.03, 0.50, 4.5, 0.005, 0.080, 0.0250, 0.60}},
+	{"mgrid", FP, Mix{0.35, 0.10, 0.03, 0.55, 4.0, 0.005, 0.050, 0.0120, 0.55}},
+	{"applu", FP, Mix{0.32, 0.12, 0.04, 0.50, 4.2, 0.008, 0.060, 0.0150, 0.55}},
+	{"mesa", FP, Mix{0.27, 0.12, 0.08, 0.35, 2.5, 0.030, 0.010, 0.0005, 0.30}},
+	{"galgel", FP, Mix{0.30, 0.10, 0.04, 0.55, 3.8, 0.010, 0.040, 0.0080, 0.50}},
+	{"art", FP, Mix{0.34, 0.08, 0.06, 0.45, 3.2, 0.020, 0.150, 0.0400, 0.60}},
+	{"equake", FP, Mix{0.34, 0.10, 0.05, 0.45, 3.4, 0.015, 0.070, 0.0180, 0.50}},
+	{"facerec", FP, Mix{0.30, 0.10, 0.05, 0.50, 3.6, 0.015, 0.035, 0.0060, 0.45}},
+	{"ammp", FP, Mix{0.30, 0.11, 0.05, 0.50, 3.3, 0.010, 0.050, 0.0100, 0.45}},
+	{"lucas", FP, Mix{0.28, 0.12, 0.03, 0.55, 4.0, 0.005, 0.050, 0.0120, 0.55}},
+	{"fma3d", FP, Mix{0.30, 0.12, 0.06, 0.45, 3.0, 0.020, 0.040, 0.0080, 0.45}},
+	{"sixtrack", FP, Mix{0.26, 0.10, 0.05, 0.55, 2.8, 0.010, 0.008, 0.0003, 0.30}},
+	{"apsi", FP, Mix{0.30, 0.11, 0.05, 0.50, 3.4, 0.010, 0.045, 0.0090, 0.50}},
+}
+
+// Suite returns the full 26-application proxy suite with per-app phases
+// generated deterministically.
+func Suite() []App {
+	apps := make([]App, 0, len(suite))
+	for _, a := range suite {
+		apps = append(apps, makeApp(a))
+	}
+	return apps
+}
+
+// Names returns the suite's application names in order.
+func Names() []string {
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.name
+	}
+	return names
+}
+
+// ByName returns one application.
+func ByName(name string) (App, error) {
+	for _, a := range suite {
+		if a.name == name {
+			return makeApp(a), nil
+		}
+	}
+	return App{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// IntApps and FPApps return the class sub-suites.
+func IntApps() []App { return byClass(Int) }
+
+// FPApps returns the floating-point sub-suite.
+func FPApps() []App { return byClass(FP) }
+
+func byClass(c Class) []App {
+	var out []App
+	for _, a := range suite {
+		if a.class == c {
+			out = append(out, makeApp(a))
+		}
+	}
+	return out
+}
+
+// makeApp derives an app's phases deterministically from its name: 3-5
+// phases whose mixes jitter around the archetype, with one phase kept close
+// to the archetype so every app retains its published character.
+func makeApp(a archetype) App {
+	seed := nameSeed(a.name)
+	rng := mathx.NewRNG(seed)
+	nPhases := 3 + rng.Intn(3)
+	phases := make([]Phase, nPhases)
+	weights := make([]float64, nPhases)
+	wsum := 0.0
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+		wsum += weights[i]
+	}
+	for i := 0; i < nPhases; i++ {
+		m := a.mix
+		if i > 0 {
+			m = jitterMix(m, rng)
+		}
+		phases[i] = Phase{
+			Index:     i,
+			Weight:    weights[i] / wsum,
+			Mix:       m,
+			Signature: signature(seed, i),
+		}
+	}
+	return App{Name: a.name, Class: a.class, Phases: phases}
+}
+
+// jitterMix perturbs a mix multiplicatively while keeping it valid.
+func jitterMix(m Mix, rng *mathx.RNG) Mix {
+	j := func(v, lo, hi float64) float64 {
+		return mathx.Clamp(v*rng.Uniform(0.75, 1.30), lo, hi)
+	}
+	out := Mix{
+		LoadFrac:             j(m.LoadFrac, 0.05, 0.45),
+		StoreFrac:            j(m.StoreFrac, 0.02, 0.25),
+		BranchFrac:           j(m.BranchFrac, 0.02, 0.25),
+		FPFrac:               mathx.Clamp(m.FPFrac*rng.Uniform(0.8, 1.2), 0, 1),
+		DepDistMean:          j(m.DepDistMean, 1.2, 8),
+		BranchMispredictRate: j(m.BranchMispredictRate, 0.001, 0.2),
+		L1MissRate:           j(m.L1MissRate, 0.001, 0.3),
+		L2MissRate:           j(m.L2MissRate, 0.00005, 0.08),
+		MemOverlap:           mathx.Clamp(m.MemOverlap*rng.Uniform(0.85, 1.15), 0, 0.9),
+	}
+	// Renormalize if the jitter pushed type fractions too high.
+	if s := out.LoadFrac + out.StoreFrac + out.BranchFrac; s > 0.9 {
+		out.LoadFrac *= 0.9 / s
+		out.StoreFrac *= 0.9 / s
+		out.BranchFrac *= 0.9 / s
+	}
+	return out
+}
+
+// nameSeed hashes an app name to a stable seed.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// signature derives a stable per-phase basic-block-vector identity.
+func signature(seed int64, phase int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", seed, phase)
+	return h.Sum64()
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	apps := Suite()
+	if len(apps) != 26 {
+		t.Fatalf("suite has %d apps, want 26 (SPECint 12 + SPECfp 14)", len(apps))
+	}
+	ints, fps := 0, 0
+	for _, a := range apps {
+		switch a.Class {
+		case Int:
+			ints++
+		case FP:
+			fps++
+		}
+	}
+	if ints != 12 || fps != 14 {
+		t.Errorf("class split = %d int / %d fp, want 12/14", ints, fps)
+	}
+}
+
+func TestAllMixesValid(t *testing.T) {
+	for _, a := range Suite() {
+		if len(a.Phases) < 3 || len(a.Phases) > 5 {
+			t.Errorf("%s has %d phases, want 3-5", a.Name, len(a.Phases))
+		}
+		for _, ph := range a.Phases {
+			if err := ph.Mix.Validate(); err != nil {
+				t.Errorf("%s phase %d: %v", a.Name, ph.Index, err)
+			}
+			if ph.Mix.ComputeFrac() <= 0 {
+				t.Errorf("%s phase %d: no compute fraction", a.Name, ph.Index)
+			}
+		}
+	}
+}
+
+func TestPhaseWeightsSumToOne(t *testing.T) {
+	for _, a := range Suite() {
+		sum := 0.0
+		for _, ph := range a.Phases {
+			if ph.Weight <= 0 {
+				t.Errorf("%s phase %d has non-positive weight", a.Name, ph.Index)
+			}
+			sum += ph.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s phase weights sum to %v", a.Name, sum)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Suite()
+	b := Suite()
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Phases) != len(b[i].Phases) {
+			t.Fatal("suite not deterministic")
+		}
+		for j := range a[i].Phases {
+			if a[i].Phases[j] != b[i].Phases[j] {
+				t.Fatalf("%s phase %d differs across calls", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestSignaturesUnique(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, a := range Suite() {
+		for _, ph := range a.Phases {
+			key := ph.Signature
+			if prev, dup := seen[key]; dup {
+				t.Errorf("signature collision between %s and %s", a.Name, prev)
+			}
+			seen[key] = a.Name
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "swim" || a.Class != FP {
+		t.Errorf("ByName(swim) = %v/%v", a.Name, a.Class)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("expected error for unknown app")
+	}
+}
+
+func TestMemoryBoundCharacter(t *testing.T) {
+	// The famously memory-bound codes must have much higher mr than the
+	// compute-bound ones — this spread drives the paper's per-app
+	// adaptation differences.
+	memBound := []string{"mcf", "art", "swim"}
+	cpuBound := []string{"crafty", "eon", "sixtrack"}
+	minMem, maxCPU := math.Inf(1), 0.0
+	for _, n := range memBound {
+		a, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr := a.Phases[0].Mix.L2MissRate; mr < minMem {
+			minMem = mr
+		}
+	}
+	for _, n := range cpuBound {
+		a, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr := a.Phases[0].Mix.L2MissRate; mr > maxCPU {
+			maxCPU = mr
+		}
+	}
+	if minMem < 10*maxCPU {
+		t.Errorf("memory-bound mr %v not well separated from compute-bound %v", minMem, maxCPU)
+	}
+}
+
+func TestFPAppsHaveFPWork(t *testing.T) {
+	for _, a := range FPApps() {
+		if a.Phases[0].Mix.FPFrac < 0.3 {
+			t.Errorf("%s: FP app with FPFrac %v", a.Name, a.Phases[0].Mix.FPFrac)
+		}
+	}
+	for _, a := range IntApps() {
+		if a.Phases[0].Mix.FPFrac > 0.2 {
+			t.Errorf("%s: int app with FPFrac %v", a.Name, a.Phases[0].Mix.FPFrac)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 26 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	if names[0] != "gzip" || names[13] != "swim" {
+		t.Errorf("unexpected ordering: %v", names[:3])
+	}
+}
+
+func TestMixValidateRejects(t *testing.T) {
+	bad := []Mix{
+		{LoadFrac: 0.5, StoreFrac: 0.4, BranchFrac: 0.2, DepDistMean: 2},
+		{LoadFrac: 0.2, DepDistMean: 0.5},
+		{LoadFrac: 0.2, DepDistMean: 2, BranchMispredictRate: 0.9},
+		{LoadFrac: 0.2, DepDistMean: 2, L2MissRate: 0.5},
+		{LoadFrac: 0.2, DepDistMean: 2, MemOverlap: 1.0},
+		{LoadFrac: 0.2, DepDistMean: 2, FPFrac: 1.5},
+		{LoadFrac: -0.1, DepDistMean: 2},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, m)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Int.String() != "int" || FP.String() != "fp" {
+		t.Error("Class.String misbehaves")
+	}
+}
