@@ -1,0 +1,20 @@
+.PHONY: check build test vet fmt bench
+
+# Tier-1 gate: everything must pass before a commit lands.
+check: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+fmt:
+	gofmt -l .
+
+# Headline benchmarks (one per table/figure, plus the obs overhead pair).
+bench:
+	go test -run '^$$' -bench . -benchtime 1x ./...

@@ -5,7 +5,9 @@
 //
 //	evalsim -experiment fig10 -chips 20 -apps gcc,swim,mcf
 //	evalsim -experiment fig8 -chip 3 -app swim
-//	evalsim -experiment table2 -chips 4 -examples 2000
+//	evalsim -experiment table2 -chips 4 -examples 2000 -trainchips 3
+//	evalsim -experiment summary -chips 8 -modes static,exh -tracelen 40000
+//	evalsim -experiment summary -chips 2 -metrics -progress
 //	evalsim -experiment areas
 //
 // Experiments: fig1, fig2, fig4, fig8, fig9, fig10, fig11, fig12, fig13,
@@ -14,12 +16,40 @@
 // Paceline error tolerance), cmp (4-core die binning: slowest-core clock
 // vs per-core EVAL adaptation), ablate (sensitivity of the headline
 // quantities to the model's design choices).
+//
+// Experiment flags:
+//
+//	-experiment name  which table/figure to regenerate (default summary)
+//	-chips n          number of evaluation chips (paper: 100)
+//	-seed n           base seed for chip generation
+//	-apps a,b,c       app subset (default: the full 26-app suite)
+//	-chip n, -app s   chip seed / application for the single-chip figures
+//	                  (fig1, fig2, fig4, fig8, fig9)
+//	-modes m,m        adaptation modes for fig10-12/summary, any of
+//	                  static, fuzzy, exh (default all three)
+//	-trainchips n     distinct chips for fleet-style fuzzy training
+//	                  (TrainSolver; the summary experiments train per chip)
+//	-examples n       fuzzy training examples per controller (paper: 10000)
+//	-tracelen n       instructions per phase profile (trace length)
+//
+// Observability flags (any experiment; see README "Observability &
+// profiling"):
+//
+//	-progress         live per-worker status line on stderr
+//	-metrics          print a metrics footer (stage timers, controller
+//	                  outcome counters, worker occupancy) at exit
+//	-cpuprofile file  write a pprof CPU profile of the run
+//	-memprofile file  write a pprof heap profile at exit
+//	-trace-out file   write a Chrome trace-event JSON of the nested
+//	                  chip → env → mode → app spans
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -28,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/floorplan"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/tech"
@@ -48,8 +79,42 @@ func main() {
 		trainChips = flag.Int("trainchips", 2, "chips used for fuzzy training")
 		traceLen   = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
 		modes      = flag.String("modes", "static,fuzzy,exh", "adaptation modes for fig10-12")
+		progress   = flag.Bool("progress", false, "render live per-worker progress to stderr")
+		metrics    = flag.Bool("metrics", false, "print a metrics footer (timers, counters, occupancy) at exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of chip/app spans to this file")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	// instrument attaches the run's observability sinks to a simulator;
+	// every simulator the experiments construct goes through it.
+	instrument := func(s *core.Simulator) *core.Simulator {
+		s.SetObs(reg)
+		s.SetTracer(tracer)
+		if *progress {
+			s.SetProgressWriter(os.Stderr)
+		}
+		return s
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := core.DefaultOptions()
 	opts.TraceLen = *traceLen
@@ -57,6 +122,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	instrument(sim)
 	cfg := core.DefaultExperimentConfig()
 	cfg.Chips = *chips
 	cfg.SeedBase = *seed
@@ -65,8 +131,11 @@ func main() {
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}
-	cfg.Modes = parseModes(*modes)
+	if cfg.Modes, err = parseModes(*modes); err != nil {
+		fatal(err)
+	}
 
+	expSW := reg.Timer("evalsim.experiment").Start()
 	switch *experiment {
 	case "fig1":
 		err = runFig1(sim, *chip)
@@ -91,14 +160,47 @@ func main() {
 	case "schemes":
 		err = runSchemes(cfg, *traceLen)
 	case "cmp":
-		err = runCMP(*chips, *seed)
+		err = runCMP(*chips, *seed, instrument)
 	case "ablate":
-		err = runAblate(sim, *chips, *seed)
+		err = runAblate(sim, *chips, *seed, instrument)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	expSW.Stop()
 	if err != nil {
 		fatal(err)
+	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		runtime.GC() // flush garbage so the heap profile shows live data
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}
+	if tracer != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if werr := tracer.WriteChromeTrace(f); werr != nil {
+			fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "evalsim: wrote %d spans to %s\n", tracer.Len(), *traceOut)
+	}
+	if reg != nil {
+		fmt.Println()
+		if werr := reg.WriteSummary(os.Stdout); werr != nil {
+			fatal(werr)
+		}
 	}
 }
 
@@ -107,7 +209,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func parseModes(s string) []core.Mode {
+func parseModes(s string) ([]core.Mode, error) {
 	var out []core.Mode
 	for _, m := range strings.Split(s, ",") {
 		switch strings.TrimSpace(m) {
@@ -117,9 +219,11 @@ func parseModes(s string) []core.Mode {
 			out = append(out, core.FuzzyDyn)
 		case "exh":
 			out = append(out, core.ExhDyn)
+		default:
+			return nil, fmt.Errorf("unknown mode %q in -modes (want static, fuzzy, exh)", strings.TrimSpace(m))
 		}
 	}
-	return out
+	return out, nil
 }
 
 func runSummary(sim *core.Simulator, cfg core.ExperimentConfig, which string) error {
@@ -393,7 +497,7 @@ func runSchemes(cfg core.ExperimentConfig, traceLen int) error {
 // share one variation map. Without EVAL the die ships at its slowest
 // core's safe frequency; with per-core adaptation every core runs at its
 // own pace.
-func runCMP(chips int, seed int64) error {
+func runCMP(chips int, seed int64, instrument func(*core.Simulator) *core.Simulator) error {
 	opts := core.DefaultOptions()
 	gen, err := cmppkg.NewGenerator(opts.Varius)
 	if err != nil {
@@ -403,6 +507,7 @@ func runCMP(chips int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	instrument(sim)
 	app, err := workload.ByName("gcc")
 	if err != nil {
 		return err
@@ -449,7 +554,7 @@ func runCMP(chips int, seed int64) error {
 
 // runAblate sweeps the model's design choices and reports their effect on
 // the worst-case-safe frequency and the per-subsystem ASV value.
-func runAblate(sim *core.Simulator, chips int, seed int64) error {
+func runAblate(sim *core.Simulator, chips int, seed int64, instrument func(*core.Simulator) *core.Simulator) error {
 	// Correlation range phi.
 	tb := report.NewTable("ablation: correlation range phi -> fvar across chips",
 		"phi", "fvar mean", "fvar sd")
@@ -460,6 +565,7 @@ func runAblate(sim *core.Simulator, chips int, seed int64) error {
 		if err != nil {
 			return err
 		}
+		instrument(s2)
 		var fv []float64
 		for c := 0; c < chips; c++ {
 			f, err := s2.ChipFVar(s2.Chip(seed + int64(c)))
@@ -485,6 +591,7 @@ func runAblate(sim *core.Simulator, chips int, seed int64) error {
 		if err != nil {
 			return err
 		}
+		instrument(s2)
 		var fv []float64
 		for c := 0; c < chips; c++ {
 			f, err := s2.ChipFVar(s2.Chip(seed + int64(c)))
@@ -510,6 +617,7 @@ func runAblate(sim *core.Simulator, chips int, seed int64) error {
 		if err != nil {
 			return err
 		}
+		instrument(s2)
 		var fv []float64
 		for c := 0; c < chips; c++ {
 			f, err := s2.ChipFVar(s2.Chip(seed + int64(c)))

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/floorplan"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/tech"
 	"repro/internal/thermal"
@@ -69,6 +70,11 @@ type Core struct {
 	Checker checker.Config
 	Config  tech.Config
 	Limits  Limits
+
+	// Obs, when non-nil, receives controller-invocation outcome counters,
+	// retune-cycle counters, and solver timings. Nil (the default) is a
+	// zero-cost no-op.
+	Obs *obs.Registry
 
 	peCache map[peKey]*peTable
 }

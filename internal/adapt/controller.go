@@ -114,6 +114,7 @@ func (c *Core) Propose(prof pipeline.Profile, thK float64, solver Solver) (Propo
 	if solver == nil {
 		return Proposal{}, fmt.Errorf("adapt: nil solver")
 	}
+	defer c.Obs.Timer("adapt.propose").Start().Stop()
 	n := c.N()
 
 	// Step 1: per-subsystem frequency ceilings with default structures.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fuzzy"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/vats"
 )
@@ -132,6 +133,10 @@ type TrainOptions struct {
 	AlphaLo, AlphaHi float64
 	// CPIRange bounds the sampled CPIs (to convert alpha to rho).
 	CPILo, CPIHi float64
+	// Obs, when non-nil, receives retune-cycle training timings (it is
+	// also forwarded to the fuzzy controllers' epoch timers). Nil (the
+	// default) is a zero-cost no-op.
+	Obs *obs.Registry
 }
 
 // DefaultTrainOptions returns a training budget that reproduces the
@@ -242,6 +247,10 @@ func TrainFuzzySolver(cores []*Core, opts TrainOptions) (*FuzzySolver, error) {
 			key := fcKey{sub: i, variant: vm.v}
 			fcfg := opts.Fuzzy
 			fcfg.Seed = opts.Seed + int64(i)*31 + 7
+			if fcfg.Obs == nil {
+				fcfg.Obs = opts.Obs
+			}
+			trainSW := opts.Obs.Timer("adapt.train.controller").Start()
 			var err error
 			if s.freq[key], err = fuzzy.Train(freqEx, fcfg); err != nil {
 				return nil, fmt.Errorf("adapt: training freq FC for sub %d: %w", i, err)
@@ -262,6 +271,7 @@ func TrainFuzzySolver(cores []*Core, opts TrainOptions) (*FuzzySolver, error) {
 			if s.vbb[key], err = fuzzy.Train(vbbEx, fcfg); err != nil {
 				return nil, fmt.Errorf("adapt: training vbb FC for sub %d: %w", i, err)
 			}
+			trainSW.Stop()
 		}
 	}
 	return s, nil

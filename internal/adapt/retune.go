@@ -56,6 +56,26 @@ type RetuneResult struct {
 	Steps int
 }
 
+// outcomeCounters pre-builds the metric name of each outcome so the hot
+// path records without allocating.
+var outcomeCounters = [NumOutcomes]string{
+	OutcomeNoChange: "adapt.outcome.NoChange",
+	OutcomeLowFreq:  "adapt.outcome.LowFreq",
+	OutcomeError:    "adapt.outcome.Error",
+	OutcomeTemp:     "adapt.outcome.Temp",
+	OutcomePower:    "adapt.outcome.Power",
+}
+
+// record books one finished retune into the core's metrics registry.
+func (c *Core) record(res RetuneResult) RetuneResult {
+	c.Obs.Counter("adapt.retune.invocations").Inc()
+	c.Obs.Counter("adapt.retune.cycles").Add(int64(res.Steps))
+	if res.Outcome >= 0 && res.Outcome < NumOutcomes {
+		c.Obs.Counter(outcomeCounters[res.Outcome]).Inc()
+	}
+	return res
+}
+
 // classify maps the initial violation to its Figure 13 category. The error
 // sensor trips fastest (within the phase), then thermal, then power (§4.3.3
 // gives error violations the shortest detection latency).
@@ -118,7 +138,7 @@ func (c *Core) Retune(op OperatingPoint, prof pipeline.Profile) (RetuneResult, e
 			}
 			cur, st = probe, pst
 		}
-		return RetuneResult{Point: cur, State: st, Outcome: outcome, Steps: steps}, nil
+		return c.record(RetuneResult{Point: cur, State: st, Outcome: outcome, Steps: steps}), nil
 	}
 
 	// Clean configuration: probe upward for headroom.
@@ -140,7 +160,7 @@ func (c *Core) Retune(op OperatingPoint, prof pipeline.Profile) (RetuneResult, e
 	if raised {
 		outcome = OutcomeLowFreq
 	}
-	return RetuneResult{Point: cur, State: st, Outcome: outcome, Steps: steps}, nil
+	return c.record(RetuneResult{Point: cur, State: st, Outcome: outcome, Steps: steps}), nil
 }
 
 // AdaptPhase is the complete §4.3.3 sequence for one new phase: run the

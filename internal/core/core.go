@@ -7,11 +7,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/adapt"
 	"repro/internal/checker"
 	"repro/internal/floorplan"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/tech"
@@ -161,6 +163,11 @@ type Simulator struct {
 	pw   *power.Model
 	th   *thermal.Model
 
+	// Observability sinks; all nil (disabled, zero-cost) by default.
+	obs       *obs.Registry
+	tracer    *obs.Tracer
+	progressW io.Writer
+
 	mu       sync.Mutex
 	profiles map[profileKey]pipeline.Profile
 }
@@ -210,6 +217,22 @@ func NewSimulator(opts Options) (*Simulator, error) {
 // Options returns the simulator's configuration.
 func (s *Simulator) Options() Options { return s.opts }
 
+// SetObs attaches a metrics registry; the engine records per-stage
+// timers, outcome counters, and worker occupancy into it. A nil registry
+// (the default) disables metrics at zero cost.
+func (s *Simulator) SetObs(r *obs.Registry) { s.obs = r }
+
+// Obs returns the attached metrics registry (nil when disabled).
+func (s *Simulator) Obs() *obs.Registry { return s.obs }
+
+// SetTracer attaches a span tracer recording nested chip → app → phase
+// timing; nil disables tracing.
+func (s *Simulator) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// SetProgressWriter makes the multi-chip experiments render live
+// per-worker progress to w (normally os.Stderr); nil disables it.
+func (s *Simulator) SetProgressWriter(w io.Writer) { s.progressW = w }
+
 // Floorplan returns the core floorplan.
 func (s *Simulator) Floorplan() *floorplan.Floorplan { return s.fp }
 
@@ -242,7 +265,12 @@ func (s *Simulator) BuildCore(chip *varius.ChipMaps, env Environment) (*adapt.Co
 		_, _, leakEff := chip.RegionVtStats(sub.Rect, s.opts.Varius)
 		subs[i] = adapt.Subsystem{Index: i, Sub: sub, Stage: stage, Vt0EffV: leakEff}
 	}
-	return adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
+	core, err := adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	core.Obs = s.obs
+	return core, nil
 }
 
 // Profile returns the (cached) measured profile of one application phase.
@@ -251,12 +279,15 @@ func (s *Simulator) Profile(app workload.App, ph workload.Phase) (pipeline.Profi
 	s.mu.Lock()
 	if p, ok := s.profiles[key]; ok {
 		s.mu.Unlock()
+		s.obs.Counter("core.profile.cache_hits").Inc()
 		return p, nil
 	}
 	s.mu.Unlock()
 	// Build outside the lock; profiles are deterministic, so a racing
 	// duplicate build writes an identical value.
+	sw := s.obs.Timer("core.profile.build").Start()
 	p, err := pipeline.BuildProfile(app, ph, s.opts.TraceLen, profileSeed(app.Name, ph.Index))
+	sw.Stop()
 	if err != nil {
 		return pipeline.Profile{}, err
 	}

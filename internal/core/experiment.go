@@ -8,6 +8,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/floorplan"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/tech"
 	"repro/internal/varius"
 	"repro/internal/vats"
@@ -133,8 +134,13 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Training.Obs == nil {
+		cfg.Training.Obs = s.obs
+	}
+	defer s.obs.Timer("core.run_summary").Start().Stop()
 
 	// NoVar reference per app.
+	novarSW := s.obs.Timer("core.novar_refs").Start()
 	noVarPerf := make(map[string]float64, len(apps))
 	noVarPower := 0.0
 	for _, app := range apps {
@@ -146,6 +152,7 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 		noVarPower += r.PowerW
 	}
 	noVarPower /= float64(len(apps))
+	novarSW.Stop()
 
 	needFuzzy := false
 	for _, m := range cfg.Modes {
@@ -154,24 +161,52 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 		}
 	}
 
+	var prog *obs.Progress
+	if s.progressW != nil {
+		prog = obs.NewProgress(s.progressW, "chips", cfg.Chips, cfg.Workers)
+		defer prog.Stop()
+	}
+
 	type chipResult struct {
 		baseF, basePerfR, basePower float64
 		cells                       map[cellKey]*cellAccum
 		err                         error
 	}
 	results := make([]chipResult, cfg.Chips)
+	fanSW := s.obs.Timer("core.chip_fanout").Start()
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
+	// The semaphore hands out worker-slot indices so the progress
+	// reporter can attribute work to a stable slot.
+	slots := make(chan int, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		slots <- i
+	}
 	for ci := 0; ci < cfg.Chips; ci++ {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[ci] = s.runChip(cfg, apps, noVarPerf, needFuzzy, cfg.SeedBase+int64(ci))
+			slot := <-slots
+			defer func() { slots <- slot }()
+			seed := cfg.SeedBase + int64(ci)
+			if prog != nil {
+				prog.SetWorker(slot, fmt.Sprintf("chip %d", seed))
+			}
+			chipSW := s.obs.Timer("core.chip").Start()
+			results[ci] = s.runChip(cfg, apps, noVarPerf, needFuzzy, seed)
+			chipSW.Stop()
+			if prog != nil {
+				prog.SetWorker(slot, "idle")
+				prog.Step(1)
+			}
 		}(ci)
 	}
 	wg.Wait()
+	if wall := fanSW.Stop(); s.obs != nil && wall > 0 {
+		busy := s.obs.Timer("core.chip").Sum()
+		s.obs.Gauge("core.workers").Set(float64(cfg.Workers))
+		s.obs.Gauge("core.worker.occupancy_pct").Set(
+			100 * busy.Seconds() / (wall.Seconds() * float64(cfg.Workers)))
+	}
 
 	sum := &Summary{Chips: cfg.Chips, NoVarPowerW: noVarPower}
 	for _, a := range apps {
@@ -214,6 +249,10 @@ func (s *Simulator) TrainSolver(env Environment, cfg ExperimentConfig) (*adapt.F
 	if cfg.TrainChips < 1 {
 		cfg.TrainChips = 1
 	}
+	if cfg.Training.Obs == nil {
+		cfg.Training.Obs = s.obs
+	}
+	defer s.obs.Timer("core.fuzzy_train").Start().Stop()
 	var cores []*adapt.Core
 	for t := 0; t < cfg.TrainChips; t++ {
 		chip := s.Chip(cfg.SeedBase + 1_000_000 + int64(t))
@@ -297,6 +336,11 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 	err                         error
 }) {
 	res.cells = make(map[cellKey]*cellAccum)
+	var chipSpan *obs.Span
+	if s.tracer != nil {
+		chipSpan = s.tracer.Start(fmt.Sprintf("chip %d", seed))
+		defer chipSpan.End()
+	}
 	chip := s.Chip(seed)
 
 	// Baseline anchors.
@@ -306,6 +350,7 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 		return res
 	}
 	res.baseF = fvar
+	baseSpan := chipSpan.Child("baseline")
 	for _, app := range apps {
 		r, err := s.RunBaseline(chip, app)
 		if err != nil {
@@ -315,8 +360,13 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 		res.basePerfR += r.Perf / noVarPerf[app.Name] / float64(len(apps))
 		res.basePower += r.PowerW / float64(len(apps))
 	}
+	baseSpan.End()
 
 	for _, env := range cfg.Envs {
+		var envSpan *obs.Span
+		if chipSpan != nil {
+			envSpan = chipSpan.Child(env.String())
+		}
 		core, err := s.BuildCore(chip, env)
 		if err != nil {
 			res.err = err
@@ -327,10 +377,14 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 		// model of *this* chip (§4.3.1).
 		var solver *adapt.FuzzySolver
 		if needFuzzy {
+			trainSpan := envSpan.Child("train solver")
+			trainSW := s.obs.Timer("core.fuzzy_train").Start()
 			if solver, err = adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training); err != nil {
 				res.err = err
 				return res
 			}
+			trainSW.Stop()
+			trainSpan.End()
 		}
 		// Static points per class, chosen once per chip.
 		var staticInt, staticFP adapt.OperatingPoint
@@ -355,7 +409,17 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 			if res.cells[key] == nil {
 				res.cells[key] = &cellAccum{}
 			}
+			cellSW := s.obs.Timer("core.cell").Start()
+			var modeSpan *obs.Span
+			if envSpan != nil {
+				modeSpan = envSpan.Child(mode.String())
+			}
 			for _, app := range apps {
+				var appSpan *obs.Span
+				if modeSpan != nil {
+					appSpan = modeSpan.Child(app.Name)
+				}
+				appSW := s.obs.Timer("core.app_run").Start()
 				var run AppRun
 				switch mode {
 				case Static:
@@ -371,13 +435,18 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 				default:
 					err = fmt.Errorf("core: unknown mode %v", mode)
 				}
+				appSW.Stop()
+				appSpan.End()
 				if err != nil {
 					res.err = fmt.Errorf("chip %d %v/%v: %w", seed, env, mode, err)
 					return res
 				}
 				res.cells[key].add(run, noVarPerf[app.Name])
 			}
+			modeSpan.End()
+			cellSW.Stop()
 		}
+		envSpan.End()
 	}
 	return res
 }
@@ -436,11 +505,24 @@ func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Training.Obs == nil {
+		cfg.Training.Obs = s.obs
+	}
+	defer s.obs.Timer("core.run_outcomes").Start().Stop()
 	cells := Figure13Configs()
+	var prog *obs.Progress
+	if s.progressW != nil {
+		prog = obs.NewProgress(s.progressW, "config×chip", len(cells)*cfg.Chips, 1)
+		defer prog.Stop()
+	}
 	for idx := range cells {
 		var counts [adapt.NumOutcomes]float64
 		total := 0.0
 		for ci := 0; ci < cfg.Chips; ci++ {
+			if prog != nil {
+				prog.SetWorker(0, cells[idx].Label)
+			}
+			chipSW := s.obs.Timer("core.chip").Start()
 			chip := s.Chip(cfg.SeedBase + int64(ci))
 			core, err := s.BuildCoreWithConfig(chip, cells[idx].Config)
 			if err != nil {
@@ -465,6 +547,8 @@ func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
 					total++
 				}
 			}
+			chipSW.Stop()
+			prog.Step(1)
 		}
 		if total > 0 {
 			for o := range counts {
@@ -487,7 +571,12 @@ func (s *Simulator) BuildCoreWithConfig(chip *varius.ChipMaps, cfg tech.Config) 
 		_, _, leakEff := chip.RegionVtStats(sub.Rect, s.opts.Varius)
 		subs[i] = adapt.Subsystem{Index: i, Sub: sub, Stage: stage, Vt0EffV: leakEff}
 	}
-	return adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
+	core, err := adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	core.Obs = s.obs
+	return core, nil
 }
 
 // Table2Row is one row of Table 2: the mean |fuzzy - exhaustive| for one
@@ -510,6 +599,10 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Training.Obs == nil {
+		cfg.Training.Obs = s.obs
+	}
+	defer s.obs.Timer("core.run_table2").Start().Stop()
 	const nomFreqMHz = 4000.0
 	const nomVddMV = 1000.0
 	envs := []struct {

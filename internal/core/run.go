@@ -72,6 +72,7 @@ func (s *Simulator) runFixed(app workload.App, fRel float64, env Environment, vt
 		if err != nil {
 			return AppRun{}, err
 		}
+		phaseSW := s.obs.Timer("core.phase.eval").Start()
 		perf := pipeline.Perf(pipeline.PerfInputs{
 			FRel:        fRel,
 			CPIComp:     prof.CPICompFull,
@@ -89,6 +90,7 @@ func (s *Simulator) runFixed(app workload.App, fRel float64, env Environment, vt
 			}
 		}
 		st, err := s.th.CoreSteady(ins, fRel)
+		phaseSW.Stop()
 		if err != nil {
 			return AppRun{}, fmt.Errorf("core: %s %s: %w", env, app.Name, err)
 		}
@@ -136,7 +138,9 @@ func (s *Simulator) RunDynamic(core *adapt.Core, app workload.App, mode Mode, so
 		if err != nil {
 			return AppRun{}, err
 		}
+		phaseSW := s.obs.Timer("core.phase.adapt").Start()
 		res, err := core.AdaptSteady(prof, solver)
+		phaseSW.Stop()
 		if err != nil {
 			return AppRun{}, fmt.Errorf("core: %s %s phase %d: %w", env, app.Name, ph.Index, err)
 		}
@@ -214,6 +218,7 @@ func (s *Simulator) RunStatic(core *adapt.Core, app workload.App, point adapt.Op
 		if err != nil {
 			return AppRun{}, err
 		}
+		phaseSW := s.obs.Timer("core.phase.adapt").Start()
 		res, err := core.Retune(point, prof)
 		if err != nil {
 			return AppRun{}, fmt.Errorf("core: static %s %s: %w", env, app.Name, err)
@@ -229,6 +234,7 @@ func (s *Simulator) RunStatic(core *adapt.Core, app workload.App, point adapt.Op
 			}
 			res = adapt.RetuneResult{Point: capped, State: st, Outcome: res.Outcome}
 		}
+		phaseSW.Stop()
 		accumulate(&run, ph.Weight, res)
 	}
 	return run, nil

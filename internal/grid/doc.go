@@ -1,0 +1,24 @@
+// Package grid models the spatial discretization of a chip used by the
+// variation model of Sarangi et al. (VARIUS, §2.1 of the EVAL paper):
+// the die is divided into a grid of cells, and the systematic component
+// of a process parameter (threshold voltage Vt, effective channel length
+// Leff) takes a single value per cell, drawn from a multivariate normal
+// distribution whose correlation depends only on the distance between
+// cells and decays to zero at a distance phi (the "range").
+//
+// The package provides three pieces:
+//
+//   - Grid: the W×H cell layout with cell↔coordinate mapping and
+//     inter-cell distances in die units.
+//   - Spherical: the distance-only spherical correlation function the
+//     VARIUS papers use, parameterized by phi (the paper sets phi to
+//     half the die side).
+//   - FieldGenerator: a Cholesky-factorized sampler that turns a Grid
+//     plus a CorrelationFunc into correlated Gaussian fields — one draw
+//     per chip, seeded, bit-reproducible.
+//
+// In the EVAL reproduction the fields produced here become the per-chip
+// Vt/Leff maps of internal/varius, which in turn drive every downstream
+// frequency, power, and error-rate number. Nothing in this package knows
+// about processors; it is pure spatial statistics.
+package grid

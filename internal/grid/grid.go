@@ -1,9 +1,3 @@
-// Package grid models the spatial discretization of a chip used by the
-// variation model of Sarangi et al. (VARIUS): the die is divided into a
-// grid of cells, and the systematic component of a process parameter takes
-// a single value per cell, drawn from a multivariate normal distribution
-// whose correlation depends only on the distance between cells and decays
-// to zero at a distance phi (the "range").
 package grid
 
 import (

@@ -1,0 +1,35 @@
+// Package obs is the observability layer of the experiment engine: a
+// dependency-free metrics registry (counters, gauges, and histogram
+// timers with p50/p95/max), a Span/Tracer API for nested wall-clock
+// attribution of chip → app → phase → solver work, and a live progress
+// reporter for long multi-chip sweeps.
+//
+// The paper's evaluation fans 100 chips × 26 applications × several
+// adaptation modes over a worker pool (§5); this package makes that
+// engine legible — where the wall-clock goes, how busy the workers are,
+// how controller invocations resolve — without perturbing the numbers
+// it measures.
+//
+// # Disabled is free
+//
+// Every type is nil-receiver safe: a nil *Registry hands out nil
+// *Counter/*Gauge/*Histogram values whose methods no-op, a nil *Tracer
+// hands out nil *Span values, and a nil *Progress ignores updates. The
+// disabled path performs no allocation and no time.Now call (verified
+// by TestDisabledPathAllocFree and BenchmarkObsDisabled), so
+// instrumented hot paths cost nothing when observability is off — the
+// tier-1 benchmarks see the same code they saw before.
+//
+// Instrumentation sites therefore chain without guards,
+//
+//	defer reg.Timer("core.chip").Start().Stop()     // fine when reg == nil
+//
+// except where building the metric name itself allocates (fmt.Sprintf,
+// string concatenation); those sites guard with an explicit nil check.
+//
+// # Outputs
+//
+// Registry.WriteSummary renders the aligned metrics footer the evalsim
+// -metrics flag prints; Tracer.WriteChromeTrace emits the trace in the
+// Chrome trace-event format (load into chrome://tracing or Perfetto).
+package obs

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// progressWidth caps the rendered status line.
+const progressWidth = 160
+
+// Progress renders a live, single-line status of a worker-pool sweep:
+// overall completion plus what each worker slot is doing. All methods
+// are safe for concurrent use and no-op on a nil receiver.
+type Progress struct {
+	w     io.Writer
+	label string
+	total int64
+	start time.Time
+
+	done atomic.Int64
+
+	mu      sync.Mutex
+	workers []string
+	lastLen int
+	stopped bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProgress starts a reporter writing to w (normally os.Stderr) every
+// refresh interval until Stop. total is the number of work items; slots
+// is the worker-pool size.
+func NewProgress(w io.Writer, label string, total, slots int) *Progress {
+	p := &Progress{
+		w:       w,
+		label:   label,
+		total:   int64(total),
+		start:   time.Now(),
+		workers: make([]string, slots),
+		stop:    make(chan struct{}),
+	}
+	for i := range p.workers {
+		p.workers[i] = "idle"
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.render(false)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// SetWorker publishes what worker slot is currently doing.
+func (p *Progress) SetWorker(slot int, status string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if slot >= 0 && slot < len(p.workers) {
+		p.workers[slot] = status
+	}
+	p.mu.Unlock()
+}
+
+// Step records n completed work items.
+func (p *Progress) Step(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// Stop renders the final state and terminates the refresh goroutine.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	p.render(true)
+}
+
+// render paints the status line in place with a carriage return; the
+// final render appends a newline so subsequent output starts clean.
+func (p *Progress) render(final bool) {
+	done := p.done.Load()
+	elapsed := time.Since(p.start).Round(100 * time.Millisecond)
+	p.mu.Lock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d/%d (%s)", p.label, done, p.total, elapsed)
+	if !final {
+		for i, st := range p.workers {
+			fmt.Fprintf(&b, " w%d:%s", i, st)
+		}
+	}
+	line := b.String()
+	if len(line) > progressWidth {
+		line = line[:progressWidth-1] + "…"
+	}
+	pad := p.lastLen - len(line)
+	p.lastLen = len(line)
+	p.mu.Unlock()
+	if pad < 0 {
+		pad = 0
+	}
+	tail := strings.Repeat(" ", pad)
+	if final {
+		fmt.Fprintf(p.w, "\r%s%s\n", line, tail)
+	} else {
+		fmt.Fprintf(p.w, "\r%s%s", line, tail)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects finished spans. A nil *Tracer hands out nil *Span
+// values, so tracing can be left wired into code paths and enabled only
+// when an output sink exists.
+type Tracer struct {
+	t0      time.Time
+	nextTID atomic.Int64
+
+	mu    sync.Mutex
+	spans []spanRecord
+}
+
+type spanRecord struct {
+	Name  string
+	TID   int64
+	Start time.Duration // since tracer start
+	Dur   time.Duration
+}
+
+// NewTracer returns an empty tracer; span timestamps are relative to
+// this call.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now()}
+}
+
+// Span is one timed region. Spans on the same track (a root and its
+// Child descendants) must nest; concurrent work should use separate
+// roots, which get separate tracks.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	start time.Time
+}
+
+// Start opens a root span on a fresh track (e.g. one per worker or per
+// chip). Returns nil on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: t.nextTID.Add(1), start: time.Now()}
+}
+
+// Child opens a nested span on the parent's track. Returns nil on a nil
+// span.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return &Span{t: sp.t, name: name, tid: sp.tid, start: time.Now()}
+}
+
+// End closes the span and records it. No-op on a nil span.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	rec := spanRecord{
+		Name:  sp.name,
+		TID:   sp.tid,
+		Start: sp.start.Sub(sp.t.t0),
+		Dur:   time.Since(sp.start),
+	}
+	sp.t.mu.Lock()
+	sp.t.spans = append(sp.t.spans, rec)
+	sp.t.mu.Unlock()
+}
+
+// Len reports the number of finished spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format; timestamps and durations are in microseconds.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int64   `json:"tid"`
+}
+
+// WriteChromeTrace emits the spans as a Chrome trace-event JSON array,
+// loadable in chrome://tracing or Perfetto. Each root span and its
+// descendants share a tid, rendering as one nested track.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte("[]\n"))
+		return err
+	}
+	t.mu.Lock()
+	events := make([]chromeEvent, len(t.spans))
+	for i, sp := range t.spans {
+		events[i] = chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start) / float64(time.Microsecond),
+			Dur:  float64(sp.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  sp.TID,
+		}
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,6 +1,3 @@
-// Package report renders experiment results as aligned text tables or CSV,
-// so every command-line tool and example prints the paper's rows and series
-// uniformly.
 package report
 
 import (

@@ -1,15 +1,3 @@
-// Package retime implements the dynamic-retiming baseline the paper
-// compares EVAL against in §7 (Tiwari et al.'s ReCycle): instead of
-// tolerating timing errors, retiming redistributes clocking slack among
-// pipeline stages — donating the margin of fast stages to slow ones via
-// staggered clock phases — and always clocks the processor at a safe
-// (error-free) frequency.
-//
-// With perfect slack redistribution, an n-stage pipeline is no longer
-// limited by its slowest stage but by the *average* stage delay (up to a
-// donation cap set by how much phase shift the clock network supports).
-// The paper reports 10-20% gains for retiming, versus 40% for EVAL; this
-// package exists to reproduce that comparison.
 package retime
 
 import (

@@ -1,9 +1,3 @@
-// Package sensors models the measurement infrastructure of §4.3.2: a
-// heat-sink temperature sensor (refreshed every 2-3 s), per-subsystem
-// thermal sensors that flag overheating, a core-wide power sensor, and the
-// checker's PE counter. Real sensors quantize and lag; this package makes
-// those imperfections explicit so the controller sees what hardware would
-// deliver, not the simulator's exact state.
 package sensors
 
 import (

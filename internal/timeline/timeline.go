@@ -1,12 +1,3 @@
-// Package timeline is a discrete-event simulation of the §4.3.3 controller
-// system at work (Figure 6): application phases arrive with ~120 ms dwell
-// times; the BBV detector classifies each interval; new phases trigger the
-// measurement window, the controller routines, the working-point
-// transition, and retuning cycles; recurring phases reuse their saved
-// configuration; the heat-sink sensor refreshes every few seconds.
-//
-// It accounts for where the time goes, which is the paper's argument that
-// adapting at phase boundaries has negligible overhead.
 package timeline
 
 import (
