@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench
+.PHONY: check build test vet fmt bench bench-json
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -18,3 +18,9 @@ fmt:
 # Headline benchmarks (one per table/figure, plus the obs overhead pair).
 bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Adaptation-engine benchmark trajectory: runs the solver/chip/pipeline
+# microbenchmarks plus the Figure 10 end-to-end reproduction and records
+# ns/op, B/op, allocs/op per commit in BENCH_adapt.json.
+bench-json:
+	go run ./tools/benchjson -out BENCH_adapt.json

@@ -587,6 +587,33 @@ func BenchmarkFreqSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkFreqSolveCold measures the full pruned grid scan with the solve
+// memo defeated (every iteration queries a fresh heat-sink temperature),
+// isolating the dense-PE-table and bound-pruning win from cross-phase
+// memoization.
+func BenchmarkFreqSolveCold(b *testing.B) {
+	sim := newBenchSim(b)
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := sim.Profile(app, app.Phases[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := sim.BuildCore(sim.Chip(3), core.TSASV)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu.FreqSolve(0, cpu.QueryFor(0, prof, 62+273.15, tech.QueueFull, tech.FUNormal))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := cpu.QueryFor(0, prof, 62+273.15+float64(i)*1e-6,
+			tech.QueueFull, tech.FUNormal)
+		_ = cpu.FreqSolve(0, q)
+	}
+}
+
 // BenchmarkFuzzyPredict measures one deployed fuzzy-controller query — the
 // operation the paper budgets ~6 us of controller time around.
 func BenchmarkFuzzyPredict(b *testing.B) {

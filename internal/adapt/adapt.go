@@ -9,6 +9,16 @@
 // §4.3.1 and the trained fuzzy controllers — plus the retuning cycles of
 // §4.3.3 that repair controller misestimates, and the outcome
 // classification behind Figure 13.
+//
+// # Ownership
+//
+// A Core carries unsynchronized solver caches (the dense PE-fmax tables
+// and the Freq/Power memoization maps), so a Core — together with any
+// cores sharing its PE tables via SharePETables — must only be driven by
+// one goroutine at a time. The experiment harness obeys this by handling
+// each chip, and therefore each chip's cores, on a single worker
+// goroutine; concurrency comes from working on many chips at once, never
+// from sharing a chip's cores across workers.
 package adapt
 
 import (
@@ -76,7 +86,15 @@ type Core struct {
 	// zero-cost no-op.
 	Obs *obs.Registry
 
-	peCache map[peKey]*peTable
+	// DisablePruning switches FreqSolve/PowerSolve to the reference slow
+	// path: no bound-based pruning and no solve memoization. Results are
+	// identical either way (the equivalence tests assert it); the knob
+	// exists so the fast path can always be checked against the scan.
+	DisablePruning bool
+
+	pe        *peStore
+	freqMemo  map[freqMemoKey]FreqResult
+	powerMemo map[powerMemoKey]PowerResult
 }
 
 // NewCore validates and assembles the optimization view.
@@ -103,29 +121,94 @@ func NewCore(subs []Subsystem, pw *power.Model, th *thermal.Model,
 		}
 	}
 	return &Core{
-		Subs:    subs,
-		Power:   pw,
-		Thermal: th,
-		Checker: chk,
-		Config:  cfg,
-		Limits:  lim,
-		peCache: make(map[peKey]*peTable),
+		Subs:      subs,
+		Power:     pw,
+		Thermal:   th,
+		Checker:   chk,
+		Config:    cfg,
+		Limits:    lim,
+		pe:        newPEStore(len(subs)),
+		freqMemo:  make(map[freqMemoKey]FreqResult),
+		powerMemo: make(map[powerMemoKey]PowerResult),
 	}, nil
 }
 
 // N returns the number of subsystems.
 func (c *Core) N() int { return len(c.Subs) }
 
-// peKey identifies a cached PE-fmax table: the PE-limited fmax at a given
-// device temperature depends only on the subsystem, the structural variant,
-// the (Vdd, Vbb) point, and the temperature — not on TH or activity — so
-// tables are computed once per chip and reused across every controller
-// invocation.
+// SharePETables makes c reuse donor's PE-fmax tables. The tables depend
+// only on the stage models — not on the technique configuration — so the
+// cores built for one chip's six environments can share one store and
+// amortize the vats.Curve evaluations. The donor must model the same chip
+// (same stage models, in order); both cores fall under one ownership
+// domain afterwards (see the package comment).
+func (c *Core) SharePETables(donor *Core) error {
+	if donor == nil || donor.pe == nil {
+		return fmt.Errorf("adapt: nil donor")
+	}
+	if len(c.Subs) != len(donor.Subs) {
+		return fmt.Errorf("adapt: subsystem count mismatch: %d vs %d", len(c.Subs), len(donor.Subs))
+	}
+	for i := range c.Subs {
+		if c.Subs[i].Stage != donor.Subs[i].Stage {
+			return fmt.Errorf("adapt: subsystem %d has a different stage model", i)
+		}
+	}
+	c.pe = donor.pe
+	return nil
+}
+
+// peKey identifies a cached PE-fmax table on the overflow (slow) path:
+// the PE-limited fmax at a given device temperature depends only on the
+// subsystem, the structural variant, the (Vdd, Vbb) point, and the
+// temperature — not on TH or activity — so tables are computed once per
+// chip and reused across every controller invocation.
 type peKey struct {
 	sub                int
 	variant            vats.Variant
 	vddMilli, vbbMilli int
 	tIdx               int
+}
+
+// The structural variants the techniques of §3.3 can request. Only three
+// exist in the system — identity, the 3/4-queue Shift, and the LowSlope
+// Tilt — so the dense PE store enumerates them; anything else (figure
+// generators sweep synthetic variants) goes to the overflow map.
+const peNumVariants = 3
+
+// variantIndex maps a variant to its dense-store index.
+func variantIndex(v vats.Variant) (int, bool) {
+	switch v {
+	case vats.IdentityVariant():
+		return 0, true
+	case tech.QueueThreeQuarter.Variant():
+		return 1, true
+	case tech.FULowSlope.Variant():
+		return 2, true
+	}
+	return 0, false
+}
+
+// peStore holds one chip's PE-fmax tables: a flat preallocated array
+// indexed by (subsystem, variant, vddIdx, vbbIdx, tempIdx) for queries on
+// the discrete actuation grids — no hashing, no pointer chasing — plus an
+// overflow map for off-grid levels and exotic variants. Tables build on
+// first touch.
+type peStore struct {
+	nSubs    int
+	dense    []peTable
+	built    []bool
+	overflow map[peKey]*peTable
+}
+
+func newPEStore(nSubs int) *peStore {
+	n := nSubs * peNumVariants * tech.NumVddLevels * tech.NumVbbLevels * len(peTempsC)
+	return &peStore{
+		nSubs:    nSubs,
+		dense:    make([]peTable, n),
+		built:    make([]bool, n),
+		overflow: make(map[peKey]*peTable),
+	}
 }
 
 // peBudgets are the error-budget grid points of the cached inverse tables;
@@ -143,8 +226,22 @@ type peTable struct {
 }
 
 // tableAt returns (building if needed) the inverse table at temperature
-// grid index tIdx.
+// grid index tIdx. On-grid (Vdd, Vbb) points with a known variant hit the
+// dense store by index arithmetic alone; everything else falls back to
+// the overflow map.
 func (c *Core) tableAt(sub int, v vats.Variant, vddV, vbbV float64, tIdx int) *peTable {
+	if vi, ok := variantIndex(v); ok {
+		if di, ok := tech.VddIndex(vddV); ok {
+			if bi, ok := tech.VbbIndex(vbbV); ok {
+				slot := (((sub*peNumVariants+vi)*tech.NumVddLevels+di)*tech.NumVbbLevels+bi)*len(peTempsC) + tIdx
+				if !c.pe.built[slot] {
+					c.buildTable(&c.pe.dense[slot], sub, v, vddV, vbbV, tIdx)
+					c.pe.built[slot] = true
+				}
+				return &c.pe.dense[slot]
+			}
+		}
+	}
 	key := peKey{
 		sub:      sub,
 		variant:  v,
@@ -152,17 +249,22 @@ func (c *Core) tableAt(sub int, v vats.Variant, vddV, vbbV float64, tIdx int) *p
 		vbbMilli: int(math.Round(vbbV * 1000)),
 		tIdx:     tIdx,
 	}
-	tab, ok := c.peCache[key]
+	tab, ok := c.pe.overflow[key]
 	if !ok {
-		tK := peTempsC[tIdx] + 273.15
-		curve := c.Subs[sub].Stage.Eval(vats.Cond{VddV: vddV, VbbV: vbbV, TK: tK}, v)
 		tab = &peTable{}
-		for bi, b := range peBudgets {
-			tab.fmax[bi] = curve.FMaxForPE(b)
-		}
-		c.peCache[key] = tab
+		c.buildTable(tab, sub, v, vddV, vbbV, tIdx)
+		c.pe.overflow[key] = tab
 	}
 	return tab
+}
+
+// buildTable fills one inverse table from the stage's error curve.
+func (c *Core) buildTable(tab *peTable, sub int, v vats.Variant, vddV, vbbV float64, tIdx int) {
+	tK := peTempsC[tIdx] + 273.15
+	curve := c.Subs[sub].Stage.Eval(vats.Cond{VddV: vddV, VbbV: vbbV, TK: tK}, v)
+	for bi, b := range peBudgets {
+		tab.fmax[bi] = curve.FMaxForPE(b)
+	}
 }
 
 // peFMax returns the maximum relative frequency at which the subsystem's
@@ -302,27 +404,91 @@ func (c *Core) comboFMax(i int, q FreqQuery, vdd, vbb, budget float64) float64 {
 	return f
 }
 
+// freqMemoKey identifies one FreqSolve invocation exactly: the float
+// inputs are keyed by their bit patterns (no quantization), so a memo hit
+// returns the very result the scan would have produced and summaries stay
+// bit-for-bit identical. Repeated phases, the Static conservative
+// profiles, and the retune ramps present identical queries constantly.
+type freqMemoKey struct {
+	sub                    int
+	thk, alpha, rho, pmult uint64
+	variant                vats.Variant
+}
+
+// powerMemoKey additionally pins the core frequency.
+type powerMemoKey struct {
+	freq  freqMemoKey
+	fcore uint64
+}
+
+// solveMemoCap bounds each memo map; once full, new entries are simply
+// not inserted (deterministic, unlike eviction).
+const solveMemoCap = 1 << 15
+
+func memoKeyFor(i int, q FreqQuery) freqMemoKey {
+	return freqMemoKey{
+		sub:     i,
+		thk:     math.Float64bits(q.THK),
+		alpha:   math.Float64bits(q.AlphaF),
+		rho:     math.Float64bits(q.Rho),
+		pmult:   math.Float64bits(q.PowerMult),
+		variant: q.Variant,
+	}
+}
+
 // FreqSolve runs the exhaustive Freq algorithm of §4.2 for subsystem i:
 // over all (Vdd, Vbb) levels, the highest frequency that violates neither
 // the temperature cap nor the stage's share of the error budget, with the
 // subsystem's delay evaluated at its own steady-state temperature.
+// Solutions are memoized per exact query (the level grids are fixed by
+// the core's configuration).
 func (c *Core) FreqSolve(i int, q FreqQuery) FreqResult {
-	return c.FreqSolveAt(i, q, c.Config.VddLevels(nominalVdd), c.Config.VbbLevels())
+	if c.DisablePruning {
+		return c.FreqSolveAt(i, q, c.Config.VddLevels(nominalVdd), c.Config.VbbLevels())
+	}
+	key := memoKeyFor(i, q)
+	if r, ok := c.freqMemo[key]; ok {
+		c.Obs.Counter("adapt.freq.memo_hits").Inc()
+		return r
+	}
+	r := c.FreqSolveAt(i, q, c.Config.VddLevels(nominalVdd), c.Config.VbbLevels())
+	if len(c.freqMemo) < solveMemoCap {
+		c.freqMemo[key] = r
+	}
+	return r
 }
 
 // FreqSolveAt is FreqSolve restricted to explicit actuation-level lists —
-// used by ablations such as a single chip-wide ASV domain.
+// used by ablations such as a single chip-wide ASV domain. Never memoized
+// (the level lists are caller state), but still pruned.
 func (c *Core) FreqSolveAt(i int, q FreqQuery, vdds, vbbs []float64) FreqResult {
 	budget := c.stageBudget(q.Rho)
+	// Devices can be no cooler than the heat sink, and the PE-limited
+	// fmax falls with temperature, so fPE at the sink temperature (capped
+	// at TMAX, matching comboFMax's clamp) upper-bounds every damped
+	// iterate of comboFMax. A combo whose bound cannot beat the incumbent
+	// after the snap cannot win the scan and is skipped outright.
+	sinkT := math.Min(q.THK, c.Limits.TMaxK)
+	pruned := 0
 	var best FreqResult
 	for _, vdd := range vdds {
 		for _, vbb := range vbbs {
+			if best.FMax > 0 && !c.DisablePruning {
+				bound := c.peFMax(i, q.Variant, vdd, vbb, budget, sinkT)
+				if tech.SnapFRelDown(math.Min(bound, tech.FRelMax)) <= best.FMax+1e-12 {
+					pruned++
+					continue
+				}
+			}
 			f := c.comboFMax(i, q, vdd, vbb, budget)
 			f = tech.SnapFRelDown(math.Min(f, tech.FRelMax))
 			if f > best.FMax+1e-12 {
 				best = FreqResult{FMax: f, VddV: vdd, VbbV: vbb}
 			}
 		}
+	}
+	if pruned > 0 {
+		c.Obs.Counter("adapt.freq.pruned_combos").Add(int64(pruned))
 	}
 	return best
 }
@@ -342,7 +508,25 @@ type PowerResult struct {
 // power while still meeting the frequency at the temperature and error
 // constraints. If no level pair meets fCore, the fastest pair is returned
 // with Feasible=false (retuning will pull the core frequency down).
+// Solutions are memoized per exact (query, fCore) pair.
 func (c *Core) PowerSolve(i int, fCore float64, q FreqQuery) PowerResult {
+	if c.DisablePruning {
+		return c.powerSolveScan(i, fCore, q)
+	}
+	key := powerMemoKey{freq: memoKeyFor(i, q), fcore: math.Float64bits(fCore)}
+	if r, ok := c.powerMemo[key]; ok {
+		c.Obs.Counter("adapt.power.memo_hits").Inc()
+		return r
+	}
+	r := c.powerSolveScan(i, fCore, q)
+	if len(c.powerMemo) < solveMemoCap {
+		c.powerMemo[key] = r
+	}
+	return r
+}
+
+// powerSolveScan is the uncached Power scan.
+func (c *Core) powerSolveScan(i int, fCore float64, q FreqQuery) PowerResult {
 	budget := c.stageBudget(q.Rho)
 	var best PowerResult
 	bestPower := math.Inf(1)

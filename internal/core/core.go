@@ -256,6 +256,17 @@ func (s *Simulator) BuildCore(chip *varius.ChipMaps, env Environment) (*adapt.Co
 	if !cfg.TimingSpec {
 		cfg = tech.Config{TimingSpec: true}
 	}
+	subs, err := s.buildSubsystems(chip)
+	if err != nil {
+		return nil, err
+	}
+	return s.coreFromSubsystems(subs, cfg)
+}
+
+// buildSubsystems assembles one chip's per-subsystem stage models and
+// leakage-effective Vt0 constants. The result is configuration-independent,
+// so one assembly can back the cores of every environment of a chip.
+func (s *Simulator) buildSubsystems(chip *varius.ChipMaps) ([]adapt.Subsystem, error) {
 	subs := make([]adapt.Subsystem, s.fp.N())
 	for i, sub := range s.fp.Subsystems {
 		stage, err := vats.NewStage(sub, chip, s.opts.Varius)
@@ -265,6 +276,11 @@ func (s *Simulator) BuildCore(chip *varius.ChipMaps, env Environment) (*adapt.Co
 		_, _, leakEff := chip.RegionVtStats(sub.Rect, s.opts.Varius)
 		subs[i] = adapt.Subsystem{Index: i, Sub: sub, Stage: stage, Vt0EffV: leakEff}
 	}
+	return subs, nil
+}
+
+// coreFromSubsystems wraps a subsystem assembly into a core for cfg.
+func (s *Simulator) coreFromSubsystems(subs []adapt.Subsystem, cfg tech.Config) (*adapt.Core, error) {
 	core, err := adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
 	if err != nil {
 		return nil, err

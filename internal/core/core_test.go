@@ -592,8 +592,29 @@ func TestFigure13Configs(t *testing.T) {
 
 func TestEnvOfConfigRoundTrip(t *testing.T) {
 	for _, env := range AdaptiveEnvironments() {
-		if got := envOfConfig(env.Config()); got != env {
+		got, err := envOfConfig(env.Config())
+		if err != nil {
+			t.Errorf("envOfConfig(%v.Config()): %v", env, err)
+		}
+		if got != env {
 			t.Errorf("envOfConfig(%v.Config()) = %v", env, got)
+		}
+	}
+}
+
+func TestEnvOfConfigRejectsUnknown(t *testing.T) {
+	// Outside Table 1 (e.g. the Figure 13 TS+ABB grid, or nonsense combos)
+	// there is no environment name; mapping must fail loudly instead of
+	// silently reporting TS.
+	bad := []tech.Config{
+		{TimingSpec: true, ABB: true},
+		{TimingSpec: true, FUReplication: true},
+		{TimingSpec: true, ABB: true, QueueResize: true, FUReplication: true},
+		{},
+	}
+	for _, cfg := range bad {
+		if _, err := envOfConfig(cfg); err == nil {
+			t.Errorf("envOfConfig(%+v) accepted a non-Table-1 config", cfg)
 		}
 	}
 }

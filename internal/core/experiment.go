@@ -343,6 +343,19 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 	}
 	chip := s.Chip(seed)
 
+	// One stage-model assembly backs every environment's core of this
+	// chip, and the first core built donates its PE-fmax tables to the
+	// rest: the tables depend only on the stage models, so the six
+	// environments amortize one set of vats.Curve evaluations. All cores
+	// of a chip live on this one worker goroutine (the adapt package's
+	// ownership rule).
+	subs, err := s.buildSubsystems(chip)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	var peDonor *adapt.Core
+
 	// Baseline anchors.
 	fvar, err := s.ChipFVar(chip)
 	if err != nil {
@@ -367,8 +380,18 @@ func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
 		if chipSpan != nil {
 			envSpan = chipSpan.Child(env.String())
 		}
-		core, err := s.BuildCore(chip, env)
+		cfg0 := env.Config()
+		if !cfg0.TimingSpec {
+			cfg0 = tech.Config{TimingSpec: true}
+		}
+		core, err := s.coreFromSubsystems(subs, cfg0)
 		if err != nil {
+			res.err = err
+			return res
+		}
+		if peDonor == nil {
+			peDonor = core
+		} else if err := core.SharePETables(peDonor); err != nil {
 			res.err = err
 			return res
 		}
@@ -560,23 +583,13 @@ func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
 	return cells, nil
 }
 
-// buildCoreWithConfig is BuildCore for an arbitrary technique configuration.
+// BuildCoreWithConfig is BuildCore for an arbitrary technique configuration.
 func (s *Simulator) BuildCoreWithConfig(chip *varius.ChipMaps, cfg tech.Config) (*adapt.Core, error) {
-	subs := make([]adapt.Subsystem, s.fp.N())
-	for i, sub := range s.fp.Subsystems {
-		stage, err := vats.NewStage(sub, chip, s.opts.Varius)
-		if err != nil {
-			return nil, err
-		}
-		_, _, leakEff := chip.RegionVtStats(sub.Rect, s.opts.Varius)
-		subs[i] = adapt.Subsystem{Index: i, Sub: sub, Stage: stage, Vt0EffV: leakEff}
-	}
-	core, err := adapt.NewCore(subs, s.pw, s.th, s.opts.Checker, cfg, s.opts.Limits)
+	subs, err := s.buildSubsystems(chip)
 	if err != nil {
 		return nil, err
 	}
-	core.Obs = s.obs
-	return core, nil
+	return s.coreFromSubsystems(subs, cfg)
 }
 
 // Table2Row is one row of Table 2: the mean |fuzzy - exhaustive| for one

@@ -131,7 +131,10 @@ func (s *Simulator) RunDynamic(core *adapt.Core, app workload.App, mode Mode, so
 	if mode != FuzzyDyn && mode != ExhDyn {
 		return AppRun{}, fmt.Errorf("core: RunDynamic requires a dynamic mode, got %v", mode)
 	}
-	env := envOfConfig(core.Config)
+	env, err := envOfConfig(core.Config)
+	if err != nil {
+		return AppRun{}, err
+	}
 	run := AppRun{App: app.Name, Env: env, Mode: mode}
 	for _, ph := range app.Phases {
 		prof, err := s.Profile(app, ph)
@@ -211,7 +214,10 @@ func (s *Simulator) conservativeProfile(class workload.Class, apps []workload.Ap
 // The hardware's protective retuning still acts if a phase manages to
 // violate a constraint (it should not, given the conservative choice).
 func (s *Simulator) RunStatic(core *adapt.Core, app workload.App, point adapt.OperatingPoint) (AppRun, error) {
-	env := envOfConfig(core.Config)
+	env, err := envOfConfig(core.Config)
+	if err != nil {
+		return AppRun{}, err
+	}
 	run := AppRun{App: app.Name, Env: env, Mode: Static}
 	for _, ph := range app.Phases {
 		prof, err := s.Profile(app, ph)
@@ -256,21 +262,25 @@ func accumulate(run *AppRun, weight float64, res adapt.RetuneResult) {
 }
 
 // envOfConfig maps a technique configuration back to its Table 1 name.
-func envOfConfig(cfg tech.Config) Environment {
+// Configurations outside Table 1 (e.g. the Figure 13 TS+ABB grid) have no
+// environment name and are reported as an error rather than silently
+// mislabeled; the figure experiments that use them evaluate cores
+// directly and never come through here.
+func envOfConfig(cfg tech.Config) (Environment, error) {
 	switch cfg {
 	case (tech.Config{TimingSpec: true}):
-		return TS
+		return TS, nil
 	case (tech.Config{TimingSpec: true, ASV: true}):
-		return TSASV
+		return TSASV, nil
 	case (tech.Config{TimingSpec: true, ASV: true, ABB: true}):
-		return TSASVABB
+		return TSASVABB, nil
 	case (tech.Config{TimingSpec: true, ASV: true, QueueResize: true}):
-		return TSASVQ
+		return TSASVQ, nil
 	case (tech.Config{TimingSpec: true, ASV: true, QueueResize: true, FUReplication: true}):
-		return TSASVQFU
+		return TSASVQFU, nil
 	case (tech.Config{TimingSpec: true, ASV: true, ABB: true, QueueResize: true, FUReplication: true}):
-		return All
+		return All, nil
 	default:
-		return TS
+		return TS, fmt.Errorf("core: config %+v matches no Table 1 environment", cfg)
 	}
 }

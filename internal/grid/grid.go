@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mathx"
 )
@@ -170,24 +171,72 @@ func (r Rect) Contains(x, y float64) bool {
 // Area returns the rectangle's area.
 func (r Rect) Area() float64 { return (r.X1 - r.X0) * (r.Y1 - r.Y0) }
 
-// Region returns the values of all cells whose centers fall inside rect.
-// If no cell center falls inside (a very small rectangle), the value of the
-// cell containing the rectangle's center is returned so that every
-// subsystem sees at least one sample.
-func (f *Field) Region(rect Rect) []float64 {
-	var out []float64
-	for i := range f.Values {
-		x, y := f.Grid.CellCenter(i)
+// RegionIndices returns the indices of all cells whose centers fall inside
+// rect. If no cell center falls inside (a very small rectangle), the index
+// of the cell containing the rectangle's center is returned so that every
+// subsystem sees at least one sample. The result depends only on the grid
+// geometry, so callers that query the same rectangles repeatedly (every
+// chip shares one floorplan) can compute the index lists once and gather
+// values with Field.ValuesAt — see RegionCache.
+func (g Grid) RegionIndices(rect Rect) []int {
+	var out []int
+	for i, n := 0, g.N(); i < n; i++ {
+		x, y := g.CellCenter(i)
 		if rect.Contains(x, y) {
-			out = append(out, f.Values[i])
+			out = append(out, i)
 		}
 	}
 	if len(out) == 0 {
 		cx := 0.5 * (rect.X0 + rect.X1)
 		cy := 0.5 * (rect.Y0 + rect.Y1)
-		out = append(out, f.AtXY(cx, cy))
+		out = append(out, g.CellAt(cx, cy))
 	}
 	return out
+}
+
+// ValuesAt gathers the field values at the given cell indices.
+func (f *Field) ValuesAt(idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for k, i := range idx {
+		out[k] = f.Values[i]
+	}
+	return out
+}
+
+// Region returns the values of all cells whose centers fall inside rect,
+// with the same small-rectangle fallback as RegionIndices.
+func (f *Field) Region(rect Rect) []float64 {
+	return f.ValuesAt(f.Grid.RegionIndices(rect))
+}
+
+// RegionCache memoizes RegionIndices per rectangle for one grid, so the
+// per-subsystem cell scans run once per process instead of once per
+// chip × subsystem × field. Safe for concurrent use.
+type RegionCache struct {
+	mu sync.Mutex
+	g  Grid
+	m  map[Rect][]int
+}
+
+// NewRegionCache returns a cache serving the given grid.
+func NewRegionCache(g Grid) *RegionCache {
+	return &RegionCache{g: g, m: make(map[Rect][]int)}
+}
+
+// Indices returns the (cached) RegionIndices of rect on grid g. A grid
+// other than the cache's is served uncached.
+func (rc *RegionCache) Indices(g Grid, rect Rect) []int {
+	if rc == nil || g != rc.g {
+		return g.RegionIndices(rect)
+	}
+	rc.mu.Lock()
+	idx, ok := rc.m[rect]
+	if !ok {
+		idx = g.RegionIndices(rect)
+		rc.m[rect] = idx
+	}
+	rc.mu.Unlock()
+	return idx
 }
 
 // Stats summarizes the field values.

@@ -1,0 +1,86 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// regionReference is the pre-cache implementation of Field.Region: a full
+// cell scan per call. Kept here verbatim as the oracle for the index-list
+// fast path.
+func regionReference(f *Field, rect Rect) []float64 {
+	var out []float64
+	for i := range f.Values {
+		x, y := f.Grid.CellCenter(i)
+		if rect.Contains(x, y) {
+			out = append(out, f.Values[i])
+		}
+	}
+	if len(out) == 0 {
+		cx := 0.5 * (rect.X0 + rect.X1)
+		cy := 0.5 * (rect.Y0 + rect.Y1)
+		out = append(out, f.AtXY(cx, cy))
+	}
+	return out
+}
+
+func testRects(side float64) []Rect {
+	return []Rect{
+		{0, 0, side, side}, // whole die
+		{0.1 * side, 0.2 * side, 0.6 * side, 0.5 * side},         // interior
+		{0.7 * side, 0.7 * side, side, side},                     // corner
+		{0.41 * side, 0.43 * side, 0.4101 * side, 0.4302 * side}, // tiny: fallback cell
+		{0.95 * side, 0.01 * side, 0.999 * side, 0.0199 * side},  // thin sliver
+	}
+}
+
+// TestRegionMatchesReference pins the precomputed-index Region (and the
+// RegionCache path) to the original per-call scan, value for value.
+func TestRegionMatchesReference(t *testing.T) {
+	g, err := New(10, 10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := NewFieldGenerator(g, Spherical(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fg.Sample(mathx.NewRNG(42), 0.25, 0.03)
+	rc := NewRegionCache(g)
+	for _, rect := range testRects(g.Side) {
+		want := regionReference(f, rect)
+		for pass := 0; pass < 2; pass++ { // second pass hits the cache
+			got := f.Region(rect)
+			cached := f.ValuesAt(rc.Indices(g, rect))
+			if len(got) != len(want) || len(cached) != len(want) {
+				t.Fatalf("rect %+v: lengths %d/%d, want %d", rect, len(got), len(cached), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] || cached[i] != want[i] {
+					t.Fatalf("rect %+v cell %d: got %g cached %g want %g",
+						rect, i, got[i], cached[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRegionCacheForeignGrid checks the cache declines grids it does not
+// serve rather than mixing index lists across geometries.
+func TestRegionCacheForeignGrid(t *testing.T) {
+	g1, _ := New(10, 10, 1.0)
+	g2, _ := New(7, 7, 1.0)
+	rc := NewRegionCache(g1)
+	rect := Rect{0, 0, 0.5, 0.5}
+	want := g2.RegionIndices(rect)
+	got := rc.Indices(g2, rect)
+	if len(got) != len(want) {
+		t.Fatalf("foreign grid: got %d indices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("foreign grid index %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

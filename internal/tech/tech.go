@@ -166,6 +166,40 @@ func (c Config) VbbLevels() []float64 {
 // FRelLevels returns the frequency grid.
 func FRelLevels() []float64 { return levels(FRelMin, FRelMax, FRelStep) }
 
+// NumVddLevels and NumVbbLevels are the sizes of the full Figure 7(a)
+// actuation grids (with ASV/ABB enabled): 9 supply levels and 21 bias
+// levels. They size the adaptation layer's dense per-level caches.
+const (
+	NumVddLevels = 9
+	NumVbbLevels = 21
+)
+
+// VddIndex maps a supply voltage to its index on the full ASV grid.
+// ok is false for values off the grid (e.g. a non-nominal VddNomV in an
+// ablation), which callers must handle without the dense fast path.
+func VddIndex(v float64) (idx int, ok bool) {
+	return levelIndex(v, VddMinV, VddStepV, NumVddLevels)
+}
+
+// VbbIndex maps a body-bias voltage to its index on the full ABB grid.
+func VbbIndex(v float64) (idx int, ok bool) {
+	return levelIndex(v, VbbMinV, VbbStepV, NumVbbLevels)
+}
+
+func levelIndex(v, lo, step float64, n int) (int, bool) {
+	idx := int(math.Round((v - lo) / step))
+	if idx < 0 || idx >= n {
+		return 0, false
+	}
+	// Accept only values that are (up to rounding noise) exactly on the
+	// grid: the dense caches key on the index, so two distinct voltages
+	// must never share a slot.
+	if math.Abs(math.Round((lo+float64(idx)*step)*1e6)/1e6-v) > 1e-9 {
+		return 0, false
+	}
+	return idx, true
+}
+
 // SnapFRelDown snaps f down to the frequency grid; values below the grid
 // floor return the floor (the PLL cannot go lower).
 func SnapFRelDown(f float64) float64 {

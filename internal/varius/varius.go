@@ -214,14 +214,37 @@ type ChipMaps struct {
 	LeffSigmaRan float64
 	// NoVariation marks the idealized chip of the NoVar environment.
 	NoVariation bool
+
+	// regions is the generator's shared region-index cache (nil for chips
+	// assembled by hand, which fall back to the uncached scan).
+	regions *grid.RegionCache
+}
+
+// VtRegion returns the systematic Vt0 values of the cells under r, using
+// the generator's precomputed region-index cache when available.
+func (c *ChipMaps) VtRegion(r grid.Rect) []float64 {
+	return c.regionValues(c.VtSys, r)
+}
+
+// LeffRegion returns the systematic relative Leff values under r.
+func (c *ChipMaps) LeffRegion(r grid.Rect) []float64 {
+	return c.regionValues(c.LeffSys, r)
+}
+
+func (c *ChipMaps) regionValues(f *grid.Field, r grid.Rect) []float64 {
+	if c.regions == nil {
+		return f.Region(r)
+	}
+	return f.ValuesAt(c.regions.Indices(f.Grid, r))
 }
 
 // Generator produces chips. It factors the grid correlation matrix once and
 // reuses it for every chip, mirroring how the paper draws 100 chips from
 // one (sigma, phi) configuration.
 type Generator struct {
-	params Params
-	fgen   *grid.FieldGenerator
+	params  Params
+	fgen    *grid.FieldGenerator
+	regions *grid.RegionCache
 }
 
 // NewGenerator validates p and prepares the correlated-field machinery.
@@ -237,7 +260,7 @@ func NewGenerator(p Params) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Generator{params: p, fgen: fg}, nil
+	return &Generator{params: p, fgen: fg, regions: grid.NewRegionCache(g)}, nil
 }
 
 // Params returns the generator's configuration.
@@ -274,6 +297,7 @@ func (g *Generator) Chip(seed int64) *ChipMaps {
 		LeffSys:      leff,
 		VtSigmaRan:   p.VtSigmaRan(),
 		LeffSigmaRan: p.LeffSigmaRan(),
+		regions:      g.regions,
 	}
 }
 
@@ -287,6 +311,7 @@ func (g *Generator) NoVarChip() *ChipMaps {
 		VtSys:       grid.Uniform(g.fgen.Grid(), p.VtMeanV),
 		LeffSys:     grid.Uniform(g.fgen.Grid(), 1.0),
 		NoVariation: true,
+		regions:     g.regions,
 	}
 }
 
@@ -296,7 +321,7 @@ func (g *Generator) NoVarChip() *ChipMaps {
 // which is what a tester powering the subsystem alone would infer from the
 // current it draws — §4.1).
 func (c *ChipMaps) RegionVtStats(r grid.Rect, p Params) (mean, max, leakEff float64) {
-	vals := c.VtSys.Region(r)
+	vals := c.VtRegion(r)
 	mean = mathx.Mean(vals)
 	max = mathx.Max(vals)
 	// Leakage-effective Vt at tester temperature TRefK:
@@ -312,6 +337,6 @@ func (c *ChipMaps) RegionVtStats(r grid.Rect, p Params) (mean, max, leakEff floa
 
 // RegionLeffStats summarizes the systematic relative Leff over a rectangle.
 func (c *ChipMaps) RegionLeffStats(r grid.Rect) (mean, max float64) {
-	vals := c.LeffSys.Region(r)
+	vals := c.LeffRegion(r)
 	return mathx.Mean(vals), mathx.Max(vals)
 }

@@ -165,8 +165,8 @@ type Stage struct {
 // NewStage builds the timing model of one subsystem on one chip.
 func NewStage(sub floorplan.Subsystem, chip *varius.ChipMaps, p varius.Params) (*Stage, error) {
 	sp := StageParamsFor(sub)
-	vt0 := chip.VtSys.Region(sub.Rect)
-	leff := chip.LeffSys.Region(sub.Rect)
+	vt0 := chip.VtRegion(sub.Rect)
+	leff := chip.LeffRegion(sub.Rect)
 	if len(vt0) == 0 || len(leff) == 0 {
 		return nil, fmt.Errorf("vats: subsystem %v has no variation cells", sub.ID)
 	}

@@ -1,0 +1,155 @@
+// Command benchjson runs the adaptation-engine benchmark trajectory and
+// writes the results to a JSON file, so successive commits can be compared
+// point for point without re-parsing `go test -bench` text.
+//
+// Two passes keep the wall clock sane: the microbenchmarks run at the
+// default benchtime for stable ns/op, while the end-to-end Figure 10
+// reproduction (tens of seconds per op) runs exactly once.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+const (
+	fastPattern  = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline)$"
+	fig10Pattern = "^BenchmarkFig10_RelativeFrequency$"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type trajectory struct {
+	Commit     string        `json:"commit"`
+	GoVersion  string        `json:"go_version"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH_adapt.json", "output JSON file")
+	flag.Parse()
+
+	fast, err := runBench(fastPattern, "")
+	if err != nil {
+		fatal(err)
+	}
+	fig10, err := runBench(fig10Pattern, "1x")
+	if err != nil {
+		fatal(err)
+	}
+	traj := trajectory{
+		Commit:     gitCommit(),
+		GoVersion:  runtime.Version(),
+		Benchmarks: append(fast, fig10...),
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d benchmarks at commit %s\n",
+		*outPath, len(traj.Benchmarks), traj.Commit)
+}
+
+func runBench(pattern, benchtime string) ([]benchResult, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	results, err := parseBench(out.String())
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q", pattern)
+	}
+	return results, nil
+}
+
+// parseBench reads standard `go test -bench` result lines:
+//
+//	BenchmarkFreqSolve-8   43210   27726 ns/op   248 B/op   5 allocs/op
+//
+// Unrecognized value/unit pairs (b.ReportMetric output) land in Metrics.
+func parseBench(out string) ([]benchResult, error) {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a status line, not a result line
+		}
+		r := benchResult{Name: name, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	commit := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(bytes.TrimSpace(status)) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
