@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json
+.PHONY: check build test vet fmt bench bench-json bench-smoke
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -20,7 +20,14 @@ bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...
 
 # Adaptation-engine benchmark trajectory: runs the solver/chip/pipeline
-# microbenchmarks plus the Figure 10 end-to-end reproduction and records
-# ns/op, B/op, allocs/op per commit in BENCH_adapt.json.
+# microbenchmarks plus the end-to-end experiments (Figure 10, and the
+# serial-vs-parallel training and Figure 13 pairs) and records ns/op,
+# B/op, allocs/op per commit in BENCH_adapt.json.
 bench-json:
 	go run ./tools/benchjson -out BENCH_adapt.json
+
+# One-iteration run of the serial-vs-parallel training benchmark: cheap
+# enough for CI, and catches regressions that only break the parallel
+# training path (the unit tests cover determinism; this covers "it runs").
+bench-smoke:
+	go test -run '^$$' -bench TrainFuzzy -benchtime 1x .

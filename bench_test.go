@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -261,28 +262,72 @@ func BenchmarkFig12_Power(b *testing.B) {
 }
 
 // BenchmarkFig13_ControllerOutcomes regenerates Figure 13: the outcome mix
-// of the fuzzy controller system across the 16-configuration grid. Paper
+// of the fuzzy controller system across the 16-configuration grid, at the
+// serial and 8-worker settings of the (config × chip) work queue. Paper
 // anchor: NoChange+LowFreq account for >=50% in every bar.
 func BenchmarkFig13_ControllerOutcomes(b *testing.B) {
-	sim := newBenchSim(b)
-	cfg := benchConfig()
-	cfg.Chips = 1
-	cfg.Apps = []string{"gcc", "swim"}
-	var minGood float64
-	for i := 0; i < b.N; i++ {
-		cells, err := sim.RunOutcomes(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		minGood = 1.0
-		for _, c := range cells {
-			good := c.Fractions[adapt.OutcomeNoChange] + c.Fractions[adapt.OutcomeLowFreq]
-			if good < minGood {
-				minGood = good
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sim := newBenchSim(b)
+			cfg := benchConfig()
+			cfg.Chips = 1
+			cfg.Apps = []string{"gcc", "swim"}
+			cfg.Workers = workers
+			var minGood float64
+			for i := 0; i < b.N; i++ {
+				cells, err := sim.RunOutcomes(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				minGood = 1.0
+				for _, c := range cells {
+					good := c.Fractions[adapt.OutcomeNoChange] + c.Fractions[adapt.OutcomeLowFreq]
+					if good < minGood {
+						minGood = good
+					}
+				}
 			}
-		}
+			b.ReportMetric(minGood, "min_nochange+lowfreq_frac")
+		})
 	}
-	b.ReportMetric(minGood, "min_nochange+lowfreq_frac")
+}
+
+// BenchmarkTrainFuzzySolver measures the §4.3.1 manufacturer-side training
+// of one chip's full controller set — the wall-clock-dominant step of every
+// experiment at paper scale — serially and fanned across 8 workers. The
+// PE-fmax tables are warmed before timing so both settings measure example
+// labeling and gradient-descent fits, not table construction; trained
+// controllers are byte-identical across settings.
+func BenchmarkTrainFuzzySolver(b *testing.B) {
+	sim := newBenchSim(b)
+	cpu, err := sim.BuildCore(sim.Chip(benchSeed), core.TSASVQFU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := adapt.DefaultTrainOptions()
+	opts.Examples = benchExamples
+	opts.Seed = benchSeed
+	warm := opts
+	warm.Examples = warm.Fuzzy.Rules
+	if _, err := adapt.TrainFuzzySolver([]*adapt.Core{cpu}, warm); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			b.ResetTimer()
+			var controllers int
+			for i := 0; i < b.N; i++ {
+				s, err := adapt.TrainFuzzySolver([]*adapt.Core{cpu}, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				controllers = s.ControllerCount()
+			}
+			b.ReportMetric(float64(controllers), "controllers")
+		})
+	}
 }
 
 // BenchmarkTable2_FuzzyAccuracy regenerates Table 2: the mean difference

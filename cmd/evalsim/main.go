@@ -31,6 +31,10 @@
 //	                  (TrainSolver; the summary experiments train per chip)
 //	-examples n       fuzzy training examples per controller (paper: 10000)
 //	-tracelen n       instructions per phase profile (trace length)
+//	-workers n        worker goroutines for the chip×env / config×chip /
+//	                  env×chip work queues of summary, fig10-13, and
+//	                  table2 (0 = GOMAXPROCS); results are byte-identical
+//	                  at every worker count
 //
 // Observability flags (any experiment; see README "Observability &
 // profiling"):
@@ -79,6 +83,7 @@ func main() {
 		trainChips = flag.Int("trainchips", 2, "chips used for fuzzy training")
 		traceLen   = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
 		modes      = flag.String("modes", "static,fuzzy,exh", "adaptation modes for fig10-12")
+		workers    = flag.Int("workers", 0, "worker goroutines for the experiment work queues (0 = GOMAXPROCS)")
 		progress   = flag.Bool("progress", false, "render live per-worker progress to stderr")
 		metrics    = flag.Bool("metrics", false, "print a metrics footer (timers, counters, occupancy) at exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -128,6 +133,7 @@ func main() {
 	cfg.SeedBase = *seed
 	cfg.TrainChips = *trainChips
 	cfg.Training.Examples = *examples
+	cfg.Workers = *workers
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 	}

@@ -13,6 +13,11 @@
 //	fuzzytrain -env TS+ASV -examples 2000
 //	fuzzytrain -env TS+ASV -fleet -trainchips 4   # generalization study
 //	fuzzytrain -env ALL -examples 10000 -out controllers.json
+//	fuzzytrain -env TS+ASV -workers 8             # parallel training
+//
+// -workers fans the per-(subsystem, variant) example labeling and
+// controller fits across a worker pool (0, the default, uses GOMAXPROCS).
+// Trained controllers are byte-identical at every worker count.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/adapt"
@@ -38,6 +44,7 @@ func main() {
 		fleet    = flag.Bool("fleet", false, "train one controller set across trainchips dies instead of per chip")
 		seed     = flag.Int64("seed", 1000, "base seed")
 		out      = flag.String("out", "", "optional path to save the trained controllers (JSON)")
+		workers  = flag.Int("workers", 0, "worker goroutines for training (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -54,6 +61,10 @@ func main() {
 	cfg.SeedBase = *seed
 	cfg.TrainChips = *chips
 	cfg.Training.Examples = *examples
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Training.Workers = *workers
 
 	var solver *adapt.FuzzySolver
 	start := time.Now()

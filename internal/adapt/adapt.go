@@ -12,18 +12,28 @@
 //
 // # Ownership
 //
-// A Core carries unsynchronized solver caches (the dense PE-fmax tables
-// and the Freq/Power memoization maps), so a Core — together with any
-// cores sharing its PE tables via SharePETables — must only be driven by
-// one goroutine at a time. The experiment harness obeys this by handling
-// each chip, and therefore each chip's cores, on a single worker
-// goroutine; concurrency comes from working on many chips at once, never
-// from sharing a chip's cores across workers.
+// A Core carries unsynchronized Freq/Power solve-memoization maps, so an
+// individual Core must only be driven by one goroutine at a time. The
+// PE-fmax table store underneath is different: its lazy builds publish
+// through sync.Once-style atomic flags, so one store may back any number
+// of cores on any number of goroutines concurrently — tables are built at
+// most once and every reader observes a fully-built table. Two sharing
+// patterns follow:
+//
+//   - SharePETables joins cores modeling the same chip (e.g. the six
+//     environment cores of one chip) into one store; the cores may then be
+//     driven from different worker goroutines, as the (chip × environment)
+//     work queue of the experiment harness does.
+//   - WorkerView clones a core into a per-goroutine view with fresh memo
+//     maps over the shared read-only models and table store; the parallel
+//     fuzzy-training pipeline hands one view per worker slot.
 package adapt
 
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/checker"
 	"repro/internal/floorplan"
@@ -140,8 +150,9 @@ func (c *Core) N() int { return len(c.Subs) }
 // only on the stage models — not on the technique configuration — so the
 // cores built for one chip's six environments can share one store and
 // amortize the vats.Curve evaluations. The donor must model the same chip
-// (same stage models, in order); both cores fall under one ownership
-// domain afterwards (see the package comment).
+// (same stage models, in order). The store is safe for concurrent use, so
+// the sharing cores may run on different goroutines; each individual core
+// still belongs to one goroutine (see the package comment).
 func (c *Core) SharePETables(donor *Core) error {
 	if donor == nil || donor.pe == nil {
 		return fmt.Errorf("adapt: nil donor")
@@ -156,6 +167,19 @@ func (c *Core) SharePETables(donor *Core) error {
 	}
 	c.pe = donor.pe
 	return nil
+}
+
+// WorkerView returns a core that shares this core's immutable models
+// (stages, power, thermal, checker, limits) and its concurrency-safe
+// PE-table store, but owns fresh solve-memoization maps. Views are how a
+// worker pool divides one chip's solve work: each goroutine drives its own
+// view, warm tables are shared, and the unsynchronized memo maps are
+// never contended. Results are bitwise identical to the parent's.
+func (c *Core) WorkerView() *Core {
+	v := *c
+	v.freqMemo = make(map[freqMemoKey]FreqResult)
+	v.powerMemo = make(map[powerMemoKey]PowerResult)
+	return &v
 }
 
 // peKey identifies a cached PE-fmax table on the overflow (slow) path:
@@ -194,10 +218,18 @@ func variantIndex(v vats.Variant) (int, bool) {
 // the discrete actuation grids — no hashing, no pointer chasing — plus an
 // overflow map for off-grid levels and exotic variants. Tables build on
 // first touch.
+//
+// The store is safe for concurrent use by the cores that share it. Dense
+// slots publish through per-slot atomic flags: the fast path is a single
+// atomic load of built[slot], and builders take mu, re-check, fill the
+// table, and only then Store(true) — so a reader that observes the flag
+// also observes the completed table, and each table is built at most
+// once. The overflow map is guarded by the same mutex end to end.
 type peStore struct {
 	nSubs    int
 	dense    []peTable
-	built    []bool
+	built    []atomic.Bool
+	mu       sync.Mutex
 	overflow map[peKey]*peTable
 }
 
@@ -206,7 +238,7 @@ func newPEStore(nSubs int) *peStore {
 	return &peStore{
 		nSubs:    nSubs,
 		dense:    make([]peTable, n),
-		built:    make([]bool, n),
+		built:    make([]atomic.Bool, n),
 		overflow: make(map[peKey]*peTable),
 	}
 }
@@ -234,9 +266,13 @@ func (c *Core) tableAt(sub int, v vats.Variant, vddV, vbbV float64, tIdx int) *p
 		if di, ok := tech.VddIndex(vddV); ok {
 			if bi, ok := tech.VbbIndex(vbbV); ok {
 				slot := (((sub*peNumVariants+vi)*tech.NumVddLevels+di)*tech.NumVbbLevels+bi)*len(peTempsC) + tIdx
-				if !c.pe.built[slot] {
-					c.buildTable(&c.pe.dense[slot], sub, v, vddV, vbbV, tIdx)
-					c.pe.built[slot] = true
+				if !c.pe.built[slot].Load() {
+					c.pe.mu.Lock()
+					if !c.pe.built[slot].Load() {
+						c.buildTable(&c.pe.dense[slot], sub, v, vddV, vbbV, tIdx)
+						c.pe.built[slot].Store(true)
+					}
+					c.pe.mu.Unlock()
 				}
 				return &c.pe.dense[slot]
 			}
@@ -249,12 +285,14 @@ func (c *Core) tableAt(sub int, v vats.Variant, vddV, vbbV float64, tIdx int) *p
 		vbbMilli: int(math.Round(vbbV * 1000)),
 		tIdx:     tIdx,
 	}
+	c.pe.mu.Lock()
 	tab, ok := c.pe.overflow[key]
 	if !ok {
 		tab = &peTable{}
 		c.buildTable(tab, sub, v, vddV, vbbV, tIdx)
 		c.pe.overflow[key] = tab
 	}
+	c.pe.mu.Unlock()
 	return tab
 }
 

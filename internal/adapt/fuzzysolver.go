@@ -137,6 +137,11 @@ type TrainOptions struct {
 	// also forwarded to the fuzzy controllers' epoch timers). Nil (the
 	// default) is a zero-cost no-op.
 	Obs *obs.Registry
+	// Workers bounds the goroutines used for example labeling and
+	// controller fitting. Values below 1 mean serial. Output is
+	// byte-identical at every worker count: all randomness is drawn in a
+	// sequential pre-pass and the expensive work is pure.
+	Workers int
 }
 
 // DefaultTrainOptions returns a training budget that reproduces the
@@ -188,12 +193,108 @@ func (c *Core) variantsOf(i int) []variantChoice {
 	return out
 }
 
+// trainDraw holds one training example's pre-drawn random inputs. The
+// draws are taken in a sequential pass over the RNG stream, in exactly the
+// order the serial trainer consumed them: core pick, TH, alpha, CPI, and
+// the core-frequency backoff factor. The backoff draw came after FreqSolve
+// in the serial code but never depended on its result, so the stream
+// separates cleanly from the solve work.
+type trainDraw struct {
+	core              int
+	th, alpha, cpi, u float64
+}
+
+// trainTask is one controller fit: a (subsystem, variant) pair with its
+// pre-drawn examples.
+type trainTask struct {
+	sub   int
+	vm    variantChoice
+	draws []trainDraw
+}
+
+// trainResult is one task's trained controller triple.
+type trainResult struct {
+	freq, vdd, vbb *fuzzy.Controller
+	freqBias       float64
+	err            error
+}
+
+// runTrainTask labels the task's pre-drawn examples with the Exhaustive
+// algorithm and fits the three controllers. It is pure given (task, opts,
+// cores): no RNG, no shared mutable state beyond the cores' concurrency-
+// safe PE store, so tasks may run on any goroutine in any order.
+func runTrainTask(cores []*Core, t trainTask, opts TrainOptions) trainResult {
+	freqEx := make([]fuzzy.Example, 0, len(t.draws))
+	vddEx := make([]fuzzy.Example, 0, len(t.draws))
+	vbbEx := make([]fuzzy.Example, 0, len(t.draws))
+	for _, d := range t.draws {
+		core := cores[d.core]
+		q := FreqQuery{
+			THK:       d.th,
+			AlphaF:    d.alpha,
+			Rho:       d.alpha * d.cpi,
+			Variant:   t.vm.v,
+			PowerMult: t.vm.mult,
+		}
+		x := core.Inputs(t.sub, d.th, d.alpha).Vector()
+		fr := core.FreqSolve(t.sub, q)
+		freqEx = append(freqEx, fuzzy.Example{X: x, Y: fr.FMax})
+		// Power examples at a feasible core frequency at or below this
+		// subsystem's ceiling.
+		fCore := tech.SnapFRelDown(fr.FMax * d.u)
+		pr := core.PowerSolve(t.sub, fCore, q)
+		xp := append(append([]float64(nil), x...), fCore)
+		vddEx = append(vddEx, fuzzy.Example{X: xp, Y: pr.VddV})
+		vbbEx = append(vbbEx, fuzzy.Example{X: xp, Y: pr.VbbV})
+	}
+	fcfg := opts.Fuzzy
+	fcfg.Seed = opts.Seed + int64(t.sub)*31 + 7
+	if fcfg.Obs == nil {
+		fcfg.Obs = opts.Obs
+	}
+	trainSW := opts.Obs.Timer("adapt.train.controller").Start()
+	defer trainSW.Stop()
+	var r trainResult
+	if r.freq, r.err = fuzzy.Train(freqEx, fcfg); r.err != nil {
+		r.err = fmt.Errorf("adapt: training freq FC for sub %d: %w", t.sub, r.err)
+		return r
+	}
+	// Center the controller: subtract its mean training residual.
+	var resid float64
+	for _, ex := range freqEx {
+		p, perr := r.freq.Predict(ex.X)
+		if perr != nil {
+			r.err = perr
+			return r
+		}
+		resid += p - ex.Y
+	}
+	r.freqBias = resid / float64(len(freqEx))
+	if r.vdd, r.err = fuzzy.Train(vddEx, fcfg); r.err != nil {
+		r.err = fmt.Errorf("adapt: training vdd FC for sub %d: %w", t.sub, r.err)
+		return r
+	}
+	if r.vbb, r.err = fuzzy.Train(vbbEx, fcfg); r.err != nil {
+		r.err = fmt.Errorf("adapt: training vbb FC for sub %d: %w", t.sub, r.err)
+		return r
+	}
+	return r
+}
+
 // TrainFuzzySolver builds the full controller set for the configuration
 // shared by the training cores: for every (subsystem, variant), Examples
 // random operating situations are labeled by the Exhaustive algorithm and
 // fed to the Appendix A trainer. Training cores should be distinct chips
 // from the same manufacturing distribution as the deployment chips — the
 // manufacturer's software model (§4.3.1).
+//
+// Training runs in two stages. A cheap sequential pass drains the RNG
+// stream into per-task draws in the exact order the serial trainer used;
+// the expensive work — Freq/Power labeling and the gradient-descent fits
+// — then fans across opts.Workers goroutines, each driving its own
+// WorkerView of the training cores over the shared PE-table store.
+// Results are assembled in task order, so fixed-seed output is
+// byte-identical at any worker count.
 func TrainFuzzySolver(cores []*Core, opts TrainOptions) (*FuzzySolver, error) {
 	if len(cores) == 0 {
 		return nil, fmt.Errorf("adapt: no training cores")
@@ -207,6 +308,55 @@ func TrainFuzzySolver(cores []*Core, opts TrainOptions) (*FuzzySolver, error) {
 			return nil, fmt.Errorf("adapt: training cores have mixed configurations")
 		}
 	}
+	// Stage 1: sequential RNG pre-pass. Every draw happens in the order
+	// the serial implementation made it, so the example stream — and with
+	// it every trained weight — is independent of the worker count.
+	rng := mathx.NewRNG(opts.Seed)
+	var tasks []trainTask
+	n := cores[0].N()
+	for i := 0; i < n; i++ {
+		for _, vm := range cores[0].variantsOf(i) {
+			draws := make([]trainDraw, opts.Examples)
+			for e := range draws {
+				draws[e] = trainDraw{
+					core:  rng.Intn(len(cores)),
+					th:    rng.Uniform(opts.THLoK, opts.THHiK),
+					alpha: rng.Uniform(opts.AlphaLo, opts.AlphaHi),
+					cpi:   rng.Uniform(opts.CPILo, opts.CPIHi),
+					u:     rng.Uniform(0.75, 1.0),
+				}
+			}
+			tasks = append(tasks, trainTask{sub: i, vm: vm, draws: draws})
+		}
+	}
+	// Stage 2: fan the labeling + fitting across the pool. Each worker
+	// slot gets its own core views (fresh solve memos, shared PE store);
+	// exact-key memoization makes a memo hit bitwise identical to a scan,
+	// so per-slot memos cannot perturb the labels.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	views := make([][]*Core, workers)
+	for slot := range views {
+		if workers == 1 {
+			views[slot] = cores
+			continue
+		}
+		views[slot] = make([]*Core, len(cores))
+		for ci, c := range cores {
+			views[slot][ci] = c.WorkerView()
+		}
+	}
+	results := make([]trainResult, len(tasks))
+	obs.RunPool(opts.Obs, "adapt.train.pool", workers, len(tasks), func(slot, ti int) {
+		results[ti] = runTrainTask(views[slot], tasks[ti], opts)
+	})
+	// Reduce in task order: map insertion and the first-error pick follow
+	// the serial loop's ordering exactly.
 	s := &FuzzySolver{
 		freq:        make(map[fcKey]*fuzzy.Controller),
 		vdd:         make(map[fcKey]*fuzzy.Controller),
@@ -214,65 +364,15 @@ func TrainFuzzySolver(cores []*Core, opts TrainOptions) (*FuzzySolver, error) {
 		freqBias:    make(map[fcKey]float64),
 		minBiasComp: opts.MinBiasComp,
 	}
-	rng := mathx.NewRNG(opts.Seed)
-	n := cores[0].N()
-	for i := 0; i < n; i++ {
-		for _, vm := range cores[0].variantsOf(i) {
-			freqEx := make([]fuzzy.Example, 0, opts.Examples)
-			vddEx := make([]fuzzy.Example, 0, opts.Examples)
-			vbbEx := make([]fuzzy.Example, 0, opts.Examples)
-			for e := 0; e < opts.Examples; e++ {
-				core := cores[rng.Intn(len(cores))]
-				th := rng.Uniform(opts.THLoK, opts.THHiK)
-				alpha := rng.Uniform(opts.AlphaLo, opts.AlphaHi)
-				cpi := rng.Uniform(opts.CPILo, opts.CPIHi)
-				q := FreqQuery{
-					THK:       th,
-					AlphaF:    alpha,
-					Rho:       alpha * cpi,
-					Variant:   vm.v,
-					PowerMult: vm.mult,
-				}
-				x := core.Inputs(i, th, alpha).Vector()
-				fr := core.FreqSolve(i, q)
-				freqEx = append(freqEx, fuzzy.Example{X: x, Y: fr.FMax})
-				// Power examples at a feasible core frequency at or below
-				// this subsystem's ceiling.
-				fCore := tech.SnapFRelDown(fr.FMax * rng.Uniform(0.75, 1.0))
-				pr := core.PowerSolve(i, fCore, q)
-				xp := append(append([]float64(nil), x...), fCore)
-				vddEx = append(vddEx, fuzzy.Example{X: xp, Y: pr.VddV})
-				vbbEx = append(vbbEx, fuzzy.Example{X: xp, Y: pr.VbbV})
-			}
-			key := fcKey{sub: i, variant: vm.v}
-			fcfg := opts.Fuzzy
-			fcfg.Seed = opts.Seed + int64(i)*31 + 7
-			if fcfg.Obs == nil {
-				fcfg.Obs = opts.Obs
-			}
-			trainSW := opts.Obs.Timer("adapt.train.controller").Start()
-			var err error
-			if s.freq[key], err = fuzzy.Train(freqEx, fcfg); err != nil {
-				return nil, fmt.Errorf("adapt: training freq FC for sub %d: %w", i, err)
-			}
-			// Center the controller: subtract its mean training residual.
-			var resid float64
-			for _, ex := range freqEx {
-				p, perr := s.freq[key].Predict(ex.X)
-				if perr != nil {
-					return nil, perr
-				}
-				resid += p - ex.Y
-			}
-			s.freqBias[key] = resid / float64(len(freqEx))
-			if s.vdd[key], err = fuzzy.Train(vddEx, fcfg); err != nil {
-				return nil, fmt.Errorf("adapt: training vdd FC for sub %d: %w", i, err)
-			}
-			if s.vbb[key], err = fuzzy.Train(vbbEx, fcfg); err != nil {
-				return nil, fmt.Errorf("adapt: training vbb FC for sub %d: %w", i, err)
-			}
-			trainSW.Stop()
+	for ti, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
+		key := fcKey{sub: tasks[ti].sub, variant: tasks[ti].vm.v}
+		s.freq[key] = r.freq
+		s.vdd[key] = r.vdd
+		s.vbb[key] = r.vbb
+		s.freqBias[key] = r.freqBias
 	}
 	return s, nil
 }

@@ -161,70 +161,74 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 		}
 	}
 
+	// The work queue holds (chip × environment) units: at small chip
+	// counts a per-chip fan-out leaves workers idle while the last chip
+	// grinds through all six environments, whereas units keep the pool
+	// busy to the tail. Per-chip state (stage models, PE-table donor,
+	// Baseline anchors) builds once under the chip's sync.Once and is
+	// then shared read-only by that chip's units.
+	nEnvs := len(cfg.Envs)
+	nUnits := cfg.Chips * nEnvs
 	var prog *obs.Progress
 	if s.progressW != nil {
-		prog = obs.NewProgress(s.progressW, "chips", cfg.Chips, cfg.Workers)
+		prog = obs.NewProgress(s.progressW, "chip×env", nUnits, min(cfg.Workers, nUnits))
 		defer prog.Stop()
 	}
 
-	type chipResult struct {
-		baseF, basePerfR, basePower float64
-		cells                       map[cellKey]*cellAccum
-		err                         error
+	shared := make([]chipShared, cfg.Chips)
+	type unitResult struct {
+		cells *cellMap
+		err   error
 	}
-	results := make([]chipResult, cfg.Chips)
-	fanSW := s.obs.Timer("core.chip_fanout").Start()
-	var wg sync.WaitGroup
-	// The semaphore hands out worker-slot indices so the progress
-	// reporter can attribute work to a stable slot.
-	slots := make(chan int, cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		slots <- i
-	}
-	for ci := 0; ci < cfg.Chips; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			slot := <-slots
-			defer func() { slots <- slot }()
-			seed := cfg.SeedBase + int64(ci)
-			if prog != nil {
-				prog.SetWorker(slot, fmt.Sprintf("chip %d", seed))
-			}
-			chipSW := s.obs.Timer("core.chip").Start()
-			results[ci] = s.runChip(cfg, apps, noVarPerf, needFuzzy, seed)
-			chipSW.Stop()
-			if prog != nil {
-				prog.SetWorker(slot, "idle")
-				prog.Step(1)
-			}
-		}(ci)
-	}
-	wg.Wait()
-	if wall := fanSW.Stop(); s.obs != nil && wall > 0 {
-		busy := s.obs.Timer("core.chip").Sum()
-		s.obs.Gauge("core.workers").Set(float64(cfg.Workers))
-		s.obs.Gauge("core.worker.occupancy_pct").Set(
-			100 * busy.Seconds() / (wall.Seconds() * float64(cfg.Workers)))
-	}
+	results := make([]unitResult, nUnits)
+	obs.RunPool(s.obs, "core.pool", cfg.Workers, nUnits, func(slot, u int) {
+		ci, ei := u/nEnvs, u%nEnvs
+		seed := cfg.SeedBase + int64(ci)
+		env := cfg.Envs[ei]
+		prog.SetWorker(slot, fmt.Sprintf("chip %d %v", seed, env))
+		sh := &shared[ci]
+		sh.once.Do(func() {
+			defer s.obs.Timer("core.chip_prep").Start().Stop()
+			sh.init(s, apps, noVarPerf, seed)
+		})
+		if sh.err == nil {
+			unitSW := s.obs.Timer("core.unit").Start()
+			cells, err := s.runChipEnv(cfg, apps, noVarPerf, needFuzzy, sh, env, seed)
+			unitSW.Stop()
+			results[u] = unitResult{cells: cells, err: err}
+		}
+		prog.SetWorker(slot, "idle")
+		prog.Step(1)
+	})
 
 	sum := &Summary{Chips: cfg.Chips, NoVarPowerW: noVarPower}
 	for _, a := range apps {
 		sum.Apps = append(sum.Apps, a.Name)
 	}
+	// Index-ordered reduction: baselines fold chips-ascending and cells
+	// fold (chip, env)-ascending, so every float accumulates in the same
+	// order regardless of how the pool scheduled the units.
 	agg := make(map[cellKey]*cellAccum)
+	for ci := range shared {
+		if shared[ci].err != nil {
+			return nil, shared[ci].err
+		}
+		sum.BaselineFRel += shared[ci].baseF / float64(cfg.Chips)
+		sum.BaselinePerfR += shared[ci].basePerfR / float64(cfg.Chips)
+		sum.BaselinePowerW += shared[ci].basePower / float64(cfg.Chips)
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
 		}
-		sum.BaselineFRel += r.baseF / float64(cfg.Chips)
-		sum.BaselinePerfR += r.basePerfR / float64(cfg.Chips)
-		sum.BaselinePowerW += r.basePower / float64(cfg.Chips)
-		for k, a := range r.cells {
+		if r.cells == nil {
+			continue
+		}
+		for _, k := range r.cells.keys {
 			if agg[k] == nil {
 				agg[k] = &cellAccum{}
 			}
-			agg[k].fold(a)
+			agg[k].fold(r.cells.m[k])
 		}
 	}
 	for _, env := range cfg.Envs {
@@ -238,6 +242,79 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 		}
 	}
 	return sum, nil
+}
+
+// chipShared is the per-chip state shared by that chip's (chip × env)
+// work units: the stage-model assembly, the PE-fmax-table donor core, and
+// the Baseline anchors. The first unit to touch the chip builds all of it
+// under the chip's sync.Once; afterwards the units read it concurrently —
+// the stage models are immutable and the donor's table store publishes
+// lazy builds atomically (see the adapt package comment).
+type chipShared struct {
+	once sync.Once
+	err  error
+	subs []adapt.Subsystem
+	// donor exists only to hold the chip's shared PE-table store; the
+	// tables depend on the stage models alone, so its technique
+	// configuration is irrelevant.
+	donor                       *adapt.Core
+	baseF, basePerfR, basePower float64
+}
+
+func (sh *chipShared) init(s *Simulator, apps []workload.App, noVarPerf map[string]float64, seed int64) {
+	var span *obs.Span
+	if s.tracer != nil {
+		span = s.tracer.Start(fmt.Sprintf("chip %d prep", seed))
+		defer span.End()
+	}
+	chip := s.Chip(seed)
+	subs, err := s.buildSubsystems(chip)
+	if err != nil {
+		sh.err = err
+		return
+	}
+	sh.subs = subs
+	if sh.donor, err = s.coreFromSubsystems(subs, tech.Config{TimingSpec: true}); err != nil {
+		sh.err = err
+		return
+	}
+	if sh.baseF, err = s.ChipFVar(chip); err != nil {
+		sh.err = err
+		return
+	}
+	baseSpan := span.Child("baseline")
+	for _, app := range apps {
+		r, err := s.RunBaseline(chip, app)
+		if err != nil {
+			sh.err = err
+			return
+		}
+		sh.basePerfR += r.Perf / noVarPerf[app.Name] / float64(len(apps))
+		sh.basePower += r.PowerW / float64(len(apps))
+	}
+	baseSpan.End()
+}
+
+// cellMap is an insertion-ordered map of cell accumulators: iteration
+// follows first-insertion order so the reduction in RunSummary visits
+// keys the way the serial loop produced them.
+type cellMap struct {
+	keys []cellKey
+	m    map[cellKey]*cellAccum
+}
+
+func newCellMap() *cellMap {
+	return &cellMap{m: make(map[cellKey]*cellAccum)}
+}
+
+func (c *cellMap) at(k cellKey) *cellAccum {
+	a, ok := c.m[k]
+	if !ok {
+		a = &cellAccum{}
+		c.m[k] = a
+		c.keys = append(c.keys, k)
+	}
+	return a
 }
 
 // TrainSolver trains fuzzy controllers for one environment across
@@ -327,151 +404,94 @@ func (a *cellAccum) cell(env Environment, mode Mode) Cell {
 	return c
 }
 
-// runChip executes all environments/modes/apps for one chip.
-func (s *Simulator) runChip(cfg ExperimentConfig, apps []workload.App,
+// runChipEnv executes one (chip × environment) work unit: builds the
+// environment's core over the chip's shared stage models and PE-table
+// store, trains this chip's controllers if the Fuzzy-Dyn mode needs them,
+// and runs every mode × app of the cell. The chip's cores run on whatever
+// worker goroutine the unit lands on; only the concurrency-safe table
+// store is shared between units.
+func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 	noVarPerf map[string]float64, needFuzzy bool,
-	seed int64) (res struct {
-	baseF, basePerfR, basePower float64
-	cells                       map[cellKey]*cellAccum
-	err                         error
-}) {
-	res.cells = make(map[cellKey]*cellAccum)
-	var chipSpan *obs.Span
+	sh *chipShared, env Environment, seed int64) (*cellMap, error) {
+	var envSpan *obs.Span
 	if s.tracer != nil {
-		chipSpan = s.tracer.Start(fmt.Sprintf("chip %d", seed))
-		defer chipSpan.End()
+		envSpan = s.tracer.Start(fmt.Sprintf("chip %d %v", seed, env))
+		defer envSpan.End()
 	}
-	chip := s.Chip(seed)
-
-	// One stage-model assembly backs every environment's core of this
-	// chip, and the first core built donates its PE-fmax tables to the
-	// rest: the tables depend only on the stage models, so the six
-	// environments amortize one set of vats.Curve evaluations. All cores
-	// of a chip live on this one worker goroutine (the adapt package's
-	// ownership rule).
-	subs, err := s.buildSubsystems(chip)
+	cfg0 := env.Config()
+	if !cfg0.TimingSpec {
+		cfg0 = tech.Config{TimingSpec: true}
+	}
+	core, err := s.coreFromSubsystems(sh.subs, cfg0)
 	if err != nil {
-		res.err = err
-		return res
+		return nil, err
 	}
-	var peDonor *adapt.Core
-
-	// Baseline anchors.
-	fvar, err := s.ChipFVar(chip)
-	if err != nil {
-		res.err = err
-		return res
+	if err := core.SharePETables(sh.donor); err != nil {
+		return nil, err
 	}
-	res.baseF = fvar
-	baseSpan := chipSpan.Child("baseline")
-	for _, app := range apps {
-		r, err := s.RunBaseline(chip, app)
-		if err != nil {
-			res.err = err
-			return res
+	// Per-chip fuzzy training: the manufacturer populates this chip's
+	// controllers by running the Exhaustive algorithm on a software
+	// model of *this* chip (§4.3.1).
+	var solver *adapt.FuzzySolver
+	if needFuzzy {
+		trainSpan := envSpan.Child("train solver")
+		trainSW := s.obs.Timer("core.fuzzy_train").Start()
+		if solver, err = adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training); err != nil {
+			return nil, err
 		}
-		res.basePerfR += r.Perf / noVarPerf[app.Name] / float64(len(apps))
-		res.basePower += r.PowerW / float64(len(apps))
+		trainSW.Stop()
+		trainSpan.End()
 	}
-	baseSpan.End()
-
-	for _, env := range cfg.Envs {
-		var envSpan *obs.Span
-		if chipSpan != nil {
-			envSpan = chipSpan.Child(env.String())
+	// Static points per class, chosen once per chip.
+	var staticInt, staticFP adapt.OperatingPoint
+	hasStatic := false
+	for _, m := range cfg.Modes {
+		if m == Static {
+			hasStatic = true
 		}
-		cfg0 := env.Config()
-		if !cfg0.TimingSpec {
-			cfg0 = tech.Config{TimingSpec: true}
+	}
+	if hasStatic {
+		if staticInt, err = s.StaticPoint(core, workload.Int, apps); err != nil {
+			return nil, err
 		}
-		core, err := s.coreFromSubsystems(subs, cfg0)
-		if err != nil {
-			res.err = err
-			return res
+		if staticFP, err = s.StaticPoint(core, workload.FP, apps); err != nil {
+			return nil, err
 		}
-		if peDonor == nil {
-			peDonor = core
-		} else if err := core.SharePETables(peDonor); err != nil {
-			res.err = err
-			return res
-		}
-		// Per-chip fuzzy training: the manufacturer populates this chip's
-		// controllers by running the Exhaustive algorithm on a software
-		// model of *this* chip (§4.3.1).
-		var solver *adapt.FuzzySolver
-		if needFuzzy {
-			trainSpan := envSpan.Child("train solver")
-			trainSW := s.obs.Timer("core.fuzzy_train").Start()
-			if solver, err = adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training); err != nil {
-				res.err = err
-				return res
-			}
-			trainSW.Stop()
-			trainSpan.End()
-		}
-		// Static points per class, chosen once per chip.
-		var staticInt, staticFP adapt.OperatingPoint
-		hasStatic := false
-		for _, m := range cfg.Modes {
-			if m == Static {
-				hasStatic = true
-			}
-		}
-		if hasStatic {
-			if staticInt, err = s.StaticPoint(core, workload.Int, apps); err != nil {
-				res.err = err
-				return res
-			}
-			if staticFP, err = s.StaticPoint(core, workload.FP, apps); err != nil {
-				res.err = err
-				return res
-			}
-		}
-		for _, mode := range cfg.Modes {
-			key := cellKey{env: env, mode: mode}
-			if res.cells[key] == nil {
-				res.cells[key] = &cellAccum{}
-			}
-			cellSW := s.obs.Timer("core.cell").Start()
-			var modeSpan *obs.Span
-			if envSpan != nil {
-				modeSpan = envSpan.Child(mode.String())
-			}
-			for _, app := range apps {
-				var appSpan *obs.Span
-				if modeSpan != nil {
-					appSpan = modeSpan.Child(app.Name)
+	}
+	cells := newCellMap()
+	for _, mode := range cfg.Modes {
+		acc := cells.at(cellKey{env: env, mode: mode})
+		cellSW := s.obs.Timer("core.cell").Start()
+		modeSpan := envSpan.Child(mode.String())
+		for _, app := range apps {
+			appSpan := modeSpan.Child(app.Name)
+			appSW := s.obs.Timer("core.app_run").Start()
+			var run AppRun
+			switch mode {
+			case Static:
+				point := staticInt
+				if app.Class == workload.FP {
+					point = staticFP
 				}
-				appSW := s.obs.Timer("core.app_run").Start()
-				var run AppRun
-				switch mode {
-				case Static:
-					point := staticInt
-					if app.Class == workload.FP {
-						point = staticFP
-					}
-					run, err = s.RunStatic(core, app, point)
-				case FuzzyDyn:
-					run, err = s.RunDynamic(core, app, FuzzyDyn, solver)
-				case ExhDyn:
-					run, err = s.RunDynamic(core, app, ExhDyn, adapt.Exhaustive{})
-				default:
-					err = fmt.Errorf("core: unknown mode %v", mode)
-				}
-				appSW.Stop()
-				appSpan.End()
-				if err != nil {
-					res.err = fmt.Errorf("chip %d %v/%v: %w", seed, env, mode, err)
-					return res
-				}
-				res.cells[key].add(run, noVarPerf[app.Name])
+				run, err = s.RunStatic(core, app, point)
+			case FuzzyDyn:
+				run, err = s.RunDynamic(core, app, FuzzyDyn, solver)
+			case ExhDyn:
+				run, err = s.RunDynamic(core, app, ExhDyn, adapt.Exhaustive{})
+			default:
+				err = fmt.Errorf("core: unknown mode %v", mode)
 			}
-			modeSpan.End()
-			cellSW.Stop()
+			appSW.Stop()
+			appSpan.End()
+			if err != nil {
+				return nil, fmt.Errorf("chip %d %v/%v: %w", seed, env, mode, err)
+			}
+			acc.add(run, noVarPerf[app.Name])
 		}
-		envSpan.End()
+		modeSpan.End()
+		cellSW.Stop()
 	}
-	return res
+	return cells, nil
 }
 
 // OutcomeCell is one bar of Figure 13: the outcome mix of the fuzzy
@@ -533,45 +553,70 @@ func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
 	}
 	defer s.obs.Timer("core.run_outcomes").Start().Stop()
 	cells := Figure13Configs()
+	// (config × chip) units over the shared pool. Each unit builds and
+	// trains its own core, so units share nothing mutable; per-unit
+	// outcome counts reduce config-major, chips-ascending, which keeps
+	// every float sum in the serial loop's order.
+	nUnits := len(cells) * cfg.Chips
 	var prog *obs.Progress
 	if s.progressW != nil {
-		prog = obs.NewProgress(s.progressW, "config×chip", len(cells)*cfg.Chips, 1)
+		prog = obs.NewProgress(s.progressW, "config×chip", nUnits, min(cfg.Workers, nUnits))
 		defer prog.Stop()
 	}
+	type outcomeUnit struct {
+		counts [adapt.NumOutcomes]float64
+		total  float64
+		err    error
+	}
+	results := make([]outcomeUnit, nUnits)
+	obs.RunPool(s.obs, "core.pool", cfg.Workers, nUnits, func(slot, u int) {
+		idx, ci := u/cfg.Chips, u%cfg.Chips
+		prog.SetWorker(slot, cells[idx].Label)
+		defer s.obs.Timer("core.unit").Start().Stop()
+		r := &results[u]
+		chip := s.Chip(cfg.SeedBase + int64(ci))
+		core, err := s.BuildCoreWithConfig(chip, cells[idx].Config)
+		if err != nil {
+			r.err = err
+			return
+		}
+		// Per-chip controller training (§4.3.1).
+		solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
+		if err != nil {
+			r.err = err
+			return
+		}
+		for _, app := range apps {
+			for _, ph := range app.Phases {
+				prof, err := s.Profile(app, ph)
+				if err != nil {
+					r.err = err
+					return
+				}
+				res, err := core.AdaptSteady(prof, solver)
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.counts[res.Outcome]++
+				r.total++
+			}
+		}
+		prog.SetWorker(slot, "idle")
+		prog.Step(1)
+	})
 	for idx := range cells {
 		var counts [adapt.NumOutcomes]float64
 		total := 0.0
 		for ci := 0; ci < cfg.Chips; ci++ {
-			if prog != nil {
-				prog.SetWorker(0, cells[idx].Label)
+			r := &results[idx*cfg.Chips+ci]
+			if r.err != nil {
+				return nil, r.err
 			}
-			chipSW := s.obs.Timer("core.chip").Start()
-			chip := s.Chip(cfg.SeedBase + int64(ci))
-			core, err := s.BuildCoreWithConfig(chip, cells[idx].Config)
-			if err != nil {
-				return nil, err
+			for o := range counts {
+				counts[o] += r.counts[o]
 			}
-			// Per-chip controller training (§4.3.1).
-			solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
-			if err != nil {
-				return nil, err
-			}
-			for _, app := range apps {
-				for _, ph := range app.Phases {
-					prof, err := s.Profile(app, ph)
-					if err != nil {
-						return nil, err
-					}
-					res, err := core.AdaptSteady(prof, solver)
-					if err != nil {
-						return nil, err
-					}
-					counts[res.Outcome]++
-					total++
-				}
-			}
-			chipSW.Stop()
-			prog.Step(1)
+			total += r.total
 		}
 		if total > 0 {
 			for o := range counts {
@@ -627,47 +672,103 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 		{"TS+ASV", tech.Config{TimingSpec: true, ASV: true}},
 		{"TS+ABB+ASV", tech.Config{TimingSpec: true, ABB: true, ASV: true}},
 	}
+	// Pre-draw every accuracy query. Each environment's RNG stream spans
+	// its chips (a fresh stream per environment, exactly as the serial
+	// loop seeded it), and the draws per (subsystem, query) follow the
+	// serial order — TH, alpha, the rho multiplier, then the core-
+	// frequency backoff, whose value never depended on the solve between
+	// them. With the streams drained up front, the (env × chip) units are
+	// pure and fan across the pool.
+	const queriesPerSub = 6
+	type t2q struct {
+		th, alpha, rhoMult, fMult float64
+	}
+	nSubs := s.fp.N()
+	nUnits := len(envs) * cfg.Chips
+	draws := make([][]t2q, nUnits)
+	for ei := range envs {
+		rng := mathx.NewRNG(cfg.SeedBase + 77)
+		for ci := 0; ci < cfg.Chips; ci++ {
+			qs := make([]t2q, nSubs*queriesPerSub)
+			for qi := range qs {
+				qs[qi] = t2q{
+					th:      rng.Uniform(48+273.15, 68+273.15),
+					alpha:   rng.Uniform(0.02, 1.0),
+					rhoMult: rng.Uniform(0.8, 4.5),
+					fMult:   rng.Uniform(0.8, 1.0),
+				}
+			}
+			draws[ei*cfg.Chips+ci] = qs
+		}
+	}
+	type t2acc struct {
+		fErr, vddErr, vbbErr map[floorplan.Kind][]float64
+		err                  error
+	}
+	results := make([]t2acc, nUnits)
+	obs.RunPool(s.obs, "core.pool", cfg.Workers, nUnits, func(slot, u int) {
+		ei, ci := u/cfg.Chips, u%cfg.Chips
+		defer s.obs.Timer("core.unit").Start().Stop()
+		r := &results[u]
+		r.fErr = make(map[floorplan.Kind][]float64)
+		r.vddErr = make(map[floorplan.Kind][]float64)
+		r.vbbErr = make(map[floorplan.Kind][]float64)
+		chip := s.Chip(cfg.SeedBase + int64(ci))
+		core, err := s.BuildCoreWithConfig(chip, envs[ei].cfg)
+		if err != nil {
+			r.err = err
+			return
+		}
+		// Per-chip controller training (§4.3.1): accuracy is measured
+		// on the chip whose model populated the controllers, at
+		// operating situations the training never saw.
+		solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
+		if err != nil {
+			r.err = err
+			return
+		}
+		for i := 0; i < core.N(); i++ {
+			kind := core.Subs[i].Sub.Kind
+			for q := 0; q < queriesPerSub; q++ {
+				d := draws[u][i*queriesPerSub+q]
+				query := adapt.FreqQuery{
+					THK:       d.th,
+					AlphaF:    d.alpha,
+					Rho:       d.alpha * d.rhoMult,
+					Variant:   vats.IdentityVariant(),
+					PowerMult: 1,
+				}
+				fx := core.FreqSolve(i, query).FMax
+				ff := solver.FreqMax(core, i, query)
+				r.fErr[kind] = append(r.fErr[kind], absF(fx-ff)*nomFreqMHz)
+				fCore := tech.SnapFRelDown(fx * d.fMult)
+				pxV, pxB := (adapt.Exhaustive{}).PowerLevels(core, i, fCore, query)
+				pfV, pfB := solver.PowerLevels(core, i, fCore, query)
+				r.vddErr[kind] = append(r.vddErr[kind], absF(pxV-pfV)*1000)
+				r.vbbErr[kind] = append(r.vbbErr[kind], absF(pxB-pfB)*1000)
+			}
+		}
+	})
 	var rows []Table2Row
-	for _, env := range envs {
+	for ei, env := range envs {
 		type acc struct {
 			fErr, vddErr, vbbErr []float64
 		}
 		byKind := map[floorplan.Kind]*acc{
 			floorplan.Memory: {}, floorplan.Mixed: {}, floorplan.Logic: {},
 		}
-		rng := mathx.NewRNG(cfg.SeedBase + 77)
+		// Concatenate per-kind error samples chips-ascending, matching the
+		// append order of the serial loop, so every mean sums in the same
+		// order at any worker count.
 		for ci := 0; ci < cfg.Chips; ci++ {
-			chip := s.Chip(cfg.SeedBase + int64(ci))
-			core, err := s.BuildCoreWithConfig(chip, env.cfg)
-			if err != nil {
-				return nil, err
+			r := &results[ei*cfg.Chips+ci]
+			if r.err != nil {
+				return nil, r.err
 			}
-			// Per-chip controller training (§4.3.1): accuracy is measured
-			// on the chip whose model populated the controllers, at
-			// operating situations the training never saw.
-			solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
-			if err != nil {
-				return nil, err
-			}
-			for i := 0; i < core.N(); i++ {
-				kind := core.Subs[i].Sub.Kind
-				for q := 0; q < 6; q++ {
-					query := adapt.FreqQuery{
-						THK:       rng.Uniform(48+273.15, 68+273.15),
-						AlphaF:    rng.Uniform(0.02, 1.0),
-						Variant:   vats.IdentityVariant(),
-						PowerMult: 1,
-					}
-					query.Rho = query.AlphaF * rng.Uniform(0.8, 4.5)
-					fx := core.FreqSolve(i, query).FMax
-					ff := solver.FreqMax(core, i, query)
-					byKind[kind].fErr = append(byKind[kind].fErr, absF(fx-ff)*nomFreqMHz)
-					fCore := tech.SnapFRelDown(fx * rng.Uniform(0.8, 1.0))
-					pxV, pxB := (adapt.Exhaustive{}).PowerLevels(core, i, fCore, query)
-					pfV, pfB := solver.PowerLevels(core, i, fCore, query)
-					byKind[kind].vddErr = append(byKind[kind].vddErr, absF(pxV-pfV)*1000)
-					byKind[kind].vbbErr = append(byKind[kind].vbbErr, absF(pxB-pfB)*1000)
-				}
+			for k, a := range byKind {
+				a.fErr = append(a.fErr, r.fErr[k]...)
+				a.vddErr = append(a.vddErr, r.vddErr[k]...)
+				a.vbbErr = append(a.vbbErr, r.vbbErr[k]...)
 			}
 		}
 		freqRow := Table2Row{Param: "Freq (MHz)", Env: env.name,

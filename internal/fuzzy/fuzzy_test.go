@@ -3,6 +3,7 @@ package fuzzy
 import (
 	"encoding/json"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/mathx"
@@ -242,5 +243,72 @@ func TestMoreRulesHelp(t *testing.T) {
 	maeB, _ := cBig.MAE(test)
 	if maeB >= maeS {
 		t.Errorf("25 rules (%v) should beat 4 rules (%v)", maeB, maeS)
+	}
+}
+
+func TestControllerEqual(t *testing.T) {
+	train := genExamples(500, 9)
+	a, err := Train(train, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("identically-trained controllers are not Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("controller is not Equal to itself")
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Seed++
+	c, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("controllers trained with different seeds are Equal")
+	}
+	var nilC *Controller
+	if a.Equal(nil) || nilC.Equal(a) {
+		t.Error("nil comparison must be false")
+	}
+	if !nilC.Equal(nil) {
+		t.Error("nil must Equal nil")
+	}
+}
+
+// TestConcurrentTrainingIsDeterministic: Train calls racing on separate
+// goroutines must each produce the bit-exact controller a serial call
+// yields — the property the parallel training pipeline stands on.
+func TestConcurrentTrainingIsDeterministic(t *testing.T) {
+	train := genExamples(800, 10)
+	ref, err := Train(train, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	got := make([]*Controller, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Train(train, DefaultTrainConfig())
+			if err == nil {
+				got[w] = c
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, c := range got {
+		if c == nil {
+			t.Fatalf("goroutine %d: training failed", w)
+		}
+		if !ref.Equal(c) {
+			t.Errorf("goroutine %d: controller differs from serial reference", w)
+		}
 	}
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunPool executes n index-addressed tasks across at most workers
+// goroutines fed from one shared work queue, blocking until every task has
+// run. fn receives a stable worker-slot index in [0, workers) — usable for
+// per-worker scratch state and progress attribution — and the task index
+// in [0, n). Tasks are handed out in index order but may complete in any
+// order; callers that need deterministic results must write them to
+// task-indexed slots and reduce in index order afterwards.
+//
+// When reg is non-nil the pool records, under the given metric prefix:
+//
+//	<prefix>.workers        gauge: the resolved worker count
+//	<prefix>.queue_depth    gauge: tasks still queued at each dequeue
+//	<prefix>.occupancy_pct  gauge: busy time / (wall time × workers)
+//
+// A nil registry disables all of it at the usual zero cost. workers < 1 is
+// treated as 1; workers above n are clamped to n.
+func RunPool(reg *Registry, prefix string, workers, n int, fn func(slot, task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	reg.Gauge(prefix + ".workers").Set(float64(workers))
+	start := time.Now()
+	var busy atomic.Int64
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			fn(0, i)
+			busy.Add(int64(time.Since(t0)))
+		}
+	} else {
+		queue := make(chan int, n)
+		for i := 0; i < n; i++ {
+			queue <- i
+		}
+		close(queue)
+		depth := reg.Gauge(prefix + ".queue_depth")
+		var wg sync.WaitGroup
+		for slot := 0; slot < workers; slot++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				for i := range queue {
+					depth.Set(float64(len(queue)))
+					t0 := time.Now()
+					fn(slot, i)
+					busy.Add(int64(time.Since(t0)))
+				}
+			}(slot)
+		}
+		wg.Wait()
+	}
+	if wall := time.Since(start); wall > 0 && reg != nil {
+		reg.Gauge(prefix + ".occupancy_pct").Set(
+			100 * float64(busy.Load()) / (float64(wall) * float64(workers)))
+	}
+}

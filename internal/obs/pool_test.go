@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPoolRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 40
+		var hits [n]atomic.Int32
+		var mu sync.Mutex
+		slots := map[int]bool{}
+		RunPool(nil, "p", workers, n, func(slot, task int) {
+			hits[task].Add(1)
+			mu.Lock()
+			slots[slot] = true
+			mu.Unlock()
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+		// Slot indices must be stable and bounded by the clamped count.
+		want := workers
+		if want < 1 {
+			want = 1
+		}
+		if want > n {
+			want = n
+		}
+		for s := range slots {
+			if s < 0 || s >= want {
+				t.Fatalf("workers=%d: slot %d out of [0,%d)", workers, s, want)
+			}
+		}
+	}
+}
+
+func TestRunPoolZeroTasks(t *testing.T) {
+	RunPool(nil, "p", 4, 0, func(slot, task int) {
+		t.Fatal("fn called for n=0")
+	})
+}
+
+func TestRunPoolMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RunPool(reg, "test.pool", 4, 10, func(slot, task int) {})
+	if got := reg.Gauge("test.pool.workers").Value(); got != 4 {
+		t.Errorf("workers gauge = %v, want 4", got)
+	}
+	occ := reg.Gauge("test.pool.occupancy_pct").Value()
+	if occ < 0 || occ > 100 {
+		t.Errorf("occupancy_pct = %v, want within [0,100]", occ)
+	}
+}
+
+func TestRunPoolSerialPreservesOrder(t *testing.T) {
+	var order []int
+	RunPool(nil, "p", 1, 5, func(slot, task int) {
+		if slot != 0 {
+			t.Fatalf("serial path used slot %d", slot)
+		}
+		order = append(order, task)
+	})
+	for i, task := range order {
+		if task != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}

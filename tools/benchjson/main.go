@@ -3,8 +3,9 @@
 // point for point without re-parsing `go test -bench` text.
 //
 // Two passes keep the wall clock sane: the microbenchmarks run at the
-// default benchtime for stable ns/op, while the end-to-end Figure 10
-// reproduction (tens of seconds per op) runs exactly once.
+// default benchtime for stable ns/op, while the end-to-end experiments —
+// the Figure 10 reproduction and the serial-vs-parallel training and
+// Figure 13 pairs (tens of seconds per op) — run exactly once.
 package main
 
 import (
@@ -20,8 +21,8 @@ import (
 )
 
 const (
-	fastPattern  = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline)$"
-	fig10Pattern = "^BenchmarkFig10_RelativeFrequency$"
+	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline)$"
+	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
 )
 
 type benchResult struct {
@@ -47,14 +48,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fig10, err := runBench(fig10Pattern, "1x")
+	slow, err := runBench(slowPattern, "1x")
 	if err != nil {
 		fatal(err)
 	}
 	traj := trajectory{
 		Commit:     gitCommit(),
 		GoVersion:  runtime.Version(),
-		Benchmarks: append(fast, fig10...),
+		Benchmarks: append(fast, slow...),
 	}
 	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
