@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke
+.PHONY: check build test vet fmt bench bench-json bench-smoke cache-clean
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -31,3 +31,9 @@ bench-json:
 # training path (the unit tests cover determinism; this covers "it runs").
 bench-smoke:
 	go test -run '^$$' -bench TrainFuzzy -benchtime 1x .
+
+# Remove the persistent artifact cache (the CI default directory, or
+# whatever EVAL_CACHE_DIR points at). Safe: everything in it is derived
+# and rebuilt on demand.
+cache-clean:
+	rm -rf "$${EVAL_CACHE_DIR:-.artifact-cache}"

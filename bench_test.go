@@ -9,15 +9,18 @@ package repro_test
 import (
 	"fmt"
 	"math"
+	"os"
 	"testing"
 
 	"repro/internal/adapt"
+	"repro/internal/artifact"
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/floorplan"
 	"repro/internal/fuzzy"
 	"repro/internal/grid"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/retime"
 	"repro/internal/tech"
@@ -231,6 +234,60 @@ func BenchmarkFig10_RelativeFrequency(b *testing.B) {
 	if c, err := sum.CellFor(core.All, core.ExhDyn); err == nil {
 		b.ReportMetric(c.FRel, "all_exh_frel")
 	}
+}
+
+// runSummaryCached runs the Figures 10-12 experiment against a persistent
+// artifact store rooted at dir and reports the run's cache-hit count.
+func runSummaryCached(b *testing.B, dir string, modes []core.Mode) (*core.Summary, int64) {
+	b.Helper()
+	sim := newBenchSim(b)
+	reg := obs.NewRegistry()
+	store, err := artifact.Open(dir, artifact.Options{Obs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SetArtifacts(store)
+	cfg := benchConfig()
+	cfg.Modes = modes
+	sum, err := sim.RunSummary(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sum, reg.Counter("artifact.cache.hits").Value()
+}
+
+// BenchmarkFig10_ArtifactCache measures the incremental-runtime win of the
+// persistent artifact store on the Figure 10 experiment: cold populates an
+// empty cache from scratch, warm reloads chips, phase profiles, and trained
+// fuzzy solvers from a populated one. The cold/warm ns/op ratio is the
+// figure-path speedup; the outputs are byte-identical either way (enforced
+// by TestArtifactCacheColdWarmGolden in internal/core).
+func BenchmarkFig10_ArtifactCache(b *testing.B) {
+	modes := []core.Mode{core.Static, core.FuzzyDyn, core.ExhDyn}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "artifact-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			runSummaryCached(b, dir, modes)
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		runSummaryCached(b, dir, modes) // populate
+		var hits int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, hits = runSummaryCached(b, dir, modes)
+		}
+		b.ReportMetric(float64(hits), "cache_hits")
+	})
 }
 
 // BenchmarkFig11_RelativePerformance regenerates Figure 11. Paper anchors:
@@ -573,6 +630,7 @@ func BenchmarkCorePipeline(b *testing.B) {
 	}
 	trace := pipeline.GenerateTrace(app.Phases[0].Mix, 50000, mathx.NewRNG(1))
 	cfg := pipeline.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pipeline.Simulate(trace, cfg); err != nil {

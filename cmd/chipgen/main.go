@@ -11,6 +11,11 @@
 //	chipgen -seed 3 -curves    # per-subsystem PE(f) samples as CSV
 //	chipgen -seed 3 -save c.json   # persist a die's tester database
 //	chipgen -load c.json           # inspect a persisted die
+//
+// With -cache-dir (or $EVAL_CACHE_DIR) generated chips are persisted in
+// the content-addressed artifact cache keyed by (varius params, seed), so
+// later chipgen/evalsim/fuzzytrain runs load the same die instead of
+// re-sampling it; -no-cache forces the cache off.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/varius"
@@ -33,6 +39,9 @@ func main() {
 		curves = flag.Bool("curves", false, "emit per-subsystem PE(f) CSV for the chip")
 		save   = flag.String("save", "", "write the chip's variation maps to a JSON file")
 		load   = flag.String("load", "", "inspect a previously saved chip instead of generating one")
+
+		cacheDir = flag.String("cache-dir", "", "persistent artifact cache directory (default off; falls back to $EVAL_CACHE_DIR)")
+		noCache  = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
 	)
 	flag.Parse()
 
@@ -40,6 +49,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	store, err := artifact.Resolve(*cacheDir, *noCache, artifact.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetArtifacts(store)
 	if *n > 0 {
 		if err := binChips(sim, *n); err != nil {
 			fatal(err)

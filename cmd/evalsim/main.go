@@ -36,6 +36,15 @@
 //	                  table2 (0 = GOMAXPROCS); results are byte-identical
 //	                  at every worker count
 //
+// Artifact-cache flags (see README "Artifact cache"):
+//
+//	-cache-dir dir    persistent content-addressed cache of chips, phase
+//	                  profiles, and trained fuzzy solvers; repeated runs
+//	                  load instead of rebuild. Default off; an empty flag
+//	                  falls back to $EVAL_CACHE_DIR. Results are
+//	                  byte-identical with or without the cache.
+//	-no-cache         force the cache off even if EVAL_CACHE_DIR is set
+//
 // Observability flags (any experiment; see README "Observability &
 // profiling"):
 //
@@ -58,6 +67,7 @@ import (
 	"strings"
 
 	"repro/internal/adapt"
+	"repro/internal/artifact"
 	cmppkg "repro/internal/cmp"
 	"repro/internal/core"
 	"repro/internal/floorplan"
@@ -84,6 +94,8 @@ func main() {
 		traceLen   = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
 		modes      = flag.String("modes", "static,fuzzy,exh", "adaptation modes for fig10-12")
 		workers    = flag.Int("workers", 0, "worker goroutines for the experiment work queues (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "persistent artifact cache directory (default off; falls back to $EVAL_CACHE_DIR)")
+		noCache    = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
 		progress   = flag.Bool("progress", false, "render live per-worker progress to stderr")
 		metrics    = flag.Bool("metrics", false, "print a metrics footer (timers, counters, occupancy) at exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -100,11 +112,17 @@ func main() {
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
 	}
-	// instrument attaches the run's observability sinks to a simulator;
-	// every simulator the experiments construct goes through it.
+	store, err := artifact.Resolve(*cacheDir, *noCache, artifact.Options{Obs: reg})
+	if err != nil {
+		fatal(err)
+	}
+	// instrument attaches the run's observability sinks and the artifact
+	// store to a simulator; every simulator the experiments construct goes
+	// through it.
 	instrument := func(s *core.Simulator) *core.Simulator {
 		s.SetObs(reg)
 		s.SetTracer(tracer)
+		s.SetArtifacts(store)
 		if *progress {
 			s.SetProgressWriter(os.Stderr)
 		}

@@ -18,6 +18,15 @@
 // -workers fans the per-(subsystem, variant) example labeling and
 // controller fits across a worker pool (0, the default, uses GOMAXPROCS).
 // Trained controllers are byte-identical at every worker count.
+//
+// With -cache-dir (or $EVAL_CACHE_DIR) the per-chip trained controllers
+// are also written into the persistent artifact cache, keyed by the full
+// training fingerprint (machine config, technique config, chip seed,
+// training options — see the artifact package doc). A later evalsim run
+// against the same cache directory then loads them instead of retraining,
+// with no extra flag plumbing: per-chip training here uses chip seeds
+// seed+0..evalchips-1, the same seeds evalsim's experiments evaluate.
+// -no-cache forces the cache off.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/mathx"
 	"repro/internal/tech"
@@ -45,6 +55,8 @@ func main() {
 		seed     = flag.Int64("seed", 1000, "base seed")
 		out      = flag.String("out", "", "optional path to save the trained controllers (JSON)")
 		workers  = flag.Int("workers", 0, "worker goroutines for training (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persistent artifact cache directory (default off; falls back to $EVAL_CACHE_DIR)")
+		noCache  = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
 	)
 	flag.Parse()
 
@@ -56,6 +68,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	store, err := artifact.Resolve(*cacheDir, *noCache, artifact.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetArtifacts(store)
 
 	cfg := core.DefaultExperimentConfig()
 	cfg.SeedBase = *seed
@@ -82,7 +99,11 @@ func main() {
 	var fErr, vddErr []float64
 	rng := mathx.NewRNG(*seed + 999)
 	for c := 0; c < *evals; c++ {
-		chip := sim.Chip(*seed + 2_000_000 + int64(c))
+		// Per-chip evaluation (and training) uses the same chip seeds as
+		// evalsim's experiments (SeedBase+0..chips-1), so the cached
+		// controllers trained here are the ones evalsim will look up.
+		chipSeed := *seed + int64(c)
+		chip := sim.Chip(chipSeed)
 		coreView, err := sim.BuildCore(chip, env)
 		if err != nil {
 			fatal(err)
@@ -90,7 +111,7 @@ func main() {
 		if !*fleet {
 			fmt.Printf("training chip %d's controllers: %d examples/controller...\n", c, *examples)
 			t0 := time.Now()
-			solver, err = adapt.TrainFuzzySolver([]*adapt.Core{coreView}, cfg.Training)
+			solver, err = sim.TrainFuzzyCached([]*adapt.Core{coreView}, []int64{chipSeed}, cfg.Training)
 			if err != nil {
 				fatal(err)
 			}

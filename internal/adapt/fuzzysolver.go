@@ -383,29 +383,34 @@ func (s *FuzzySolver) ControllerCount() int {
 }
 
 // solverState is the serialized form of a FuzzySolver: the manufacturer's
-// shippable controller tables (~120 KB of data footprint, §5).
+// shippable controller tables (~120 KB of data footprint, §5) plus the
+// two prediction-correction terms, so a restored solver predicts
+// byte-identically to the one that was trained.
 type solverState struct {
-	Entries []solverEntry `json:"entries"`
+	Entries     []solverEntry `json:"entries"`
+	MinBiasComp float64       `json:"min_bias_comp"`
 }
 
 type solverEntry struct {
-	Sub     int               `json:"sub"`
-	Variant vats.Variant      `json:"variant"`
-	Freq    *fuzzy.Controller `json:"freq"`
-	Vdd     *fuzzy.Controller `json:"vdd"`
-	Vbb     *fuzzy.Controller `json:"vbb"`
+	Sub      int               `json:"sub"`
+	Variant  vats.Variant      `json:"variant"`
+	Freq     *fuzzy.Controller `json:"freq"`
+	Vdd      *fuzzy.Controller `json:"vdd"`
+	Vbb      *fuzzy.Controller `json:"vbb"`
+	FreqBias float64           `json:"freq_bias"`
 }
 
 // MarshalJSON serializes the solver's controllers.
 func (s *FuzzySolver) MarshalJSON() ([]byte, error) {
-	var st solverState
+	st := solverState{MinBiasComp: s.minBiasComp}
 	for key, fc := range s.freq {
 		st.Entries = append(st.Entries, solverEntry{
-			Sub:     key.sub,
-			Variant: key.variant,
-			Freq:    fc,
-			Vdd:     s.vdd[key],
-			Vbb:     s.vbb[key],
+			Sub:      key.sub,
+			Variant:  key.variant,
+			Freq:     fc,
+			Vdd:      s.vdd[key],
+			Vbb:      s.vbb[key],
+			FreqBias: s.freqBias[key],
 		})
 	}
 	sort.Slice(st.Entries, func(i, j int) bool {
@@ -427,6 +432,8 @@ func (s *FuzzySolver) UnmarshalJSON(data []byte) error {
 	s.freq = make(map[fcKey]*fuzzy.Controller)
 	s.vdd = make(map[fcKey]*fuzzy.Controller)
 	s.vbb = make(map[fcKey]*fuzzy.Controller)
+	s.freqBias = make(map[fcKey]float64)
+	s.minBiasComp = st.MinBiasComp
 	for _, e := range st.Entries {
 		if e.Freq == nil || e.Vdd == nil || e.Vbb == nil {
 			return fmt.Errorf("adapt: corrupt solver state for sub %d", e.Sub)
@@ -435,6 +442,7 @@ func (s *FuzzySolver) UnmarshalJSON(data []byte) error {
 		s.freq[key] = e.Freq
 		s.vdd[key] = e.Vdd
 		s.vbb[key] = e.Vbb
+		s.freqBias[key] = e.FreqBias
 	}
 	return nil
 }

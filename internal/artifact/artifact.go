@@ -1,0 +1,352 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion is the store's on-disk file-format version. Bumping it
+// invalidates every existing entry (old envelopes read as stale and are
+// rebuilt); the CI cache key embeds it for the same reason.
+const SchemaVersion = 1
+
+// Kind names one artifact producer and its version. The version is part
+// of the key: bump it whenever the producer's output for the same
+// (params, seed) changes, and every stale entry becomes a clean miss.
+type Kind struct {
+	Name    string
+	Version int
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes bounds the store's total size; the LRU sweep after a
+	// write deletes least-recently-used entries down to the cap.
+	// 0 uses DefaultMaxBytes; negative disables the sweep.
+	MaxBytes int64
+	// Obs receives cache counters; nil (the default) disables metrics
+	// at zero cost.
+	Obs *obs.Registry
+}
+
+// DefaultMaxBytes caps the store at 2 GiB unless Options says otherwise —
+// far above any experiment in this repo, so eviction only matters for
+// long-lived shared caches.
+const DefaultMaxBytes = 2 << 30
+
+// Store is a persistent content-addressed artifact cache rooted at one
+// directory. It is safe for concurrent use by multiple goroutines and,
+// thanks to atomic renames, by multiple processes sharing the directory.
+// All methods are safe on a nil *Store, where every lookup builds
+// directly — a disabled cache costs one nil check.
+type Store struct {
+	dir      string
+	maxBytes int64
+	obs      *obs.Registry
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-process single-flight build: the first goroutine to
+// request a key builds it while followers wait on done and then decode
+// the same bytes.
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// Open creates (if needed) the cache directory and returns a store.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if opt.MaxBytes == 0 {
+		opt.MaxBytes = DefaultMaxBytes
+	}
+	return &Store{
+		dir:      dir,
+		maxBytes: opt.MaxBytes,
+		obs:      opt.Obs,
+		flights:  make(map[string]*flight),
+	}, nil
+}
+
+// Resolve turns the shared CLI surface (-cache-dir, -no-cache, and the
+// EVAL_CACHE_DIR environment variable) into a store: nil when caching is
+// off. An explicit -cache-dir wins over the environment; -no-cache wins
+// over both.
+func Resolve(dirFlag string, noCache bool, opt Options) (*Store, error) {
+	if noCache {
+		return nil, nil
+	}
+	dir := dirFlag
+	if dir == "" {
+		dir = os.Getenv("EVAL_CACHE_DIR")
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	return Open(dir, opt)
+}
+
+// Dir returns the store's root directory ("" on a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// keyEnvelope is the canonical pre-image of an entry key.
+type keyEnvelope struct {
+	Schema  int    `json:"schema"`
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	Params  any    `json:"params"`
+	Seed    int64  `json:"seed"`
+}
+
+// Key derives the content address of (kind, params, seed): the SHA-256
+// of the canonical JSON key envelope. params must JSON-marshal
+// deterministically (plain structs and slices do; maps do not belong in
+// key parameter structs).
+func Key(kind Kind, params any, seed int64) (string, error) {
+	blob, err := json.Marshal(keyEnvelope{
+		Schema:  SchemaVersion,
+		Kind:    kind.Name,
+		Version: kind.Version,
+		Params:  params,
+		Seed:    seed,
+	})
+	if err != nil {
+		return "", fmt.Errorf("artifact: keying %s params: %w", kind.Name, err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	Schema  int             `json:"schema"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// entryPath shards entries by the key's first byte to keep directories
+// small.
+func (s *Store) entryPath(kind Kind, key string) string {
+	return filepath.Join(s.dir, kind.Name, key[:2], key+".json")
+}
+
+// GetOrBuild returns the artifact for key, building it at most once per
+// process. On a cache hit decode receives the stored payload; when build
+// runs, decode is NOT called — the builder already holds the object and
+// returns its serialized form for the store. A corrupt entry (checksum,
+// schema, key, or decode failure) counts as a miss, rebuilds, and
+// overwrites. The returned error is build's (or a failed decode of
+// freshly built bytes); cache I/O problems never surface as errors.
+func (s *Store) GetOrBuild(kind Kind, key string, decode func([]byte) error, build func() ([]byte, error)) error {
+	if s == nil {
+		_, err := build()
+		return err
+	}
+	flightKey := kind.Name + "/" + key
+
+	s.mu.Lock()
+	if f, ok := s.flights[flightKey]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return f.err
+		}
+		return decode(f.payload)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[flightKey] = f
+	s.mu.Unlock()
+
+	defer func() {
+		close(f.done)
+		s.mu.Lock()
+		delete(s.flights, flightKey)
+		s.mu.Unlock()
+	}()
+
+	path := s.entryPath(kind, key)
+	if payload, ok := s.read(kind, key, path); ok {
+		if err := decode(payload); err == nil {
+			s.count(kind, "hits")
+			now := time.Now()
+			_ = os.Chtimes(path, now, now) // best-effort LRU recency
+			f.payload = payload
+			return nil
+		}
+		// Payload passed the checksum but its consumer rejects it:
+		// a stale producer whose Kind.Version was not bumped, or a
+		// hand-edited entry. Same degradation path as corruption.
+		s.count(kind, "corrupt")
+	}
+	s.count(kind, "misses")
+
+	payload, err := build()
+	if err != nil {
+		f.err = err
+		return err
+	}
+	f.payload = payload
+	s.write(kind, key, path, payload)
+	return nil
+}
+
+// read loads and verifies one entry, returning (payload, true) only for
+// an intact entry. Absence is silent; any damage counts as corrupt.
+func (s *Store) read(kind Kind, key, path string) ([]byte, bool) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.count(kind, "corrupt")
+		}
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		s.count(kind, "corrupt")
+		return nil, false
+	}
+	if env.Schema != SchemaVersion || env.Kind != kind.Name || env.Key != key {
+		s.count(kind, "corrupt")
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		s.count(kind, "corrupt")
+		return nil, false
+	}
+	return env.Payload, true
+}
+
+// write persists one entry via temp-file + atomic rename. Failures are
+// counted and swallowed: the cache never fails the run that built the
+// artifact.
+func (s *Store) write(kind Kind, key, path string, payload []byte) {
+	sum := sha256.Sum256(payload)
+	blob, err := json.Marshal(envelope{
+		Schema:  SchemaVersion,
+		Kind:    kind.Name,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp-")
+	if err != nil {
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	s.obs.Counter("artifact.cache.bytes").Add(int64(len(blob)))
+	s.sweep()
+}
+
+// count bumps the global and per-kind counter of one event class.
+func (s *Store) count(kind Kind, event string) {
+	s.obs.Counter("artifact.cache." + event).Inc()
+	s.obs.Counter("artifact.cache." + kind.Name + "." + event).Inc()
+}
+
+// Hits returns the global hit count (0 without a registry) — a test and
+// smoke-check convenience.
+func (s *Store) Hits() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.obs.Counter("artifact.cache.hits").Value()
+}
+
+// sweepEntry is one on-disk entry considered for eviction.
+type sweepEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// sweep enforces the size bound: when the store exceeds maxBytes it
+// deletes least-recently-used entries (and any orphaned temp files)
+// until back under the cap.
+func (s *Store) sweep() {
+	if s.maxBytes < 0 {
+		return
+	}
+	var entries []sweepEntry
+	var total int64
+	_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		// Orphaned temp files older than a minute are debris from a
+		// crashed writer; live ones are about to be renamed.
+		if filepath.Ext(path) != ".json" {
+			if time.Since(info.ModTime()) > time.Minute {
+				os.Remove(path)
+			}
+			return nil
+		}
+		entries = append(entries, sweepEntry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	s.obs.Gauge("artifact.cache.disk_bytes").Set(float64(total))
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			s.obs.Counter("artifact.cache.evictions").Inc()
+		}
+	}
+	s.obs.Gauge("artifact.cache.disk_bytes").Set(float64(total))
+}

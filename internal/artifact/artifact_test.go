@@ -1,0 +1,433 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var testKind = Kind{Name: "test", Version: 1}
+
+// payload is a toy artifact whose decode validates its own content, like
+// the real codecs do.
+type payload struct {
+	Value int    `json:"value"`
+	Blob  string `json:"blob"`
+}
+
+func (p *payload) decode(b []byte) error {
+	if err := json.Unmarshal(b, p); err != nil {
+		return err
+	}
+	if p.Blob == "" {
+		return fmt.Errorf("empty blob")
+	}
+	return nil
+}
+
+func buildPayload(v int) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		return json.Marshal(payload{Value: v, Blob: "data"})
+	}
+}
+
+func openTestStore(t *testing.T) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st, err := Open(t.TempDir(), Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, reg
+}
+
+func counter(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+// get runs one GetOrBuild of key with build value v and returns the
+// decoded payload.
+func get(t *testing.T, st *Store, key string, v int) payload {
+	t.Helper()
+	var p payload
+	err := st.GetOrBuild(testKind, key,
+		func(b []byte) error { return p.decode(b) },
+		func() ([]byte, error) {
+			b, err := buildPayload(v)()
+			if err != nil {
+				return nil, err
+			}
+			return b, p.decode(b)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKeyDerivation(t *testing.T) {
+	type params struct{ A, B int }
+	k1, err := Key(testKind, params{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key(testKind, params{1, 2}, 3)
+	if k1 != k2 {
+		t.Fatal("key not deterministic")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not sha256 hex", k1)
+	}
+	// Any input change must change the key.
+	for name, k := range map[string]func() (string, error){
+		"params":  func() (string, error) { return Key(testKind, params{9, 2}, 3) },
+		"seed":    func() (string, error) { return Key(testKind, params{1, 2}, 4) },
+		"version": func() (string, error) { return Key(Kind{Name: "test", Version: 2}, params{1, 2}, 3) },
+		"kind":    func() (string, error) { return Key(Kind{Name: "other", Version: 1}, params{1, 2}, 3) },
+	} {
+		other, err := k()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other == k1 {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	st, reg := openTestStore(t)
+	key, _ := Key(testKind, 1, 1)
+	if p := get(t, st, key, 42); p.Value != 42 {
+		t.Fatalf("built %+v", p)
+	}
+	if p := get(t, st, key, 43); p.Value != 42 {
+		t.Fatalf("warm read should return the stored 42, got %+v", p)
+	}
+	if h := counter(reg, "artifact.cache.hits"); h != 1 {
+		t.Errorf("hits = %d, want 1", h)
+	}
+	if m := counter(reg, "artifact.cache.misses"); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+	if k := counter(reg, "artifact.cache.test.hits"); k != 1 {
+		t.Errorf("per-kind hits = %d, want 1", k)
+	}
+}
+
+// TestPersistsAcrossStores: a second store on the same directory (a new
+// process) sees the first store's entries.
+func TestPersistsAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := Open(dir, Options{})
+	key, _ := Key(testKind, 1, 1)
+	get(t, st1, key, 7)
+
+	reg := obs.NewRegistry()
+	st2, _ := Open(dir, Options{Obs: reg})
+	if p := get(t, st2, key, 8); p.Value != 7 {
+		t.Fatalf("second store rebuilt instead of loading: %+v", p)
+	}
+	if h := counter(reg, "artifact.cache.hits"); h != 1 {
+		t.Errorf("hits = %d, want 1", h)
+	}
+}
+
+// corruptEntry finds key's entry file and rewrites it via mutate.
+func corruptEntry(t *testing.T, st *Store, key string, mutate func([]byte) []byte) {
+	t.Helper()
+	path := st.entryPath(testKind, key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultInjection covers the damaged-entry scenarios: each must count
+// a corrupt + a miss, rebuild the correct value, and overwrite the entry
+// so the next read hits again.
+func TestFaultInjection(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"flipped_byte", func(b []byte) []byte {
+			// Flip a byte inside the payload section so the envelope still
+			// parses but the checksum fails.
+			c := append([]byte(nil), b...)
+			for i := range c {
+				if c[i] == '4' { // the stored Value digit
+					c[i] = '5'
+					break
+				}
+			}
+			return c
+		}},
+		{"stale_schema", func(b []byte) []byte {
+			var env envelope
+			if err := json.Unmarshal(b, &env); err != nil {
+				panic(err)
+			}
+			env.Schema = SchemaVersion + 1
+			out, err := json.Marshal(env)
+			if err != nil {
+				panic(err)
+			}
+			return out
+		}},
+		{"empty_file", func([]byte) []byte { return nil }},
+		{"not_json", func([]byte) []byte { return []byte("!!not json!!") }},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			st, reg := openTestStore(t)
+			key, _ := Key(testKind, sc.name, 1)
+			get(t, st, key, 42)
+			corruptEntry(t, st, key, sc.mutate)
+			if p := get(t, st, key, 42); p.Value != 42 {
+				t.Fatalf("damaged entry produced wrong result: %+v", p)
+			}
+			if c := counter(reg, "artifact.cache.corrupt"); c != 1 {
+				t.Errorf("corrupt = %d, want 1", c)
+			}
+			if m := counter(reg, "artifact.cache.misses"); m != 2 {
+				t.Errorf("misses = %d, want 2 (initial + rebuild)", m)
+			}
+			// The rebuild must have overwritten the damaged entry.
+			if p := get(t, st, key, 99); p.Value != 42 {
+				t.Fatalf("rebuilt entry not persisted: %+v", p)
+			}
+			if h := counter(reg, "artifact.cache.hits"); h != 1 {
+				t.Errorf("hits = %d, want 1 after rebuild", h)
+			}
+		})
+	}
+}
+
+// TestUndecodablePayload: an intact envelope whose payload the consumer
+// rejects (stale producer output) degrades to a counted rebuild too.
+func TestUndecodablePayload(t *testing.T) {
+	st, reg := openTestStore(t)
+	key, _ := Key(testKind, "undecodable", 1)
+	get(t, st, key, 42)
+	// Replace the entry with a well-formed envelope holding a payload the
+	// decoder rejects (empty blob).
+	bad, _ := json.Marshal(payload{Value: 1, Blob: ""})
+	st.write(testKind, key, st.entryPath(testKind, key), bad)
+	if p := get(t, st, key, 42); p.Value != 42 {
+		t.Fatalf("rejected payload produced wrong result: %+v", p)
+	}
+	if c := counter(reg, "artifact.cache.corrupt"); c != 1 {
+		t.Errorf("corrupt = %d, want 1", c)
+	}
+}
+
+// TestSingleFlight: concurrent requests for one missing key build once.
+func TestSingleFlight(t *testing.T) {
+	st, _ := openTestStore(t)
+	key, _ := Key(testKind, "flight", 1)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	vals := make([]payload, 32)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = st.GetOrBuild(testKind, key,
+				func(b []byte) error { return vals[g].decode(b) },
+				func() ([]byte, error) {
+					builds.Add(1)
+					b, err := buildPayload(42)()
+					if err != nil {
+						return nil, err
+					}
+					return b, vals[g].decode(b)
+				})
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[g].Value != 42 {
+			t.Fatalf("goroutine %d got %+v", g, vals[g])
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+}
+
+// TestConcurrentReadersDuringWrite: two stores on one directory (two
+// processes) hammer the same keys while entries are being written and
+// periodically damaged. Every read must come back correct — atomic
+// renames mean a reader sees the whole old entry, the whole new one, or a
+// miss, never a torn write. Run under -race.
+func TestConcurrentReadersDuringWrite(t *testing.T) {
+	dir := t.TempDir()
+	writer, _ := Open(dir, Options{})
+	reader, _ := Open(dir, Options{})
+	const keys = 4
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	// The writer continuously rebuilds the keys from a second store,
+	// periodically simulating crash damage with an in-place truncation.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key, _ := Key(testKind, i%keys, 1)
+			path := writer.entryPath(testKind, key)
+			b, _ := buildPayload(i % keys)()
+			writer.write(testKind, key, path, b)
+			if i%7 == 0 {
+				os.WriteFile(path, b[:len(b)/3], 0o644)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; i < 300; i++ {
+				want := i % keys
+				key, _ := Key(testKind, want, 1)
+				var p payload
+				err := reader.GetOrBuild(testKind, key,
+					func(b []byte) error { return p.decode(b) },
+					func() ([]byte, error) {
+						b, err := buildPayload(want)()
+						if err != nil {
+							return nil, err
+						}
+						return b, p.decode(b)
+					})
+				if err != nil {
+					t.Errorf("read %d: %v", i, err)
+					return
+				}
+				if p.Value != want {
+					t.Errorf("read %d: got %d, want %d", i, p.Value, want)
+					return
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+}
+
+// TestBuildErrorNotCached: a failing build propagates its error and
+// leaves no entry behind.
+func TestBuildErrorNotCached(t *testing.T) {
+	st, _ := openTestStore(t)
+	key, _ := Key(testKind, "err", 1)
+	wantErr := fmt.Errorf("boom")
+	err := st.GetOrBuild(testKind, key,
+		func([]byte) error { return nil },
+		func() ([]byte, error) { return nil, wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if p := get(t, st, key, 5); p.Value != 5 {
+		t.Fatalf("entry was cached despite build error: %+v", p)
+	}
+}
+
+// TestNilStore: a nil store builds directly and never crashes.
+func TestNilStore(t *testing.T) {
+	var st *Store
+	if st.Dir() != "" {
+		t.Fatal("nil store has a dir")
+	}
+	if st.Hits() != 0 {
+		t.Fatal("nil store has hits")
+	}
+	ran := false
+	err := st.GetOrBuild(testKind, "ignored",
+		func([]byte) error { t.Fatal("decode on nil store"); return nil },
+		func() ([]byte, error) { ran = true; return nil, nil })
+	if err != nil || !ran {
+		t.Fatalf("nil store: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestLRUSweep: pushing the store past MaxBytes evicts the least
+// recently used entries and leaves the rest intact.
+func TestLRUSweep(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, err := Open(t.TempDir(), Options{MaxBytes: 1500, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 8; i++ {
+		key, _ := Key(testKind, i, 1)
+		keys = append(keys, key)
+		get(t, st, key, i)
+	}
+	if ev := counter(reg, "artifact.cache.evictions"); ev == 0 {
+		t.Fatal("no evictions despite exceeding MaxBytes")
+	}
+	var total int64
+	survivors := 0
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, _ := d.Info()
+		total += info.Size()
+		survivors++
+		return nil
+	})
+	if total > 1500 {
+		t.Fatalf("store holds %d bytes, cap 1500", total)
+	}
+	if survivors == 0 {
+		t.Fatal("sweep deleted everything")
+	}
+	// The newest entry must have survived.
+	if _, err := os.Stat(st.entryPath(testKind, keys[len(keys)-1])); err != nil {
+		t.Fatalf("newest entry evicted: %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	dir := t.TempDir()
+	if st, err := Resolve("", true, Options{}); err != nil || st != nil {
+		t.Fatalf("no-cache: %v %v", st, err)
+	}
+	if st, err := Resolve("", false, Options{}); err != nil || st != nil {
+		t.Fatalf("default off: %v %v", st, err)
+	}
+	st, err := Resolve(dir, false, Options{})
+	if err != nil || st == nil || st.Dir() != dir {
+		t.Fatalf("explicit dir: %v %v", st, err)
+	}
+	t.Setenv("EVAL_CACHE_DIR", dir)
+	st, err = Resolve("", false, Options{})
+	if err != nil || st == nil || st.Dir() != dir {
+		t.Fatalf("env dir: %v %v", st, err)
+	}
+	if st, err := Resolve("", true, Options{}); err != nil || st != nil {
+		t.Fatalf("no-cache beats env: %v %v", st, err)
+	}
+}

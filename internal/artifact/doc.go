@@ -1,0 +1,72 @@
+// Package artifact is a persistent, content-addressed, concurrency-safe
+// on-disk cache for the expensive deterministic artifacts of the EVAL
+// stack: chip variation maps (varius.ChipMaps), phase performance
+// profiles (pipeline.Profile), and trained fuzzy-controller sets
+// (adapt.FuzzySolver). All three are pure functions of (parameters,
+// seed), which is the paper's own artifact lifecycle — the manufacturer
+// tests a die once, profiles a phase once, trains a controller set once,
+// and every later run reuses the stored result (§4.2-§4.3).
+//
+// # Key derivation
+//
+// An entry's key is the lowercase-hex SHA-256 of the compact JSON
+// encoding of
+//
+//	{
+//	  "schema":   SchemaVersion,   // store file-format version
+//	  "kind":     <producer name>, // "chip", "profile", "solver", ...
+//	  "version":  <producer version>,
+//	  "params":   <full parameter struct>,
+//	  "seed":     <seed>
+//	}
+//
+// where params is the producer's complete input configuration (for a
+// solver: the varius/power/thermal/checker/limits parameters, the
+// technique configuration, the training-chip seeds, and every
+// TrainOptions field that affects the trained weights — Workers and Obs
+// are excluded because training output is byte-identical without them).
+// Struct fields marshal in declaration order, so the encoding — and the
+// key — is deterministic. Any parameter change, seed change, producer
+// version bump, or schema bump therefore misses cleanly; there is no
+// in-place migration, only rebuild-and-overwrite.
+//
+// # On-disk layout
+//
+// Entries live under dir/<kind>/<key[:2]>/<key>.json as a small envelope
+//
+//	{"schema":1,"kind":"profile","key":"<hex>","sha256":"<hex>","payload":{...}}
+//
+// whose payload is the producer's existing JSON codec output and whose
+// sha256 covers the payload bytes. Writes go through a temp file in the
+// same directory followed by an atomic rename, so concurrent readers
+// (other goroutines or other processes) see either the complete old
+// entry or the complete new one, never a partial write.
+//
+// # Failure semantics
+//
+// The cache can never fail a run or change a result. A missing entry is
+// a miss; a corrupt entry — truncation, bit flip, schema or key
+// mismatch, checksum mismatch, or a payload its consumer cannot decode —
+// is a *counted* miss (artifact.cache.corrupt) that rebuilds and
+// overwrites the entry. Write failures (read-only disk, ENOSPC) are
+// counted and swallowed; the freshly built artifact is still returned.
+// Loaded artifacts are byte-exact reproductions of what the producer
+// built (Go's JSON float encoding round-trips exactly), so cold and warm
+// runs of an experiment are byte-identical at a fixed seed.
+//
+// # Concurrency and bounds
+//
+// In-process, GetOrBuild deduplicates concurrent builds of the same key
+// (single-flight): one goroutine builds, the rest wait and decode the
+// same bytes. Across processes the atomic rename makes duplicate builds
+// harmless — both write identical content. A bounded-size LRU sweep
+// (Options.MaxBytes) deletes the least-recently-used entries after a
+// write pushes the store over its cap; hits bump an entry's mtime.
+//
+// # Metrics
+//
+// With a non-nil obs.Registry the store records artifact.cache.{hits,
+// misses,corrupt,bytes,write_errors,evictions} counters plus per-kind
+// variants (artifact.cache.<kind>.{hits,misses,corrupt}) and an
+// artifact.cache.disk_bytes gauge after each sweep.
+package artifact

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/adapt"
+	"repro/internal/artifact"
+	"repro/internal/checker"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/tech"
+	"repro/internal/thermal"
+	"repro/internal/varius"
+	"repro/internal/workload"
+)
+
+// Artifact kinds produced by the simulator. Bump a Version whenever the
+// producer's output for the same (params, seed) changes.
+var (
+	chipKind    = artifact.Kind{Name: "chip", Version: 1}
+	profileKind = artifact.Kind{Name: "profile", Version: 1}
+	solverKind  = artifact.Kind{Name: "solver", Version: 1}
+)
+
+// SetArtifacts attaches a persistent artifact store; chip variation maps,
+// phase profiles, and trained fuzzy solvers are then loaded from (and
+// written to) it instead of being rebuilt every process. A nil store (the
+// default) disables persistence at zero cost. Cached artifacts are
+// byte-exact reproductions of a fresh build, so results are identical
+// with or without the store.
+func (s *Simulator) SetArtifacts(store *artifact.Store) { s.store = store }
+
+// Artifacts returns the attached store (nil when disabled).
+func (s *Simulator) Artifacts() *artifact.Store { return s.store }
+
+// cachedChip returns chip seed's maps through the artifact store, or nil
+// to tell the caller to build directly (store disabled, or the store
+// layer failed in a way its counters already recorded).
+func (s *Simulator) cachedChip(seed int64) *varius.ChipMaps {
+	if s.store == nil {
+		return nil
+	}
+	key, err := artifact.Key(chipKind, s.opts.Varius, seed)
+	if err != nil {
+		return nil
+	}
+	chip := new(varius.ChipMaps)
+	err = s.store.GetOrBuild(chipKind, key,
+		func(payload []byte) error { return chip.UnmarshalJSON(payload) },
+		func() ([]byte, error) {
+			chip = s.gen.Chip(seed)
+			return chip.MarshalJSON()
+		})
+	if err != nil {
+		return nil
+	}
+	return chip
+}
+
+// profileParams is the profile artifact's key material. The full Phase
+// struct is included (not just its index) so editing the workload tables
+// invalidates stale entries without a version bump.
+type profileParams struct {
+	App      string         `json:"app"`
+	Class    workload.Class `json:"class"`
+	Phase    workload.Phase `json:"phase"`
+	TraceLen int            `json:"trace_len"`
+}
+
+// buildProfile builds (or loads) one phase profile through the store.
+func (s *Simulator) buildProfile(app workload.App, ph workload.Phase) (pipeline.Profile, error) {
+	seed := profileSeed(app.Name, ph.Index)
+	build := func() (pipeline.Profile, error) {
+		defer s.obs.Timer("core.profile.build").Start().Stop()
+		return pipeline.BuildProfile(app, ph, s.opts.TraceLen, seed)
+	}
+	if s.store == nil {
+		return build()
+	}
+	params := profileParams{App: app.Name, Class: app.Class, Phase: ph, TraceLen: s.opts.TraceLen}
+	key, err := artifact.Key(profileKind, params, seed)
+	if err != nil {
+		return build()
+	}
+	var p pipeline.Profile
+	err = s.store.GetOrBuild(profileKind, key,
+		func(payload []byte) error { return json.Unmarshal(payload, &p) },
+		func() ([]byte, error) {
+			var berr error
+			if p, berr = build(); berr != nil {
+				return nil, berr
+			}
+			return json.Marshal(p)
+		})
+	if err != nil {
+		return pipeline.Profile{}, err
+	}
+	return p, nil
+}
+
+// solverParams is the solver artifact's key material: every input that
+// shapes the trained weights — the machine models behind the training
+// cores, the technique configuration, the training-chip seeds, and the
+// TrainOptions fields that matter. Workers and Obs are deliberately
+// absent: training output is byte-identical without them.
+type solverParams struct {
+	Varius  varius.Params  `json:"varius"`
+	Power   power.Params   `json:"power"`
+	Thermal thermal.Params `json:"thermal"`
+	Checker checker.Config `json:"checker"`
+	Limits  adapt.Limits   `json:"limits"`
+	Tech    tech.Config    `json:"tech"`
+
+	ChipSeeds []int64 `json:"chip_seeds"`
+
+	Examples     int     `json:"examples"`
+	Rules        int     `json:"rules"`
+	LearningRate float64 `json:"learning_rate"`
+	Epochs       int     `json:"epochs"`
+	SigmaInit    float64 `json:"sigma_init"`
+	FuzzySeed    int64   `json:"fuzzy_seed"`
+	MinBiasComp  float64 `json:"min_bias_comp"`
+	THLoK        float64 `json:"th_lo_k"`
+	THHiK        float64 `json:"th_hi_k"`
+	AlphaLo      float64 `json:"alpha_lo"`
+	AlphaHi      float64 `json:"alpha_hi"`
+	CPILo        float64 `json:"cpi_lo"`
+	CPIHi        float64 `json:"cpi_hi"`
+}
+
+// TrainFuzzyCached is adapt.TrainFuzzySolver behind the artifact store:
+// when the full (machine config, technique config, chip seeds,
+// TrainOptions) fingerprint matches a stored controller set, training is
+// skipped and the stored solver — a byte-exact reproduction of the
+// trained one — is returned. chipSeeds must list the generator seeds of
+// the chips the cores were built from, in core order; that is what makes
+// an evalsim run recognize what a fuzzytrain run produced.
+func (s *Simulator) TrainFuzzyCached(cores []*adapt.Core, chipSeeds []int64, opts adapt.TrainOptions) (*adapt.FuzzySolver, error) {
+	if s.store == nil || len(cores) == 0 || len(chipSeeds) != len(cores) {
+		return adapt.TrainFuzzySolver(cores, opts)
+	}
+	params := solverParams{
+		Varius:  s.opts.Varius,
+		Power:   s.opts.Power,
+		Thermal: s.opts.Thermal,
+		Checker: s.opts.Checker,
+		Limits:  s.opts.Limits,
+		Tech:    cores[0].Config,
+
+		ChipSeeds: chipSeeds,
+
+		Examples:     opts.Examples,
+		Rules:        opts.Fuzzy.Rules,
+		LearningRate: opts.Fuzzy.LearningRate,
+		Epochs:       opts.Fuzzy.Epochs,
+		SigmaInit:    opts.Fuzzy.SigmaInit,
+		FuzzySeed:    opts.Fuzzy.Seed,
+		MinBiasComp:  opts.MinBiasComp,
+		THLoK:        opts.THLoK,
+		THHiK:        opts.THHiK,
+		AlphaLo:      opts.AlphaLo,
+		AlphaHi:      opts.AlphaHi,
+		CPILo:        opts.CPILo,
+		CPIHi:        opts.CPIHi,
+	}
+	key, err := artifact.Key(solverKind, params, opts.Seed)
+	if err != nil {
+		return adapt.TrainFuzzySolver(cores, opts)
+	}
+	var solver *adapt.FuzzySolver
+	err = s.store.GetOrBuild(solverKind, key,
+		func(payload []byte) error {
+			sv := new(adapt.FuzzySolver)
+			if uerr := sv.UnmarshalJSON(payload); uerr != nil {
+				return uerr
+			}
+			solver = sv
+			return nil
+		},
+		func() ([]byte, error) {
+			var terr error
+			if solver, terr = adapt.TrainFuzzySolver(cores, opts); terr != nil {
+				return nil, terr
+			}
+			return solver.MarshalJSON()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return solver, nil
+}

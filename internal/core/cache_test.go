@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/artifact"
+	"repro/internal/obs"
+)
+
+// cacheTestConfig is a small but full-stack experiment: both workload
+// classes (Static needs an Int and an FP app), one adaptive environment,
+// and the Static + Fuzzy-Dyn modes so chips, profiles, AND trained
+// solvers all flow through the store.
+func cacheTestConfig() (Options, ExperimentConfig) {
+	opts := DefaultOptions()
+	opts.TraceLen = 6000
+	cfg := DefaultExperimentConfig()
+	cfg.Chips = 1
+	cfg.SeedBase = 4242
+	cfg.Apps = []string{"gcc", "swim"}
+	cfg.Envs = []Environment{TSASV}
+	cfg.Modes = []Mode{Static, FuzzyDyn}
+	cfg.Training.Examples = 60
+	cfg.Workers = 2
+	return opts, cfg
+}
+
+// runSummaryWithCache runs the experiment against dir ("" = no cache) and
+// returns the serialized summary plus the run's cache counters.
+func runSummaryWithCache(t *testing.T, dir string) (summary []byte, hits, misses int64) {
+	t.Helper()
+	opts, cfg := cacheTestConfig()
+	sim, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg *obs.Registry
+	if dir != "" {
+		reg = obs.NewRegistry()
+		store, err := artifact.Open(dir, artifact.Options{Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetArtifacts(store)
+	}
+	sum, err := sim.RunSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, reg.Counter("artifact.cache.hits").Value(),
+		reg.Counter("artifact.cache.misses").Value()
+}
+
+// TestArtifactCacheColdWarmGolden is the determinism contract of the
+// artifact store: a cold run (empty cache), a warm run (populated cache),
+// and an uncached run of the same experiment must be byte-identical, and
+// the warm run must actually hit the cache instead of rebuilding.
+func TestArtifactCacheColdWarmGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack experiment")
+	}
+	dir := t.TempDir()
+	cold, coldHits, coldMisses := runSummaryWithCache(t, dir)
+	if coldMisses == 0 {
+		t.Fatal("cold run reported no misses; the store is not being consulted")
+	}
+	if coldHits != 0 {
+		t.Fatalf("cold run reported %d hits from an empty cache", coldHits)
+	}
+	warm, warmHits, warmMisses := runSummaryWithCache(t, dir)
+	if warmHits == 0 {
+		t.Fatal("warm run reported no hits")
+	}
+	if warmMisses != 0 {
+		t.Fatalf("warm run rebuilt %d artifacts; the cache is not keying stably", warmMisses)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold and warm summaries differ:\n cold %s\n warm %s", cold, warm)
+	}
+	uncached, _, _ := runSummaryWithCache(t, "")
+	if !bytes.Equal(cold, uncached) {
+		t.Fatalf("cached and uncached summaries differ:\n cached   %s\n uncached %s", cold, uncached)
+	}
+}
+
+// TestCachedChipMatchesGenerated: a chip loaded through the store is
+// byte-identical to a freshly generated one.
+func TestCachedChipMatchesGenerated(t *testing.T) {
+	opts, _ := cacheTestConfig()
+	fresh, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.SetArtifacts(store)
+	const seed = 31
+	want, err := json.Marshal(fresh.Chip(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.Chip(seed) // populate
+	got, err := json.Marshal(cached.Chip(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("cache-loaded chip differs from a generated one")
+	}
+}
+
+// TestTrainFuzzyCachedRoundTrip: a solver loaded from the store predicts
+// identically to the solver that was trained — including the freqBias and
+// minBiasComp correction terms, which the serialization must carry.
+func TestTrainFuzzyCachedRoundTrip(t *testing.T) {
+	opts, cfg := cacheTestConfig()
+	sim, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := artifact.Open(t.TempDir(), artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetArtifacts(store)
+	seed := cfg.SeedBase
+	chip := sim.Chip(seed)
+	core1, err := sim.BuildCore(chip, TSASV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained, err := sim.TrainFuzzyCached([]*adapt.Core{core1}, []int64{seed}, cfg.Training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sim.TrainFuzzyCached([]*adapt.Core{core1}, []int64{seed}, cfg.Training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(trained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("cache-loaded solver serializes differently from the trained one")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/adapt"
+	"repro/internal/artifact"
 	"repro/internal/checker"
 	"repro/internal/floorplan"
 	"repro/internal/obs"
@@ -168,6 +169,10 @@ type Simulator struct {
 	tracer    *obs.Tracer
 	progressW io.Writer
 
+	// store, when non-nil, persists chips, profiles, and trained solvers
+	// across processes (see cache.go and the artifact package).
+	store *artifact.Store
+
 	mu       sync.Mutex
 	profiles map[profileKey]pipeline.Profile
 }
@@ -239,10 +244,16 @@ func (s *Simulator) Floorplan() *floorplan.Floorplan { return s.fp }
 // Generator returns the variation-map generator.
 func (s *Simulator) Generator() *varius.Generator { return s.gen }
 
-// Chip generates chip seed's variation maps (seed < 0 gives the NoVar chip).
+// Chip generates chip seed's variation maps (seed < 0 gives the NoVar
+// chip). With an artifact store attached the maps are persisted per
+// (varius.Params, seed) and later calls — in this or any process — load
+// the stored die instead of re-sampling it.
 func (s *Simulator) Chip(seed int64) *varius.ChipMaps {
 	if seed < 0 {
 		return s.gen.NoVarChip()
+	}
+	if chip := s.cachedChip(seed); chip != nil {
+		return chip
 	}
 	return s.gen.Chip(seed)
 }
@@ -300,10 +311,9 @@ func (s *Simulator) Profile(app workload.App, ph workload.Phase) (pipeline.Profi
 	}
 	s.mu.Unlock()
 	// Build outside the lock; profiles are deterministic, so a racing
-	// duplicate build writes an identical value.
-	sw := s.obs.Timer("core.profile.build").Start()
-	p, err := pipeline.BuildProfile(app, ph, s.opts.TraceLen, profileSeed(app.Name, ph.Index))
-	sw.Stop()
+	// duplicate build writes an identical value. buildProfile goes through
+	// the artifact store when one is attached.
+	p, err := s.buildProfile(app, ph)
 	if err != nil {
 		return pipeline.Profile{}, err
 	}

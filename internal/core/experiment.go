@@ -331,15 +331,18 @@ func (s *Simulator) TrainSolver(env Environment, cfg ExperimentConfig) (*adapt.F
 	}
 	defer s.obs.Timer("core.fuzzy_train").Start().Stop()
 	var cores []*adapt.Core
+	var seeds []int64
 	for t := 0; t < cfg.TrainChips; t++ {
-		chip := s.Chip(cfg.SeedBase + 1_000_000 + int64(t))
+		seed := cfg.SeedBase + 1_000_000 + int64(t)
+		chip := s.Chip(seed)
 		core, err := s.BuildCore(chip, env)
 		if err != nil {
 			return nil, err
 		}
 		cores = append(cores, core)
+		seeds = append(seeds, seed)
 	}
-	return adapt.TrainFuzzySolver(cores, cfg.Training)
+	return s.TrainFuzzyCached(cores, seeds, cfg.Training)
 }
 
 type cellKey struct {
@@ -436,7 +439,7 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 	if needFuzzy {
 		trainSpan := envSpan.Child("train solver")
 		trainSW := s.obs.Timer("core.fuzzy_train").Start()
-		if solver, err = adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training); err != nil {
+		if solver, err = s.TrainFuzzyCached([]*adapt.Core{core}, []int64{seed}, cfg.Training); err != nil {
 			return nil, err
 		}
 		trainSW.Stop()
@@ -574,14 +577,15 @@ func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
 		prog.SetWorker(slot, cells[idx].Label)
 		defer s.obs.Timer("core.unit").Start().Stop()
 		r := &results[u]
-		chip := s.Chip(cfg.SeedBase + int64(ci))
+		seed := cfg.SeedBase + int64(ci)
+		chip := s.Chip(seed)
 		core, err := s.BuildCoreWithConfig(chip, cells[idx].Config)
 		if err != nil {
 			r.err = err
 			return
 		}
 		// Per-chip controller training (§4.3.1).
-		solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
+		solver, err := s.TrainFuzzyCached([]*adapt.Core{core}, []int64{seed}, cfg.Training)
 		if err != nil {
 			r.err = err
 			return
@@ -713,7 +717,8 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 		r.fErr = make(map[floorplan.Kind][]float64)
 		r.vddErr = make(map[floorplan.Kind][]float64)
 		r.vbbErr = make(map[floorplan.Kind][]float64)
-		chip := s.Chip(cfg.SeedBase + int64(ci))
+		seed := cfg.SeedBase + int64(ci)
+		chip := s.Chip(seed)
 		core, err := s.BuildCoreWithConfig(chip, envs[ei].cfg)
 		if err != nil {
 			r.err = err
@@ -722,7 +727,7 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 		// Per-chip controller training (§4.3.1): accuracy is measured
 		// on the chip whose model populated the controllers, at
 		// operating situations the training never saw.
-		solver, err := adapt.TrainFuzzySolver([]*adapt.Core{core}, cfg.Training)
+		solver, err := s.TrainFuzzyCached([]*adapt.Core{core}, []int64{seed}, cfg.Training)
 		if err != nil {
 			r.err = err
 			return

@@ -15,6 +15,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/mathx"
@@ -182,8 +183,6 @@ type ports struct {
 	free []int64 // next-free cycle per port
 }
 
-func newPorts(k int) *ports { return &ports{free: make([]int64, k)} }
-
 // take returns the earliest cycle >= ready at which a port is free, and
 // occupies that port for one cycle.
 func (p *ports) take(ready int64) int64 {
@@ -201,8 +200,52 @@ func (p *ports) take(ready int64) int64 {
 	return at
 }
 
+// simScratch holds one Simulate call's working buffers, pooled across
+// calls: the per-instruction timing arrays, the issue-time FIFOs, the
+// port trackers, and the store-forwarding map. The timing arrays are not
+// zeroed on reuse — every index is written before it is read — while the
+// FIFOs, ports, and map are reset.
+type simScratch struct {
+	dispatch, complete, commit  []int64
+	intQIssues, fpQIssues       []int64
+	intPorts, fpPorts, memPorts ports
+	lastStore                   map[uint16]int
+}
+
+var simScratchPool = sync.Pool{
+	New: func() any {
+		return &simScratch{
+			intPorts:  ports{free: make([]int64, IntPorts)},
+			fpPorts:   ports{free: make([]int64, FPPorts)},
+			memPorts:  ports{free: make([]int64, MemPorts)},
+			lastStore: make(map[uint16]int),
+		}
+	},
+}
+
+// growInt64 returns s resized to n, reallocating only when too small.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func (sc *simScratch) reset(n int) {
+	sc.dispatch = growInt64(sc.dispatch, n)
+	sc.complete = growInt64(sc.complete, n)
+	sc.commit = growInt64(sc.commit, n)
+	sc.intQIssues = growInt64(sc.intQIssues, n)[:0]
+	sc.fpQIssues = growInt64(sc.fpQIssues, n)[:0]
+	clear(sc.intPorts.free)
+	clear(sc.fpPorts.free)
+	clear(sc.memPorts.free)
+	clear(sc.lastStore)
+}
+
 // Simulate runs the trace through the core model and returns measured CPI
-// and activity factors.
+// and activity factors. Working memory is pooled and reused across calls
+// (and goroutines), so steady-state simulation is allocation-free.
 func Simulate(trace []Instr, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -211,19 +254,24 @@ func Simulate(trace []Instr, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("pipeline: empty trace")
 	}
 	n := len(trace)
-	dispatch := make([]int64, n)
-	complete := make([]int64, n)
-	commit := make([]int64, n)
+	sc := simScratchPool.Get().(*simScratch)
+	sc.reset(n)
+	defer simScratchPool.Put(sc)
+	dispatch := sc.dispatch
+	complete := sc.complete
+	commit := sc.commit
 
 	// Per-queue FIFO of issue times for the queue-occupancy constraint:
 	// instruction k of queue q cannot dispatch until the (k - size)-th
-	// instruction of q has issued and freed its entry.
-	intQIssues := make([]int64, 0, n)
-	fpQIssues := make([]int64, 0, n)
+	// instruction of q has issued and freed its entry. Appends stay within
+	// the scratch capacity (one entry per instruction), so they never
+	// reallocate.
+	intQIssues := sc.intQIssues
+	fpQIssues := sc.fpQIssues
 
-	intPorts := newPorts(IntPorts)
-	fpPorts := newPorts(FPPorts)
-	memPorts := newPorts(MemPorts)
+	intPorts := &sc.intPorts
+	fpPorts := &sc.fpPorts
+	memPorts := &sc.memPorts
 
 	var cycle int64      // current dispatch cycle
 	slots := 0           // dispatch slots used this cycle
@@ -233,7 +281,7 @@ func Simulate(trace []Instr, cfg Config) (Result, error) {
 	l2misses := 0
 	forwarded := 0
 	loads := 0
-	lastStore := make(map[uint16]int)
+	lastStore := sc.lastStore
 	var intOccSum, fpOccSum float64
 	var counts [floorplan.NumSubsystems]float64
 

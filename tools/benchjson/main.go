@@ -22,7 +22,7 @@ import (
 
 const (
 	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline)$"
-	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
+	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
 )
 
 type benchResult struct {
