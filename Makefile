@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke cache-clean
+.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm cache-clean
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -31,6 +31,12 @@ bench-json:
 # training path (the unit tests cover determinism; this covers "it runs").
 bench-smoke:
 	go test -run '^$$' -bench TrainFuzzy -benchtime 1x .
+
+# Warm-path regression gate: re-runs the warm Figure 10 benchmark once and
+# fails if it regressed more than 20% against the checked-in trajectory
+# (normalized by the reference pipeline kernel to cancel machine speed).
+bench-check-warm:
+	go run ./tools/benchjson -check-warm BENCH_adapt.json
 
 # Remove the persistent artifact cache (the CI default directory, or
 # whatever EVAL_CACHE_DIR points at). Safe: everything in it is derived

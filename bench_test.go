@@ -22,8 +22,10 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/power"
 	"repro/internal/retime"
 	"repro/internal/tech"
+	"repro/internal/thermal"
 	"repro/internal/timeline"
 	"repro/internal/varius"
 	"repro/internal/vats"
@@ -638,6 +640,80 @@ func BenchmarkCorePipeline(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(trace)))
+}
+
+// BenchmarkCorePipelineReference measures the original array-of-structs
+// kernel, the warm-path pair of BenchmarkCorePipeline: the ratio between
+// the two is the SoA rewrite's speedup.
+func BenchmarkCorePipelineReference(b *testing.B) {
+	app, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := pipeline.GenerateTrace(app.Phases[0].Mix, 50000, mathx.NewRNG(1))
+	cfg := pipeline.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.SimulateReference(trace, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(trace)))
+}
+
+// BenchmarkCoreSteady measures the thermal fixed point the adaptation
+// engine solves at every evaluated operating point, in the two solver
+// modes: warm (accelerated, scratch and starting temperatures reused
+// across solves, as Evaluate runs it) and reference (the undamped
+// original loop behind DisableAcceleration).
+func BenchmarkCoreSteady(b *testing.B) {
+	vp := varius.DefaultParams()
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw, err := power.NewModel(fp, vp, power.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := thermal.NewModel(fp, vp, pw, thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]thermal.SubsystemInput, fp.N())
+	for i, sub := range fp.Subsystems {
+		ins[i] = thermal.SubsystemInput{
+			Index:  i,
+			Vt0Eff: vp.VtMeanV,
+			AlphaF: sub.TypicalAlpha,
+			VddV:   vp.VddNomV,
+			FRel:   1.0,
+		}
+	}
+	for _, mode := range []struct {
+		name      string
+		reference bool
+	}{{"warm", false}, {"reference", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sv := thermal.NewSolver(m)
+			sv.DisableAcceleration = mode.reference
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate the operating point slightly so the warm path
+				// re-solves (instead of converging instantly) the way
+				// adjacent phase evaluations do.
+				fRel := 1.0 + 0.02*float64(i%2)
+				for j := range ins {
+					ins[j].FRel = fRel
+				}
+				if _, err := sv.CoreSteady(ins, fRel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkChipGeneration measures variation-map synthesis (the per-chip

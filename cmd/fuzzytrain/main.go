@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -128,11 +129,11 @@ func main() {
 				query.Rho = query.AlphaF * rng.Uniform(0.8, 4.5)
 				fx := coreView.FreqSolve(i, query).FMax
 				ff := solver.FreqMax(coreView, i, query)
-				fErr = append(fErr, abs(fx-ff)*4000)
+				fErr = append(fErr, math.Abs(fx-ff)*4000)
 				fCore := tech.SnapFRelDown(fx * rng.Uniform(0.8, 1.0))
 				pxV, _ := (adapt.Exhaustive{}).PowerLevels(coreView, i, fCore, query)
 				pfV, _ := solver.PowerLevels(coreView, i, fCore, query)
-				vddErr = append(vddErr, abs(pxV-pfV)*1000)
+				vddErr = append(vddErr, math.Abs(pxV-pfV)*1000)
 			}
 		}
 	}
@@ -151,13 +152,6 @@ func main() {
 		}
 		fmt.Printf("controllers saved to %s (%d bytes)\n", *out, len(blob))
 	}
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 func parseEnv(name string) (core.Environment, error) {

@@ -27,6 +27,13 @@
 //   - WorkerView clones a core into a per-goroutine view with fresh memo
 //     maps over the shared read-only models and table store; the parallel
 //     fuzzy-training pipeline hands one view per worker slot.
+//
+// Besides the memo maps, a Core privately owns a warm-started
+// thermal.Solver (its scratch buffers carry the previous converged state
+// between Evaluate calls) and an Evaluate-result memo whose cached
+// SystemStates alias one shared Subs slice per entry; both are
+// single-goroutine state, and WorkerView replaces both with fresh
+// instances so views never share mutable scratch.
 package adapt
 
 import (
@@ -105,6 +112,20 @@ type Core struct {
 	pe        *peStore
 	freqMemo  map[freqMemoKey]FreqResult
 	powerMemo map[powerMemoKey]PowerResult
+
+	// solver is the core's private warm-started thermal solver: Evaluate
+	// drives every CoreSteady through it so successive retune probes reuse
+	// the previous converged state. Owned by the core's goroutine, like the
+	// memo maps; WorkerView hands out a fresh one.
+	solver *thermal.Solver
+	// evalMemo caches full Evaluate results by exact operating-point +
+	// profile key; evalKey is the reused scratch buffer the key is encoded
+	// into, and evalIns the reused thermal-input scratch. Cached
+	// SystemStates share their Core.Subs slice across hits and must be
+	// treated as read-only (they are: callers only read).
+	evalMemo map[string]SystemState
+	evalKey  []byte
+	evalIns  []thermal.SubsystemInput
 }
 
 // NewCore validates and assembles the optimization view.
@@ -140,6 +161,8 @@ func NewCore(subs []Subsystem, pw *power.Model, th *thermal.Model,
 		pe:        newPEStore(len(subs)),
 		freqMemo:  make(map[freqMemoKey]FreqResult),
 		powerMemo: make(map[powerMemoKey]PowerResult),
+		solver:    thermal.NewSolver(th),
+		evalMemo:  make(map[string]SystemState),
 	}, nil
 }
 
@@ -169,6 +192,52 @@ func (c *Core) SharePETables(donor *Core) error {
 	return nil
 }
 
+// PETableSlot is one built dense PE-fmax table in serializable form: the
+// flat store slot it occupies plus the inverse-table values. The slot index
+// encodes (subsystem, variant, vddIdx, vbbIdx, tempIdx) exactly as the
+// dense store lays them out, so a chip's tables round-trip through JSON
+// without re-deriving grid coordinates; float64 values survive encoding
+// bit-for-bit (encoding/json emits shortest-round-trip literals).
+type PETableSlot struct {
+	Slot int                     `json:"slot"`
+	FMax [len(peBudgets)]float64 `json:"fmax"`
+}
+
+// ExportPETables snapshots every built dense PE-fmax table. Safe to call
+// concurrently with readers and builders: each slot is checked through its
+// atomic publication flag, so only fully-built tables are exported. The
+// overflow map (off-grid figure sweeps) is deliberately excluded — it is
+// not on the experiment warm path.
+func (c *Core) ExportPETables() []PETableSlot {
+	var out []PETableSlot
+	for slot := range c.pe.dense {
+		if c.pe.built[slot].Load() {
+			out = append(out, PETableSlot{Slot: slot, FMax: c.pe.dense[slot].fmax})
+		}
+	}
+	return out
+}
+
+// ImportPETables seeds the dense store with previously exported tables,
+// skipping out-of-range slots (a floorplan or grid change between runs)
+// and slots already built. Imported tables publish through the same
+// atomic flags as lazily built ones, so concurrent readers are safe.
+// Returns the number of slots newly filled.
+func (c *Core) ImportPETables(tabs []PETableSlot) int {
+	n := 0
+	c.pe.mu.Lock()
+	for _, t := range tabs {
+		if t.Slot < 0 || t.Slot >= len(c.pe.dense) || c.pe.built[t.Slot].Load() {
+			continue
+		}
+		c.pe.dense[t.Slot].fmax = t.FMax
+		c.pe.built[t.Slot].Store(true)
+		n++
+	}
+	c.pe.mu.Unlock()
+	return n
+}
+
 // WorkerView returns a core that shares this core's immutable models
 // (stages, power, thermal, checker, limits) and its concurrency-safe
 // PE-table store, but owns fresh solve-memoization maps. Views are how a
@@ -179,6 +248,10 @@ func (c *Core) WorkerView() *Core {
 	v := *c
 	v.freqMemo = make(map[freqMemoKey]FreqResult)
 	v.powerMemo = make(map[powerMemoKey]PowerResult)
+	v.solver = thermal.NewSolver(c.Thermal)
+	v.evalMemo = make(map[string]SystemState)
+	v.evalKey = nil
+	v.evalIns = nil
 	return &v
 }
 
@@ -246,6 +319,17 @@ func newPEStore(nSubs int) *peStore {
 // peBudgets are the error-budget grid points of the cached inverse tables;
 // queries interpolate in log-budget between them.
 var peBudgets = [...]float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+
+// peLogBudgets precomputes log10 of each budget grid point once; query
+// interpolates against these instead of recomputing two logarithms per
+// bracket probe (math.Log10 dominated the warm experiment profile).
+var peLogBudgets = func() [len(peBudgets)]float64 {
+	var lb [len(peBudgets)]float64
+	for i, b := range peBudgets {
+		lb[i] = math.Log10(b)
+	}
+	return lb
+}()
 
 // peTempsC are the device-temperature grid points (Celsius); queries
 // interpolate linearly in temperature between adjacent tables. Hotter
@@ -339,7 +423,7 @@ func (t *peTable) query(budget float64) float64 {
 	}
 	lb := math.Log10(budget)
 	for i := 0; i < last; i++ {
-		lo, hi := math.Log10(peBudgets[i]), math.Log10(peBudgets[i+1])
+		lo, hi := peLogBudgets[i], peLogBudgets[i+1]
 		if lb <= hi {
 			frac := (lb - lo) / (hi - lo)
 			return t.fmax[i] + frac*(t.fmax[i+1]-t.fmax[i])

@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -339,12 +340,74 @@ type SystemState struct {
 // Violated reports whether any constraint is violated.
 func (s SystemState) Violated() bool { return s.ErrViol || s.TempViol || s.PowerViol }
 
+// evalMemoCap bounds the Evaluate memo; one entry holds a SystemState
+// plus its encoded key (~1/2 KiB), so the cap is a few MiB per core.
+const evalMemoCap = 1 << 14
+
+// appendF64 encodes one float64 exactly (by bit pattern) into a memo key.
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// evalMemoKey encodes everything Evaluate's result depends on besides the
+// core's immutable models: the full operating point and the profile fields
+// Evaluate reads. The encoding is exact (float bit patterns), so a hit can
+// only occur for a bitwise-identical query. The key is built in a reused
+// buffer; map lookups via string(key) do not allocate.
+func (c *Core) evalMemoKey(op OperatingPoint, prof pipeline.Profile) []byte {
+	k := c.evalKey[:0]
+	k = appendF64(k, op.FCore)
+	for i := range op.VddV {
+		k = appendF64(k, op.VddV[i])
+		k = appendF64(k, op.VbbV[i])
+	}
+	k = append(k, byte(op.Queue), byte(op.FU), byte(prof.Class))
+	for _, a := range prof.Activity {
+		k = appendF64(k, a)
+	}
+	k = appendF64(k, prof.CPICompFull)
+	k = appendF64(k, prof.CPICompSmall)
+	k = appendF64(k, prof.Mr)
+	k = appendF64(k, prof.MpNomCycles)
+	k = appendF64(k, prof.MispredictsPerInstr)
+	c.evalKey = k
+	return k
+}
+
 // Evaluate computes the true system state at an operating point for a
 // phase: the coupled thermal solution, the real error rate (stage curves at
 // the real per-subsystem temperatures), performance, and constraint checks.
+//
+// Results are memoized by exact key: retuning and the steady-state loop
+// re-probe the same (operating point, profile) pairs constantly, and
+// repeated phases across the environment sweep land on identical keys, so
+// repeats are table lookups ("core.memo.evaluate_hits"). DisablePruning
+// routes around the memo, like the Freq/Power solve memos.
 func (c *Core) Evaluate(op OperatingPoint, prof pipeline.Profile) (SystemState, error) {
+	memo := !c.DisablePruning && c.evalMemo != nil
+	var key []byte
+	if memo {
+		key = c.evalMemoKey(op, prof)
+		if st, ok := c.evalMemo[string(key)]; ok {
+			c.Obs.Counter("core.memo.evaluate_hits").Inc()
+			return st, nil
+		}
+		c.Obs.Counter("core.memo.evaluate_misses").Inc()
+	}
+	st := c.evaluate(op, prof)
+	if memo && len(c.evalMemo) < evalMemoCap {
+		c.evalMemo[string(key)] = st
+	}
+	return st, nil
+}
+
+// evaluate is the uncached Evaluate body.
+func (c *Core) evaluate(op OperatingPoint, prof pipeline.Profile) SystemState {
 	n := c.N()
-	ins := make([]thermal.SubsystemInput, n)
+	if cap(c.evalIns) < n {
+		c.evalIns = make([]thermal.SubsystemInput, n)
+	}
+	ins := c.evalIns[:n]
 	for i := 0; i < n; i++ {
 		sub := c.Subs[i].Sub
 		_, mult := variantFor(sub, prof.Class, op.Queue, op.FU)
@@ -358,7 +421,11 @@ func (c *Core) Evaluate(op OperatingPoint, prof pipeline.Profile) (SystemState, 
 			PowerMult: mult,
 		}
 	}
-	coreState, err := c.Thermal.CoreSteady(ins, op.FCore)
+	// The core's private solver warm-starts each solve from the previous
+	// converged state; Obs is forwarded lazily because the registry is
+	// assigned after NewCore.
+	c.solver.Obs = c.Obs
+	coreState, err := c.solver.CoreSteady(ins, op.FCore)
 	if err != nil {
 		// Thermal runaway or non-convergence: the real hardware would trip
 		// its thermal and power sensors immediately. Report a fully
@@ -371,7 +438,7 @@ func (c *Core) Evaluate(op OperatingPoint, prof pipeline.Profile) (SystemState, 
 			ErrViol:   true,
 			TempViol:  true,
 			PowerViol: true,
-		}, nil
+		}
 	}
 
 	// Real error rate: Eq. 4 with stage curves at the solved temperatures.
@@ -419,5 +486,5 @@ func (c *Core) Evaluate(op OperatingPoint, prof pipeline.Profile) (SystemState, 
 		// Without a checker, any measurable error rate is fatal.
 		st.ErrViol = true
 	}
-	return st, nil
+	return st
 }

@@ -1,0 +1,192 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+	"repro/internal/vats"
+)
+
+// evalPoints builds a small grid of operating points spanning clean and
+// violated regions, with repeats so the memo has something to hit.
+func evalPoints(n int) []OperatingPoint {
+	mk := func(f, vdd, vbb float64) OperatingPoint {
+		op := OperatingPoint{FCore: f, VddV: make([]float64, n), VbbV: make([]float64, n)}
+		for i := range op.VddV {
+			op.VddV[i] = vdd
+			op.VbbV[i] = vbb
+		}
+		return op
+	}
+	return []OperatingPoint{
+		mk(tech.FRelMin, 1.0, 0),
+		mk(1.0, 1.05, 0),
+		mk(1.1, tech.VddMaxV, 0),
+		mk(tech.FRelMin, 1.0, 0), // repeat of point 0: a memo hit
+		mk(1.0, 1.05, 0),         // repeat of point 1
+	}
+}
+
+// sameState compares SystemStates bitwise (CoreState holds a slice, so ==
+// does not apply).
+func sameState(a, b SystemState) bool {
+	if a.PE != b.PE || a.PerfRel != b.PerfRel || a.TotalW != b.TotalW ||
+		a.ErrViol != b.ErrViol || a.TempViol != b.TempViol || a.PowerViol != b.PowerViol {
+		return false
+	}
+	if a.Core.THK != b.Core.THK || a.Core.UncoreW != b.Core.UncoreW ||
+		a.Core.TotalW != b.Core.TotalW || len(a.Core.Subs) != len(b.Core.Subs) {
+		return false
+	}
+	for i := range a.Core.Subs {
+		if a.Core.Subs[i] != b.Core.Subs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvaluateMemoHitsAndIdentity: repeated Evaluate calls at the same
+// operating point must be served from the core's memo (visible in the
+// core.memo.* counters) and return byte-identical states.
+func TestEvaluateMemoHitsAndIdentity(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 31, preferred)
+	reg := obs.NewRegistry()
+	core.Obs = reg
+	pts := evalPoints(core.N())
+	first := make([]SystemState, len(pts))
+	for i, op := range pts {
+		st, err := core.Evaluate(op, gcc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = st
+	}
+	if hits := reg.Counter("core.memo.evaluate_hits").Value(); hits < 2 {
+		t.Errorf("evaluate memo hits = %d, want >= 2 (grid repeats)", hits)
+	}
+	for i, op := range pts {
+		st, err := core.Evaluate(op, gcc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameState(st, first[i]) {
+			t.Errorf("point %d: memoized state %+v != first evaluation %+v", i, st, first[i])
+		}
+	}
+	if misses := reg.Counter("core.memo.evaluate_misses").Value(); misses != 3 {
+		t.Errorf("evaluate memo misses = %d, want 3 distinct points", misses)
+	}
+}
+
+// TestEvaluateMemoDisabledByPruningKnob: the reference mode must bypass
+// the memo entirely, like every other fast path behind DisablePruning.
+func TestEvaluateMemoDisabledByPruningKnob(t *testing.T) {
+	gcc, _ := profiles(t)
+	core := buildCore(t, 31, preferred)
+	core.DisablePruning = true
+	reg := obs.NewRegistry()
+	core.Obs = reg
+	op := evalPoints(core.N())[0]
+	for i := 0; i < 3; i++ {
+		if _, err := core.Evaluate(op, gcc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := reg.Counter("core.memo.evaluate_hits").Value(); hits != 0 {
+		t.Errorf("reference mode took %d memo hits, want 0", hits)
+	}
+}
+
+// TestConcurrentWorkerViewEvaluate drives per-worker views from racing
+// goroutines (the -race concurrent-memo test): each view owns its solver
+// scratch and Evaluate memo, so concurrent phase evaluations must be both
+// race-free and bitwise equal to a serial core's answers.
+func TestConcurrentWorkerViewEvaluate(t *testing.T) {
+	gcc, swim := profiles(t)
+	profs := []pipeline.Profile{gcc, swim}
+	parent := buildCore(t, 32, preferred)
+	serial := buildCore(t, 32, preferred)
+	pts := evalPoints(parent.N())
+	want := make(map[[2]int]SystemState)
+	for pi, op := range pts {
+		for fi, prof := range profs {
+			st, err := serial.Evaluate(op, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]int{pi, fi}] = st
+		}
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := parent.WorkerView()
+			// Two passes: the second is served from the view's own memo
+			// and must not change answers.
+			for pass := 0; pass < 2; pass++ {
+				for pi, op := range pts {
+					for fi, prof := range profs {
+						st, err := view.Evaluate(op, prof)
+						if err != nil {
+							errs <- err.Error()
+							return
+						}
+						if !sameState(st, want[[2]int{pi, fi}]) {
+							errs <- "concurrent view Evaluate diverged from serial core"
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestPETableExportImportRoundtrip: tables built by one core must import
+// into a fresh core over the same chip and yield bitwise-identical solves
+// without rebuilding (the persistence path cache.go rides on).
+func TestPETableExportImportRoundtrip(t *testing.T) {
+	builder := buildCore(t, 33, allConfig)
+	q := FreqQuery{THK: thTest, AlphaF: 0.4, Rho: 0.9, Variant: vats.IdentityVariant(), PowerMult: 1}
+	want := make([]FreqResult, builder.N())
+	for i := range want {
+		want[i] = builder.FreqSolve(i, q)
+	}
+	tabs := builder.ExportPETables()
+	if len(tabs) == 0 {
+		t.Fatal("no PE tables exported after a full solve sweep")
+	}
+
+	fresh := buildCore(t, 33, allConfig)
+	if n := fresh.ImportPETables(tabs); n != len(tabs) {
+		t.Fatalf("imported %d of %d tables into a cold core", n, len(tabs))
+	}
+	// Re-import must be a no-op: every slot is already built.
+	if n := fresh.ImportPETables(tabs); n != 0 {
+		t.Fatalf("second import filled %d slots, want 0", n)
+	}
+	for i := range want {
+		if got := fresh.FreqSolve(i, q); got != want[i] {
+			t.Fatalf("sub %d: imported-table solve %+v != builder's %+v", i, got, want[i])
+		}
+	}
+	// The warmed core exports what it imported (nothing new was built for
+	// this query), so cache.go's "skip write when nothing new" guard holds.
+	if again := fresh.ExportPETables(); len(again) < len(tabs) {
+		t.Fatalf("re-export lost tables: %d < %d", len(again), len(tabs))
+	}
+}

@@ -214,6 +214,42 @@ func (s *Store) GetOrBuild(kind Kind, key string, decode func([]byte) error, bui
 	return nil
 }
 
+// Get returns the artifact for key if an intact entry exists, feeding the
+// payload to decode. Unlike GetOrBuild it never builds: absence or
+// corruption simply returns false, and the caller produces (or skips) the
+// object itself. Nil-safe, like every Store method.
+func (s *Store) Get(kind Kind, key string, decode func([]byte) error) bool {
+	if s == nil {
+		return false
+	}
+	path := s.entryPath(kind, key)
+	payload, ok := s.read(kind, key, path)
+	if !ok {
+		s.count(kind, "misses")
+		return false
+	}
+	if err := decode(payload); err != nil {
+		s.count(kind, "corrupt")
+		s.count(kind, "misses")
+		return false
+	}
+	s.count(kind, "hits")
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // best-effort LRU recency
+	return true
+}
+
+// Put persists payload under key, overwriting any existing entry. The
+// complement of Get for artifacts whose build has no single call site to
+// wrap (e.g. tables accumulated lazily over a run). Failures are counted
+// and swallowed; nil-safe.
+func (s *Store) Put(kind Kind, key string, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.write(kind, key, s.entryPath(kind, key), payload)
+}
+
 // read loads and verifies one entry, returning (payload, true) only for
 // an intact entry. Absence is silent; any damage counts as corrupt.
 func (s *Store) read(kind Kind, key, path string) ([]byte, bool) {

@@ -20,6 +20,7 @@ var (
 	chipKind    = artifact.Kind{Name: "chip", Version: 1}
 	profileKind = artifact.Kind{Name: "profile", Version: 1}
 	solverKind  = artifact.Kind{Name: "solver", Version: 1}
+	petableKind = artifact.Kind{Name: "petables", Version: 1}
 )
 
 // SetArtifacts attaches a persistent artifact store; chip variation maps,
@@ -72,7 +73,7 @@ func (s *Simulator) buildProfile(app workload.App, ph workload.Phase) (pipeline.
 	seed := profileSeed(app.Name, ph.Index)
 	build := func() (pipeline.Profile, error) {
 		defer s.obs.Timer("core.profile.build").Start().Stop()
-		return pipeline.BuildProfile(app, ph, s.opts.TraceLen, seed)
+		return pipeline.BuildProfileSim(app, ph, s.opts.TraceLen, seed, s.memoSim(ph.Mix, seed))
 	}
 	if s.store == nil {
 		return build()
@@ -96,6 +97,66 @@ func (s *Simulator) buildProfile(app workload.App, ph workload.Phase) (pipeline.
 		return pipeline.Profile{}, err
 	}
 	return p, nil
+}
+
+// petablePayload is the petables artifact: every dense PE-fmax table one
+// run built for one chip. Unlike the other kinds there is no single build
+// call site to wrap — tables accumulate lazily as controller invocations
+// touch grid points — so the store's raw Get/Put surface is used instead
+// of GetOrBuild: load seeds the store after the donor core is assembled,
+// and the run's accumulated tables are written back at the end. Table
+// values are exact float64 round-trips, so a warm run's solves are
+// byte-identical to a cold run's.
+type petablePayload struct {
+	Tables []adapt.PETableSlot `json:"tables"`
+}
+
+// petableKey derives the petables artifact key: the tables are fully
+// determined by the chip's stage models, i.e. by (varius params, seed).
+func (s *Simulator) petableKey(seed int64) (string, bool) {
+	key, err := artifact.Key(petableKind, s.opts.Varius, seed)
+	return key, err == nil
+}
+
+// loadPETables seeds cpu's dense PE-fmax store from the artifact cache,
+// returning how many tables were imported (0 with no store or no entry).
+func (s *Simulator) loadPETables(cpu *adapt.Core, seed int64) int {
+	if s.store == nil {
+		return 0
+	}
+	key, ok := s.petableKey(seed)
+	if !ok {
+		return 0
+	}
+	var p petablePayload
+	if !s.store.Get(petableKind, key, func(payload []byte) error {
+		return json.Unmarshal(payload, &p)
+	}) {
+		return 0
+	}
+	return cpu.ImportPETables(p.Tables)
+}
+
+// storePETables writes cpu's built PE-fmax tables back to the artifact
+// cache, skipping the write when the run built nothing beyond what
+// loadPETables imported.
+func (s *Simulator) storePETables(cpu *adapt.Core, seed int64, imported int) {
+	if s.store == nil {
+		return
+	}
+	tabs := cpu.ExportPETables()
+	if len(tabs) <= imported {
+		return
+	}
+	key, ok := s.petableKey(seed)
+	if !ok {
+		return
+	}
+	payload, err := json.Marshal(petablePayload{Tables: tabs})
+	if err != nil {
+		return
+	}
+	s.store.Put(petableKind, key, payload)
 }
 
 // solverParams is the solver artifact's key material: every input that

@@ -175,12 +175,30 @@ type Simulator struct {
 
 	mu       sync.Mutex
 	profiles map[profileKey]pipeline.Profile
+	simMemo  map[simMemoKey]pipeline.Result
 }
 
 type profileKey struct {
 	app   string
 	phase int
 }
+
+// simMemoKey identifies one exact pipeline.Simulate invocation at the
+// Simulator layer: the trace identity — GenerateTrace is fully determined
+// by (mix, length, seed) — plus the effective machine configuration.
+// SquashL2Misses is normalized to false for traces containing no L2 miss
+// (the flag then cannot affect a single cycle-level decision), so such a
+// phase's squashed run is a table lookup of its full-queue run.
+type simMemoKey struct {
+	seed int64
+	n    int
+	mix  workload.Mix
+	cfg  pipeline.Config
+}
+
+// simMemoCap bounds the memo; the full suite needs ~26 apps × phases × 3
+// configs, far below it.
+const simMemoCap = 1 << 12
 
 // NewSimulator validates the options and builds the shared models.
 func NewSimulator(opts Options) (*Simulator, error) {
@@ -216,7 +234,51 @@ func NewSimulator(opts Options) (*Simulator, error) {
 		pw:       pw,
 		th:       th,
 		profiles: make(map[profileKey]pipeline.Profile),
+		simMemo:  make(map[simMemoKey]pipeline.Result),
 	}, nil
+}
+
+// memoSim wraps pipeline.Simulate in the Simulator's exact-key result
+// memo for the trace identified by (mix, seed). Hits and misses appear as
+// core.memo.simulate_* counters. The memo returns byte-identical Results:
+// keys are exact inputs, and the squash normalization (see simMemoKey)
+// only merges configurations that are behaviorally indistinguishable on
+// the given trace.
+func (s *Simulator) memoSim(mix workload.Mix, seed int64) pipeline.SimFunc {
+	return func(trace []pipeline.Instr, cfg pipeline.Config) (pipeline.Result, error) {
+		eff := cfg
+		if eff.SquashL2Misses && !traceHasL2Miss(trace) {
+			eff.SquashL2Misses = false
+		}
+		key := simMemoKey{seed: seed, n: len(trace), mix: mix, cfg: eff}
+		s.mu.Lock()
+		r, ok := s.simMemo[key]
+		s.mu.Unlock()
+		if ok {
+			s.obs.Counter("core.memo.simulate_hits").Inc()
+			return r, nil
+		}
+		s.obs.Counter("core.memo.simulate_misses").Inc()
+		r, err := pipeline.Simulate(trace, eff)
+		if err != nil {
+			return r, err
+		}
+		s.mu.Lock()
+		if len(s.simMemo) < simMemoCap {
+			s.simMemo[key] = r
+		}
+		s.mu.Unlock()
+		return r, nil
+	}
+}
+
+func traceHasL2Miss(trace []pipeline.Instr) bool {
+	for i := range trace {
+		if trace[i].L2Miss {
+			return true
+		}
+	}
+	return false
 }
 
 // Options returns the simulator's configuration.

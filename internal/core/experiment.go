@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -213,6 +214,9 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 		if shared[ci].err != nil {
 			return nil, shared[ci].err
 		}
+		// All units are done, so the donor's table store is quiescent:
+		// persist any tables this run built beyond the imported entry.
+		s.storePETables(shared[ci].donor, cfg.SeedBase+int64(ci), shared[ci].petables)
 		sum.BaselineFRel += shared[ci].baseF / float64(cfg.Chips)
 		sum.BaselinePerfR += shared[ci].basePerfR / float64(cfg.Chips)
 		sum.BaselinePowerW += shared[ci].basePower / float64(cfg.Chips)
@@ -257,7 +261,11 @@ type chipShared struct {
 	// donor exists only to hold the chip's shared PE-table store; the
 	// tables depend on the stage models alone, so its technique
 	// configuration is irrelevant.
-	donor                       *adapt.Core
+	donor *adapt.Core
+	// petables counts the PE-fmax tables seeded into the donor from the
+	// artifact cache, so the reduction only writes the entry back when the
+	// run built tables beyond it.
+	petables                    int
 	baseF, basePerfR, basePower float64
 }
 
@@ -278,6 +286,7 @@ func (sh *chipShared) init(s *Simulator, apps []workload.App, noVarPerf map[stri
 		sh.err = err
 		return
 	}
+	sh.petables = s.loadPETables(sh.donor, seed)
 	if sh.baseF, err = s.ChipFVar(chip); err != nil {
 		sh.err = err
 		return
@@ -745,12 +754,12 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 				}
 				fx := core.FreqSolve(i, query).FMax
 				ff := solver.FreqMax(core, i, query)
-				r.fErr[kind] = append(r.fErr[kind], absF(fx-ff)*nomFreqMHz)
+				r.fErr[kind] = append(r.fErr[kind], math.Abs(fx-ff)*nomFreqMHz)
 				fCore := tech.SnapFRelDown(fx * d.fMult)
 				pxV, pxB := (adapt.Exhaustive{}).PowerLevels(core, i, fCore, query)
 				pfV, pfB := solver.PowerLevels(core, i, fCore, query)
-				r.vddErr[kind] = append(r.vddErr[kind], absF(pxV-pfV)*1000)
-				r.vbbErr[kind] = append(r.vbbErr[kind], absF(pxB-pfB)*1000)
+				r.vddErr[kind] = append(r.vddErr[kind], math.Abs(pxV-pfV)*1000)
+				r.vbbErr[kind] = append(r.vbbErr[kind], math.Abs(pxB-pfB)*1000)
 			}
 		}
 	})
@@ -802,11 +811,4 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 		}
 	}
 	return rows, nil
-}
-
-func absF(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

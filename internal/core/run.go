@@ -67,6 +67,12 @@ func (s *Simulator) ChipFVar(chip *varius.ChipMaps) (float64, error) {
 // supplies each subsystem's leakage-effective Vt0.
 func (s *Simulator) runFixed(app workload.App, fRel float64, env Environment, vt0Eff []float64) (AppRun, error) {
 	run := AppRun{App: app.Name, Env: env, FRel: fRel}
+	// One warm-started solver per call: successive phases of an app sit at
+	// nearby operating points, and a local solver keeps the pool goroutines
+	// that share s.th isolated from each other.
+	sv := thermal.NewSolver(s.th)
+	sv.Obs = s.obs
+	ins := make([]thermal.SubsystemInput, s.fp.N())
 	for _, ph := range app.Phases {
 		prof, err := s.Profile(app, ph)
 		if err != nil {
@@ -79,7 +85,6 @@ func (s *Simulator) runFixed(app workload.App, fRel float64, env Environment, vt
 			Mr:          prof.Mr,
 			MpNomCycles: prof.MpNomCycles,
 		})
-		ins := make([]thermal.SubsystemInput, s.fp.N())
 		for i, sub := range s.fp.Subsystems {
 			ins[i] = thermal.SubsystemInput{
 				Index:  i,
@@ -89,7 +94,7 @@ func (s *Simulator) runFixed(app workload.App, fRel float64, env Environment, vt
 				FRel:   fRel,
 			}
 		}
-		st, err := s.th.CoreSteady(ins, fRel)
+		st, err := sv.CoreSteady(ins, fRel)
 		phaseSW.Stop()
 		if err != nil {
 			return AppRun{}, fmt.Errorf("core: %s %s: %w", env, app.Name, err)

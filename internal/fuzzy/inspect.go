@@ -2,6 +2,7 @@ package fuzzy
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -47,18 +48,11 @@ func (c *Controller) RulesByWeight() []int {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		da := abs(c.y[idx[a]] - c.fallback)
-		db := abs(c.y[idx[b]] - c.fallback)
+		da := math.Abs(c.y[idx[a]] - c.fallback)
+		db := math.Abs(c.y[idx[b]] - c.fallback)
 		return da > db
 	})
 	return idx
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // Describe renders the controller's rules as text, one per line, with the

@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// configsUnderTest returns the three queue configurations the profiling
+// pipeline actually runs (full, class-side small, and L2-squash), the
+// same way BuildProfile derives them.
+func configsUnderTest(class workload.Class) []Config {
+	full := DefaultConfig()
+	small := full
+	if class == workload.FP {
+		small.FPQEntries = int(float64(full.FPQEntries) * tech.QueueSmallFrac)
+	} else {
+		small.IntQEntries = int(float64(full.IntQEntries) * tech.QueueSmallFrac)
+	}
+	squash := full
+	squash.SquashL2Misses = true
+	return []Config{full, small, squash}
+}
+
+// TestSimulateMatchesReference is the SoA kernel's golden suite: for every
+// workload archetype in the suite, every phase mix, and every profiling
+// configuration, Simulate must return a Result byte-identical to the
+// original array-of-structs kernel. Any == mismatch on any float64 field
+// is a correctness bug in the fast path, not a tolerance issue.
+func TestSimulateMatchesReference(t *testing.T) {
+	const nInstr = 4000
+	for _, app := range workload.Suite() {
+		for _, ph := range app.Phases {
+			trace := GenerateTrace(ph.Mix, nInstr, mathx.NewRNG(profileTestSeed(app.Name, ph.Index)))
+			for ci, cfg := range configsUnderTest(app.Class) {
+				got, err := Simulate(trace, cfg)
+				if err != nil {
+					t.Fatalf("%s/%d cfg %d: Simulate: %v", app.Name, ph.Index, ci, err)
+				}
+				want, err := SimulateReference(trace, cfg)
+				if err != nil {
+					t.Fatalf("%s/%d cfg %d: SimulateReference: %v", app.Name, ph.Index, ci, err)
+				}
+				if got != want {
+					t.Errorf("%s/%d cfg %d: Simulate diverges from reference:\n got %+v\nwant %+v",
+						app.Name, ph.Index, ci, got, want)
+				}
+			}
+		}
+	}
+}
+
+// profileTestSeed mirrors profileSeed in internal/core without importing
+// it (that would be an import cycle): any deterministic per-(app, phase)
+// seed works — the point is trace diversity, not matching production.
+func profileTestSeed(name string, phase int) int64 {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(name) {
+		h = (h ^ int64(b)) * 1099511628211
+	}
+	return h ^ int64(phase)<<7
+}
+
+// TestSimulateMatchesReferenceEdgeCases pins the fast path's trickier
+// corners: tiny traces (window never fills), dependency distances at the
+// clamp boundary, dense store-forwarding chains, and long-stall traces
+// where the occupancy tracker must retire across large cycle jumps.
+func TestSimulateMatchesReferenceEdgeCases(t *testing.T) {
+	cfg := DefaultConfig()
+	check := func(name string, trace []Instr, cfg Config) {
+		t.Helper()
+		got, err := Simulate(trace, cfg)
+		if err != nil {
+			t.Fatalf("%s: Simulate: %v", name, err)
+		}
+		want, err := SimulateReference(trace, cfg)
+		if err != nil {
+			t.Fatalf("%s: SimulateReference: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: Simulate diverges:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+
+	check("single", []Instr{{Op: OpInt, Dep1: 5}}, cfg)
+	check("two-dependent", []Instr{{Op: OpInt}, {Op: OpInt, Dep1: 1, Dep2: 2}}, cfg)
+
+	// Store then immediately load the same address: forwarding on the
+	// freshest possible store, plus a stale far dependency.
+	fwd := make([]Instr, 0, 64)
+	for i := 0; i < 32; i++ {
+		fwd = append(fwd,
+			Instr{Op: OpStore, Addr: uint16(i % 3)},
+			Instr{Op: OpLoad, Addr: uint16(i % 3), Dep1: 2, L1Miss: true, L2Miss: i%4 == 0})
+	}
+	check("forwarding-chain", fwd, cfg)
+
+	// All-miss loads force ~200-cycle gaps between dispatches, so the
+	// occupancy tracker's bucket walk crosses long empty ranges.
+	stalls := make([]Instr, 64)
+	for i := range stalls {
+		stalls[i] = Instr{Op: OpLoad, Addr: uint16(i), Dep1: 1, L1Miss: true, L2Miss: true}
+	}
+	check("long-stalls", stalls, cfg)
+	check("long-stalls-squash", stalls, Config{IntQEntries: cfg.IntQEntries, FPQEntries: cfg.FPQEntries, SquashL2Misses: true})
+
+	// Minimum legal queues: the FIFO capacity constraint binds constantly.
+	tiny := Config{IntQEntries: 4, FPQEntries: 4}
+	mixed := make([]Instr, 300)
+	for i := range mixed {
+		switch i % 5 {
+		case 0:
+			mixed[i] = Instr{Op: OpFP, Dep1: 5}
+		case 1:
+			mixed[i] = Instr{Op: OpBranch, Mispredict: i%10 == 1}
+		case 2:
+			mixed[i] = Instr{Op: OpLoad, Addr: uint16(i), Dep1: 1, L1Miss: i%3 == 0}
+		case 3:
+			mixed[i] = Instr{Op: OpStore, Addr: uint16(i + 2), Dep2: 3}
+		default:
+			mixed[i] = Instr{Op: OpInt, Dep1: 400} // clamps to none early on
+		}
+	}
+	check("tiny-queues", mixed, tiny)
+}
+
+// TestSimulateReferenceScratchInterleaving makes sure the two kernels can
+// share the scratch pool: alternating calls must not leak state between
+// the AoS and SoA paths.
+func TestSimulateReferenceScratchInterleaving(t *testing.T) {
+	mix := workload.Suite()[0].Phases[0].Mix
+	trace := GenerateTrace(mix, 3000, mathx.NewRNG(7))
+	cfg := DefaultConfig()
+	base, err := Simulate(trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		ref, err := SimulateReference(trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := Simulate(trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref != base || fast != base {
+			t.Fatalf("round %d: interleaved kernels diverge: ref %+v fast %+v base %+v", i, ref, fast, base)
+		}
+	}
+}

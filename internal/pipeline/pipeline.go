@@ -10,11 +10,19 @@
 // needs: CPIcomp for each issue-queue size, the non-overlapped L2-miss
 // penalty mp, per-subsystem activity factors alpha_f, and the Perf(f)
 // composition of Eq. 5.
+//
+// Simulate is the production kernel: a structure-of-arrays loop with
+// per-op latency/port tables, a flat store-forwarding index, and
+// incremental issue-queue occupancy tracking. SimulateReference is the
+// original array-of-structs walk, kept verbatim as the oracle; the two
+// return byte-identical Results for every trace and configuration (the
+// equivalence tests assert it across the workload suite).
 package pipeline
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"repro/internal/floorplan"
@@ -53,6 +61,7 @@ const (
 	OpLoad
 	OpStore
 	OpBranch
+	numOps // sentinel
 )
 
 // Instr is one dynamic instruction of a synthetic trace.
@@ -127,13 +136,6 @@ func GenerateTrace(mix workload.Mix, n int, rng *mathx.RNG) []Instr {
 	return trace
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Config controls one simulation.
 type Config struct {
 	// IntQEntries and FPQEntries are the issue-queue capacities in effect.
@@ -184,68 +186,290 @@ type ports struct {
 }
 
 // take returns the earliest cycle >= ready at which a port is free, and
-// occupies that port for one cycle.
+// occupies that port for one cycle. The running minimum lives in a
+// register (bv) rather than being re-read through p.free[best] on every
+// comparison.
 func (p *ports) take(ready int64) int64 {
+	f := p.free
 	best := 0
-	for i := 1; i < len(p.free); i++ {
-		if p.free[i] < p.free[best] {
-			best = i
+	bv := f[0]
+	for i := 1; i < len(f); i++ {
+		if v := f[i]; v < bv {
+			best, bv = i, v
 		}
 	}
-	at := p.free[best]
+	at := bv
 	if ready > at {
 		at = ready
 	}
-	p.free[best] = at + 1
+	f[best] = at + 1
 	return at
 }
 
+// b2u8 converts a bool to 0/1; the compiler lowers the inlined form to a
+// plain byte load, so flag packing in the conversion pass stays
+// branch-free.
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// occQueue tracks one issue queue's occupancy-at-dispatch incrementally.
+// The reference kernel rescans the last `capacity` issue times at every
+// dispatch (O(n·capacity) total); this keeps the count — how many of the
+// last capacity entries have issue > current cycle — as a running value:
+//
+//   - ring holds the in-window issue times (entry j at slot j%cap), which
+//     also serves the FIFO dispatch constraint (read before overwrite);
+//   - bucket[c] counts pending entries issuing exactly at cycle c, so
+//     advancing the dispatch cycle retires them by difference-array walk,
+//     O(total cycles) across the whole run;
+//   - pending is the current count, added to occSum at each dispatch.
+//
+// All quantities are integers, so occSum matches the reference's float
+// accumulation bit for bit (integer-valued partial sums below 2^53 are
+// exact in float64).
+type occQueue struct {
+	ring      []int64 // last cap issue times, ring[j%cap]
+	bucket    []int32 // pending entries per absolute issue cycle
+	n         int     // entries ever pushed
+	head      int     // n % cap, kept incrementally (no div on the hot path)
+	cap       int
+	pending   int   // in-window entries with issue > lastCycle
+	lastCycle int64 // cycle of the most recent sample
+	maxIssue  int64 // highest issue cycle with a (possibly) live bucket
+	occSum    int64
+}
+
+// reset prepares the queue for a run at the given capacity, zeroing only
+// the buckets the previous run left live (they are reachable through the
+// ring, so the wipe is O(capacity), not O(cycles)). cycleHint sizes the
+// bucket array up front — one allocation instead of a doubling cascade
+// when the scratch is cold — and push still grows it for traces whose
+// cycle count outruns the hint.
+func (q *occQueue) reset(capacity, cycleHint int) {
+	live := min(q.n, q.cap)
+	for k := 0; k < live; k++ {
+		if is := q.ring[k]; is > q.lastCycle {
+			q.bucket[is] = 0
+		}
+	}
+	if cap(q.ring) < capacity {
+		q.ring = make([]int64, capacity)
+	}
+	q.ring = q.ring[:capacity]
+	if len(q.bucket) < cycleHint {
+		q.bucket = make([]int32, cycleHint)
+	}
+	q.n = 0
+	q.head = 0
+	q.cap = capacity
+	q.pending = 0
+	q.lastCycle = 0
+	q.maxIssue = 0
+	q.occSum = 0
+}
+
+// fifoBound returns the dispatch lower bound from queue capacity: the
+// issue time of the entry that must free its slot first, or -1 when the
+// queue still has room. Must be called before push for this instruction.
+func (q *occQueue) fifoBound() int64 {
+	if q.n < q.cap {
+		return -1
+	}
+	return q.ring[q.head] // entry n-cap, the oldest in the window
+}
+
+// sample advances to the dispatch cycle, retiring pending entries whose
+// issue time has passed, and accumulates the occupancy.
+func (q *occQueue) sample(cycle int64) {
+	if cycle > q.lastCycle {
+		if q.pending > 0 {
+			hi := min(cycle, q.maxIssue)
+			for c := q.lastCycle + 1; c <= hi; c++ {
+				if b := q.bucket[c]; b != 0 {
+					q.pending -= int(b)
+					q.bucket[c] = 0
+					if q.pending == 0 {
+						// Nonnegative buckets summing to zero pending are
+						// all zero: nothing further to retire or wipe.
+						break
+					}
+				}
+			}
+		}
+		q.lastCycle = cycle
+	}
+	q.occSum += int64(q.pending)
+}
+
+// push records a newly dispatched entry's issue time, evicting the oldest
+// window entry if the window is full.
+func (q *occQueue) push(issue int64) {
+	slot := q.head
+	if q.n >= q.cap {
+		if old := q.ring[slot]; old > q.lastCycle {
+			q.pending--
+			q.bucket[old]--
+		}
+	}
+	q.ring[slot] = issue
+	q.n++
+	if q.head++; q.head == q.cap {
+		q.head = 0
+	}
+	if issue > q.lastCycle { // always true: issue >= dispatch cycle + 1
+		if grow := int(issue) + 1 - len(q.bucket); grow > 0 {
+			q.bucket = append(q.bucket, make([]int32, max(grow, len(q.bucket)))...)
+		}
+		q.bucket[issue]++
+		q.pending++
+		if issue > q.maxIssue {
+			q.maxIssue = issue
+		}
+	}
+}
+
 // simScratch holds one Simulate call's working buffers, pooled across
-// calls: the per-instruction timing arrays, the issue-time FIFOs, the
-// port trackers, and the store-forwarding map. The timing arrays are not
-// zeroed on reuse — every index is written before it is read — while the
-// FIFOs, ports, and map are reset.
+// calls: the structure-of-arrays trace mirror, per-instruction timing
+// arrays, occupancy trackers, port trackers, and the store-forwarding
+// index, plus the reference kernel's issue-time FIFOs and map. The timing
+// arrays are not zeroed on reuse — every index is written before it is
+// read — while the trackers, index, and map are reset.
+//
+// # Ownership
+//
+// A scratch belongs to exactly one Simulate/SimulateReference call at a
+// time (the pool hands it out and takes it back); nothing in it escapes
+// into Results, so pooling is invisible to callers on any goroutine.
 type simScratch struct {
-	dispatch, complete, commit  []int64
-	intQIssues, fpQIssues       []int64
+	complete, commit            []int64
 	intPorts, fpPorts, memPorts ports
-	lastStore                   map[uint16]int
+
+	// Fast-path (structure-of-arrays) buffers.
+	ops          []uint8
+	dep1, dep2   []int32
+	flags        []uint8
+	addrs        []uint16
+	intQ, fpQ    occQueue
+	lastStoreIdx []int32  // per-address store index + 1; 0 = none
+	storeAddrs   []uint16 // addresses written, for O(stores) reset
+
+	// Reference-path buffers.
+	dispatch              []int64
+	intQIssues, fpQIssues []int64
+	lastStore             map[uint16]int
+
+	// Cached front-end access sum: the n-term iterated addition of
+	// 1/DispatchWidth depends only on n, so it is computed once per trace
+	// length rather than once per call.
+	feN   int
+	feSum float64
 }
 
 var simScratchPool = sync.Pool{
 	New: func() any {
+		// One backing array for the three port free lists: under the race
+		// detector sync.Pool randomly drops entries, so cold rebuilds are
+		// on the hot path and every saved allocation counts.
+		pf := make([]int64, IntPorts+FPPorts+MemPorts)
 		return &simScratch{
-			intPorts:  ports{free: make([]int64, IntPorts)},
-			fpPorts:   ports{free: make([]int64, FPPorts)},
-			memPorts:  ports{free: make([]int64, MemPorts)},
-			lastStore: make(map[uint16]int),
+			intPorts:     ports{free: pf[:IntPorts:IntPorts]},
+			fpPorts:      ports{free: pf[IntPorts : IntPorts+FPPorts : IntPorts+FPPorts]},
+			memPorts:     ports{free: pf[IntPorts+FPPorts:]},
+			lastStoreIdx: make([]int32, 1<<16),
+			lastStore:    make(map[uint16]int),
 		}
 	},
 }
 
-// growInt64 returns s resized to n, reallocating only when too small.
-func growInt64(s []int64, n int) []int64 {
-	if cap(s) < n {
-		return make([]int64, n)
-	}
-	return s[:n]
-}
-
-func (sc *simScratch) reset(n int) {
-	sc.dispatch = growInt64(sc.dispatch, n)
-	sc.complete = growInt64(sc.complete, n)
-	sc.commit = growInt64(sc.commit, n)
-	sc.intQIssues = growInt64(sc.intQIssues, n)[:0]
-	sc.fpQIssues = growInt64(sc.fpQIssues, n)[:0]
+func (sc *simScratch) resetPorts() {
 	clear(sc.intPorts.free)
 	clear(sc.fpPorts.free)
 	clear(sc.memPorts.free)
+}
+
+// reset prepares the fast-path buffers for an n-instruction run. Same-typed
+// arrays are carved in pairs from shared backing allocations, again to keep
+// the cold-rebuild allocation count low under the race detector's pool
+// drops; the pair cap check keeps the carving correct even after
+// resetReference has regrown one of the shared slices independently.
+func (sc *simScratch) reset(n int, cfg Config) {
+	// Wipe the forwarding index before any reallocation below can drop
+	// the old storeAddrs list that records which entries are dirty.
+	for _, a := range sc.storeAddrs {
+		sc.lastStoreIdx[a] = 0
+	}
+	if cap(sc.complete) < n || cap(sc.commit) < n {
+		a := make([]int64, 2*n)
+		sc.complete, sc.commit = a[:n:n], a[n:]
+	}
+	sc.complete, sc.commit = sc.complete[:n], sc.commit[:n]
+	if cap(sc.dep1) < n || cap(sc.dep2) < n {
+		a := make([]int32, 2*n)
+		sc.dep1, sc.dep2 = a[:n:n], a[n:]
+	}
+	sc.dep1, sc.dep2 = sc.dep1[:n], sc.dep2[:n]
+	if cap(sc.ops) < n || cap(sc.flags) < n {
+		a := make([]uint8, 2*n)
+		sc.ops, sc.flags = a[:n:n], a[n:]
+	}
+	sc.ops, sc.flags = sc.ops[:n], sc.flags[:n]
+	if cap(sc.addrs) < n || cap(sc.storeAddrs) < n {
+		a := make([]uint16, 2*n)
+		sc.addrs, sc.storeAddrs = a[:n:n], a[n:]
+	}
+	sc.addrs, sc.storeAddrs = sc.addrs[:n], sc.storeAddrs[:0]
+	// Bucket hint: 4 cycles/instruction covers the steady-state CPI of
+	// every workload mix; pathological all-miss traces grow past it.
+	cycleHint := 4*n + 1024
+	sc.intQ.reset(cfg.IntQEntries, cycleHint)
+	sc.fpQ.reset(cfg.FPQEntries, cycleHint)
+	sc.resetPorts()
+}
+
+// resetReference prepares the reference-path buffers.
+func (sc *simScratch) resetReference(n int) {
+	sc.dispatch = slices.Grow(sc.dispatch[:0], n)[:n]
+	sc.complete = slices.Grow(sc.complete[:0], n)[:n]
+	sc.commit = slices.Grow(sc.commit[:0], n)[:n]
+	sc.intQIssues = slices.Grow(sc.intQIssues[:0], n)[:0]
+	sc.fpQIssues = slices.Grow(sc.fpQIssues[:0], n)[:0]
+	sc.resetPorts()
 	clear(sc.lastStore)
+}
+
+// Per-op instruction-class flags, packed next to the op for the dispatch
+// loop.
+const (
+	flagL1Miss = 1 << iota
+	flagL2Miss
+	flagMispredict
+)
+
+// Per-op execution latency (loads are resolved dynamically).
+var opLatency = [numOps]int64{
+	OpInt:    IntLatency,
+	OpFP:     FPLatency,
+	OpLoad:   0, // cache level / forwarding decides
+	OpStore:  StoreLatency,
+	OpBranch: IntLatency,
 }
 
 // Simulate runs the trace through the core model and returns measured CPI
 // and activity factors. Working memory is pooled and reused across calls
 // (and goroutines), so steady-state simulation is allocation-free.
+//
+// The kernel walks a structure-of-arrays mirror of the trace (op bytes,
+// clamped dependency distances, flag bits, addresses) so the hot loop
+// touches dense arrays instead of 32-byte Instr records, resolves issue
+// ports and latencies through per-op tables, keeps queue occupancy
+// incrementally (see occQueue), and replaces the store-forwarding map
+// with a flat per-address index. Results are byte-identical to
+// SimulateReference: every cycle-level decision is the same, and the
+// floating-point outputs are reconstructed from exact integer counts.
 func Simulate(trace []Instr, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -255,7 +479,231 @@ func Simulate(trace []Instr, cfg Config) (Result, error) {
 	}
 	n := len(trace)
 	sc := simScratchPool.Get().(*simScratch)
-	sc.reset(n)
+	sc.reset(n, cfg)
+	defer simScratchPool.Put(sc)
+	complete := sc.complete
+	commit := sc.commit
+	ops := sc.ops
+	dep1 := sc.dep1
+	dep2 := sc.dep2
+	flags := sc.flags
+	addrs := sc.addrs
+
+	// Conversion pass: mirror the trace into the structure-of-arrays
+	// layout and take the per-class counts every output statistic derives
+	// from. Dependency distances are clamped to the valid window (d in
+	// [1, i]) here so the hot loop needs no bounds checks. The pass is
+	// written branch-free — counted-index increments instead of a class
+	// switch, bool-byte arithmetic for the flags, an unsigned range test
+	// for the clamp — because every one of these branches is data-dependent
+	// and mispredicts on real traces.
+	var classCounts [8]int // numOps rounded up so op&7 needs no bounds check
+	l2misses := 0
+	for i := range trace {
+		in := &trace[i]
+		op := in.Op
+		ops[i] = uint8(op)
+		d1 := int32(in.Dep1)
+		if uint(in.Dep1-1) >= uint(i) { // d < 1 || d > i
+			d1 = 0
+		}
+		dep1[i] = d1
+		d2 := int32(in.Dep2)
+		if uint(in.Dep2-1) >= uint(i) {
+			d2 = 0
+		}
+		dep2[i] = d2
+		addrs[i] = in.Addr
+		flags[i] = b2u8(in.L1Miss)*flagL1Miss |
+			b2u8(in.L2Miss)*flagL2Miss |
+			b2u8(in.Mispredict)*flagMispredict
+		l2misses += int(b2u8(in.L2Miss))
+		classCounts[op&7]++
+	}
+	nFP := classCounts[OpFP]
+	nInt := classCounts[OpInt]
+	nLoad := classCounts[OpLoad]
+	nStore := classCounts[OpStore]
+	nBranch := classCounts[OpBranch]
+
+	intPorts := &sc.intPorts
+	fpPorts := &sc.fpPorts
+	memPorts := &sc.memPorts
+	intQ := &sc.intQ
+	fpQ := &sc.fpQ
+	lastStoreIdx := sc.lastStoreIdx
+
+	var cycle int64      // current dispatch cycle
+	slots := 0           // dispatch slots used this cycle
+	var stallUntil int64 // front-end stall from branch mispredictions
+
+	mispredicts := 0
+	forwarded := 0
+
+	for i := 0; i < n; i++ {
+		op := Op(ops[i])
+		isFP := op == OpFP
+		q := intQ
+		if isFP {
+			q = fpQ
+		}
+
+		// Earliest dispatch: program order, front-end stalls, ROB space,
+		// and issue-queue space.
+		earliest := cycle
+		if stallUntil > earliest {
+			earliest = stallUntil
+		}
+		if i >= ROBEntries && commit[i-ROBEntries]+1 > earliest {
+			earliest = commit[i-ROBEntries] + 1
+		}
+		if t := q.fifoBound(); t >= 0 && t+1 > earliest {
+			earliest = t + 1
+		}
+		if earliest > cycle {
+			cycle = earliest
+			slots = 0
+		} else if slots >= DispatchWidth {
+			cycle++
+			slots = 0
+		}
+		slots++
+
+		// Operand readiness (distances pre-clamped to valid range).
+		ready := cycle + 1
+		if d := dep1[i]; d != 0 {
+			if c := complete[i-int(d)] + 1; c > ready {
+				ready = c
+			}
+		}
+		if d := dep2[i]; d != 0 {
+			if c := complete[i-int(d)] + 1; c > ready {
+				ready = c
+			}
+		}
+
+		// Issue and execute.
+		var issue, done int64
+		switch op {
+		case OpLoad:
+			issue = memPorts.take(ready)
+			lat := int64(L1HitCycles)
+			if si := int(lastStoreIdx[addrs[i]]) - 1; si >= 0 && i-si <= ForwardWindow {
+				// Store-to-load forwarding: the load reads the store
+				// queue; it must wait for the store's data but skips the
+				// cache entirely.
+				lat = ForwardLatency
+				if complete[si]+ForwardLatency > issue+lat {
+					lat = complete[si] + ForwardLatency - issue
+				}
+				forwarded++
+			} else if flags[i]&flagL2Miss != 0 && !cfg.SquashL2Misses {
+				lat = MemCycles
+			} else if flags[i]&flagL1Miss != 0 {
+				lat = L2HitCycles
+			}
+			done = issue + lat
+		case OpStore:
+			issue = memPorts.take(ready)
+			done = issue + StoreLatency
+			lastStoreIdx[addrs[i]] = int32(i) + 1
+			sc.storeAddrs = append(sc.storeAddrs, addrs[i])
+		case OpFP:
+			issue = fpPorts.take(ready)
+			done = issue + FPLatency
+		default: // OpInt, OpBranch
+			issue = intPorts.take(ready)
+			done = issue + opLatency[op]
+			if op == OpBranch && flags[i]&flagMispredict != 0 {
+				mispredicts++
+				if s := done + BaseBranchPenalty; s > stallUntil {
+					stallUntil = s
+				}
+			}
+		}
+		complete[i] = done
+		q.sample(cycle)
+		q.push(issue)
+
+		// In-order commit, CommitWidth per cycle.
+		c := done
+		if i > 0 && commit[i-1] > c {
+			c = commit[i-1]
+		}
+		if i >= CommitWidth && commit[i-CommitWidth]+1 > c {
+			c = commit[i-CommitWidth] + 1
+		}
+		commit[i] = c
+	}
+
+	total := commit[n-1] + 1
+	res := Result{
+		Instructions:        n,
+		Cycles:              total,
+		CPI:                 float64(total) / float64(n),
+		MispredictsPerInstr: float64(mispredicts) / float64(n),
+		L2MissesPerInstr:    float64(l2misses) / float64(n),
+	}
+	if nLoad > 0 {
+		res.ForwardedLoadFrac = float64(forwarded) / float64(nLoad)
+	}
+	if nonFP := n - nFP; nonFP > 0 {
+		res.IntQOccupancyMean = float64(intQ.occSum) / float64(nonFP)
+	}
+	if nFP > 0 {
+		res.FPQOccupancyMean = float64(fpQ.occSum) / float64(nFP)
+	}
+
+	// Reconstruct the per-subsystem access counts from the class counts.
+	// Every constant the reference tally accumulates except 1/DispatchWidth
+	// is an exact binary fraction whose partial sums stay below 2^52, so
+	// count*weight reproduces the incremental sum bit for bit; the two
+	// front-end counters weighted by the non-representable 1/3 are rebuilt
+	// by the same n-term iterated addition the reference performs.
+	var counts [floorplan.NumSubsystems]float64
+	frontEnd := sc.feSum
+	if sc.feN != n {
+		frontEnd = 0.0
+		for i := 0; i < n; i++ {
+			frontEnd += 1.0 / DispatchWidth
+		}
+		sc.feN, sc.feSum = n, frontEnd
+	}
+	counts[floorplan.Icache] = frontEnd
+	counts[floorplan.ITLB] = frontEnd
+	counts[floorplan.Decode] = float64(n)
+	counts[floorplan.BranchPred] = float64(n)*0.25 + float64(nBranch)
+	counts[floorplan.FPMap] = float64(nFP)
+	counts[floorplan.FPQ] = float64(nFP)
+	counts[floorplan.FPReg] = 1.5 * float64(nFP)
+	counts[floorplan.FPUnit] = float64(nFP)
+	counts[floorplan.IntMap] = float64(n - nFP)
+	counts[floorplan.IntQ] = float64(n - nFP)
+	counts[floorplan.IntReg] = 1.5 * float64(n-nFP)
+	counts[floorplan.IntALU] = float64(nInt + nBranch)
+	counts[floorplan.LdStQ] = float64(nLoad + nStore)
+	counts[floorplan.Dcache] = float64(nLoad + nStore)
+	counts[floorplan.DTLB] = float64(nLoad + nStore)
+	for id := range counts {
+		res.Activity[id] = counts[id] / float64(total)
+	}
+	return res, nil
+}
+
+// SimulateReference is the original array-of-structs simulation kernel,
+// kept verbatim as the oracle for Simulate: same dispatch/issue/commit
+// decisions, same incremental statistics, byte-identical Results. It is
+// what the SoA equivalence suite and the benchmarks compare against.
+func SimulateReference(trace []Instr, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(trace) == 0 {
+		return Result{}, fmt.Errorf("pipeline: empty trace")
+	}
+	n := len(trace)
+	sc := simScratchPool.Get().(*simScratch)
+	sc.resetReference(n)
 	defer simScratchPool.Put(sc)
 	dispatch := sc.dispatch
 	complete := sc.complete

@@ -145,26 +145,39 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// The actuation grids are process constants, and the level getters sit
+// inside the adaptation layer's solve loops, so they are materialized
+// once at init. The returned slices are shared: callers must treat them
+// as read-only.
+var (
+	vddGrid   = levels(VddMinV, VddMaxV, VddStepV)
+	vbbGrid   = levels(VbbMinV, VbbMaxV, VbbStepV)
+	fRelGrid  = levels(FRelMin, FRelMax, FRelStep)
+	vbbPinned = []float64{0}
+)
+
 // VddLevels returns the discrete supply levels the config can actuate.
-// Without ASV the supply is pinned at nominal.
+// Without ASV the supply is pinned at nominal. The returned slice is
+// shared and must not be modified.
 func (c Config) VddLevels(vddNomV float64) []float64 {
 	if !c.ASV {
 		return []float64{vddNomV}
 	}
-	return levels(VddMinV, VddMaxV, VddStepV)
+	return vddGrid
 }
 
 // VbbLevels returns the discrete body-bias levels. Without ABB the bias is
-// pinned at zero.
+// pinned at zero. The returned slice is shared and must not be modified.
 func (c Config) VbbLevels() []float64 {
 	if !c.ABB {
-		return []float64{0}
+		return vbbPinned
 	}
-	return levels(VbbMinV, VbbMaxV, VbbStepV)
+	return vbbGrid
 }
 
-// FRelLevels returns the frequency grid.
-func FRelLevels() []float64 { return levels(FRelMin, FRelMax, FRelStep) }
+// FRelLevels returns the frequency grid. The returned slice is shared and
+// must not be modified.
+func FRelLevels() []float64 { return fRelGrid }
 
 // NumVddLevels and NumVbbLevels are the sizes of the full Figure 7(a)
 // actuation grids (with ASV/ABB enabled): 9 supply levels and 21 bias

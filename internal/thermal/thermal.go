@@ -13,8 +13,10 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/floorplan"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/varius"
 )
@@ -203,31 +205,171 @@ func (c CoreState) MaxTK() float64 {
 // nested in the outer heat-sink feedback TH = THBase + RthHS * Ptotal.
 // fRel is the core frequency applied to the uncore; each subsystem input
 // carries its own FRel (equal to the core's in practice).
+//
+// This is the reference algorithm: a throwaway Solver with acceleration
+// disabled, reproducing the original undamped inner loop step for step.
+// Hot callers that solve many nearby operating points should hold a Solver
+// instead and let it warm-start and accelerate.
 func (m *Model) CoreSteady(ins []SubsystemInput, fRel float64) (CoreState, error) {
+	s := Solver{m: m, DisableAcceleration: true}
+	return s.CoreSteady(ins, fRel)
+}
+
+// subsystemSteady is SubsystemSteady generalized with a warm-start
+// temperature t0 and optional Aitken Δ² acceleration of the contraction
+// T -> TH + Rth*(Pdyn+Psta(T)). With accel=false and t0 == thK it retraces
+// SubsystemSteady's iterates exactly. With accel=true each loop turn takes
+// two plain steps and extrapolates through the secant of the residual,
+// which converges in 1-3 turns where the plain contraction needs ~10; the
+// extrapolated iterate is only accepted inside the physical bracket
+// (0, 500 K), falling back to the second plain step otherwise, and
+// convergence is still certified by the plain-step residual |next-t| <
+// TolK, so accelerated answers satisfy the same tolerance contract.
+func (m *Model) subsystemSteady(in SubsystemInput, thK, t0 float64, accel bool) SubsystemState {
+	mult := in.powerMult()
+	pdyn := mult * m.pw.Pdyn(in.Index, in.AlphaF, in.VddV, in.FRel)
+	t := t0
+	var vt, psta float64
+	for iter := 0; iter < m.params.MaxIter; iter++ {
+		vt = m.vp.VtAt(in.Vt0Eff, t, in.VddV, in.VbbV)
+		psta = mult * m.pw.Psta(in.Index, vt, in.VddV, t)
+		next := thK + m.rth[in.Index]*(pdyn+psta)
+		if math.Abs(next-t) < m.params.TolK {
+			return SubsystemState{TK: next, PdynW: pdyn, PstaW: psta, VtV: vt, Converged: true}
+		}
+		if !accel {
+			t = next
+			if t > 500 { // > 225 C: unambiguous runaway, stop early
+				break
+			}
+			continue
+		}
+		vt2 := m.vp.VtAt(in.Vt0Eff, next, in.VddV, in.VbbV)
+		psta2 := mult * m.pw.Psta(in.Index, vt2, in.VddV, next)
+		next2 := thK + m.rth[in.Index]*(pdyn+psta2)
+		if math.Abs(next2-next) < m.params.TolK {
+			return SubsystemState{TK: next2, PdynW: pdyn, PstaW: psta2, VtV: vt2, Converged: true}
+		}
+		denom := (next2 - next) - (next - t)
+		if acc := t - (next-t)*(next-t)/denom; denom != 0 && acc > 0 && acc < 500 {
+			t = acc
+		} else {
+			t = next2
+		}
+		if t > 500 {
+			break
+		}
+	}
+	return SubsystemState{TK: t, PdynW: pdyn, PstaW: psta, VtV: vt, Converged: false}
+}
+
+// Solver runs CoreSteady solves with reusable scratch and cross-call warm
+// starts. Successive solves in an adaptation loop move the operating point
+// only slightly, so starting the heat-sink feedback and each subsystem's
+// device temperature from the previous converged state, plus Aitken Δ²
+// acceleration of the inner contraction, cuts the nested fixed-point work
+// by an order of magnitude while certifying the same TolK residuals.
+//
+// # Ownership
+//
+// A Solver owns mutable scratch (the subsystem iterate buffer and the
+// warm-start temperatures) and must be driven by one goroutine at a time;
+// the Model underneath is immutable and shared freely. Returned CoreStates
+// are copied out of the scratch and safe to retain. The zero warm state is
+// the reference cold start, so a fresh Solver's first solve differs from
+// Model.CoreSteady only by acceleration.
+type Solver struct {
+	m *Model
+
+	// DisableAcceleration switches the solver to the reference slow path:
+	// cold starts and the original undamped inner loop, byte-identical to
+	// Model.CoreSteady. The equivalence tests check the fast path against
+	// it, like adapt's DisablePruning.
+	DisableAcceleration bool
+
+	// Obs, when non-nil, receives a "thermal.iter" histogram of outer
+	// fixed-point iteration counts (recorded as unitless durations) and a
+	// "thermal.nonconverged" counter of solves that exhausted MaxIter or
+	// hit runaway — visible in -metrics instead of only an error string.
+	Obs *obs.Registry
+
+	subs   []SubsystemState // current outer iterate (scratch)
+	startT []float64        // previous converged device temperatures
+	warmTH float64          // previous converged heat-sink temperature
+	warm   bool
+}
+
+// NewSolver returns a cold solver over m.
+func NewSolver(m *Model) *Solver { return &Solver{m: m} }
+
+// CoreSteady solves the core steady state like Model.CoreSteady, reusing
+// the solver's scratch and (unless DisableAcceleration) warm-starting from
+// the previous converged solve.
+func (s *Solver) CoreSteady(ins []SubsystemInput, fRel float64) (CoreState, error) {
+	m := s.m
+	if len(s.subs) != len(ins) {
+		s.subs = make([]SubsystemState, len(ins))
+		s.startT = make([]float64, len(ins))
+		s.warm = false
+	}
+	accel := !s.DisableAcceleration
+	warm := accel && s.warm
 	th := m.params.THBaseK
+	if warm {
+		th = s.warmTH
+	}
+	subs := s.subs
 	var st CoreState
 	for outer := 0; outer < m.params.MaxIter; outer++ {
-		subs := make([]SubsystemState, len(ins))
 		total := m.pw.Uncore(fRel, th)
 		uncore := total
-		for i, in := range ins {
-			subs[i] = m.SubsystemSteady(in, th)
+		for i := range ins {
+			t0 := th
+			if accel {
+				if outer > 0 {
+					t0 = subs[i].TK // previous outer iterate
+				} else if warm {
+					t0 = s.startT[i]
+				}
+			}
+			subs[i] = m.subsystemSteady(ins[i], th, t0, accel)
 			total += subs[i].PowerW()
 		}
 		nextTH := m.params.THBaseK + m.params.RthHSKPerW*total
 		st = CoreState{THK: nextTH, Subs: subs, UncoreW: uncore, TotalW: total}
 		if math.Abs(nextTH-th) < m.params.TolK {
-			for i, s := range subs {
-				if !s.Converged {
-					return st, fmt.Errorf("thermal: subsystem %d did not converge", i)
+			for i := range subs {
+				if !subs[i].Converged {
+					return s.seal(st, outer+1, fmt.Errorf("thermal: subsystem %d did not converge", i))
 				}
 			}
-			return st, nil
+			return s.seal(st, outer+1, nil)
 		}
 		th = 0.5*th + 0.5*nextTH
 		if th > 500 {
-			return st, fmt.Errorf("thermal: heat-sink runaway (TH = %.0f K)", th)
+			return s.seal(st, outer+1, fmt.Errorf("thermal: heat-sink runaway (TH = %.0f K)", th))
 		}
 	}
-	return st, fmt.Errorf("thermal: core fixed point did not converge")
+	return s.seal(st, m.params.MaxIter, fmt.Errorf("thermal: core fixed point did not converge"))
+}
+
+// seal copies the scratch iterate into a caller-owned CoreState, records
+// the solve in the metrics registry, and updates the warm-start state — a
+// failed solve invalidates it so the next call cold-starts.
+func (s *Solver) seal(st CoreState, iters int, err error) (CoreState, error) {
+	out := make([]SubsystemState, len(st.Subs))
+	copy(out, st.Subs)
+	st.Subs = out
+	if err == nil {
+		s.warmTH = st.THK
+		for i := range out {
+			s.startT[i] = out[i].TK
+		}
+		s.warm = true
+	} else {
+		s.warm = false
+		s.Obs.Counter("thermal.nonconverged").Inc()
+	}
+	s.Obs.Timer("thermal.iter").Observe(time.Duration(iters))
+	return st, err
 }

@@ -271,22 +271,52 @@ func (cv *Curve) PE(fRel float64) float64 {
 	return sum / float64(len(cv.m))
 }
 
+// peExceeds reports whether PE(fRel) > budget, bailing out as soon as the
+// partial mean already exceeds the budget. The early exit is exact: every
+// term is nonnegative, so the rounded partial sums are monotone
+// non-decreasing, and float division by the positive cell count preserves
+// that order — once a partial mean exceeds budget the full mean must too.
+// The fall-through compares the identical full-sum expression PE uses, so
+// the decision is bit-for-bit the same as PE(fRel) > budget.
+func (cv *Curve) peExceeds(fRel, budget float64) bool {
+	if fRel <= 0 {
+		return 0 > budget
+	}
+	tau := 1 / fRel
+	n := float64(len(cv.m))
+	sum := 0.0
+	for i := range cv.m {
+		z := (tau - cv.m[i]) / cv.sig[i]
+		p := cv.paths * mathx.NormalTailProb(z)
+		if p > 1 {
+			p = 1
+		}
+		sum += p
+		if i&31 == 31 && sum/n > budget {
+			return true
+		}
+	}
+	return sum/n > budget
+}
+
 // FMaxForPE returns the highest relative frequency at which the stage's
 // per-access error probability stays at or below budget. The search
 // bracket [loF, hiF] covers all frequencies the adaptation layer ever
-// considers.
+// considers. Comparisons go through peExceeds, which short-circuits the
+// per-cell scan once the budget is provably blown but takes the exact same
+// branch PE-then-compare would.
 func (cv *Curve) FMaxForPE(budget float64) float64 {
 	const loF, hiF = 0.2, 3.0
-	if cv.PE(hiF) <= budget {
+	if !cv.peExceeds(hiF, budget) {
 		return hiF
 	}
-	if cv.PE(loF) > budget {
+	if cv.peExceeds(loF, budget) {
 		return loF
 	}
 	lo, hi := loF, hiF // invariant: PE(lo) <= budget < PE(hi)
 	for i := 0; i < 48; i++ {
 		mid := 0.5 * (lo + hi)
-		if cv.PE(mid) <= budget {
+		if !cv.peExceeds(mid, budget) {
 			lo = mid
 		} else {
 			hi = mid

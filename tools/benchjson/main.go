@@ -21,9 +21,13 @@ import (
 )
 
 const (
-	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline)$"
+	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline|BenchmarkCorePipelineReference|BenchmarkCoreSteady)$"
 	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
 )
+
+// warmBenchName is the warm-path headline number the -check-warm gate
+// compares against the checked-in trajectory.
+const warmBenchName = "BenchmarkFig10_ArtifactCache/warm"
 
 type benchResult struct {
 	Name        string             `json:"name"`
@@ -42,7 +46,17 @@ type trajectory struct {
 
 func main() {
 	outPath := flag.String("out", "BENCH_adapt.json", "output JSON file")
+	checkWarm := flag.String("check-warm", "",
+		"instead of writing a trajectory, re-run the warm Figure 10 benchmark once and fail if ns/op regresses more than -tolerance against this baseline JSON")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional warm-path regression for -check-warm")
 	flag.Parse()
+
+	if *checkWarm != "" {
+		if err := checkWarmRegression(*checkWarm, *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fast, err := runBench(fastPattern, "")
 	if err != nil {
@@ -66,6 +80,63 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d benchmarks at commit %s\n",
 		*outPath, len(traj.Benchmarks), traj.Commit)
+}
+
+// checkWarmRegression is the benchstat-style CI smoke gate: it re-runs
+// the warm-path Figure 10 benchmark once and compares its ns/op against
+// the checked-in trajectory at baselinePath. Machines differ in absolute
+// speed, so the gate normalizes both sides by BenchmarkCorePipelineReference
+// (an unoptimized, allocation-free kernel whose cost tracks raw CPU speed)
+// when the baseline recorded it; otherwise it falls back to the raw ratio.
+func checkWarmRegression(baselinePath string, tolerance float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base trajectory
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	find := func(results []benchResult, name string) (benchResult, bool) {
+		for _, r := range results {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return benchResult{}, false
+	}
+	baseWarm, ok := find(base.Benchmarks, warmBenchName)
+	if !ok {
+		return fmt.Errorf("%s: no %s entry to compare against", baselinePath, warmBenchName)
+	}
+	current, err := runBench("^(BenchmarkFig10_ArtifactCache)$", "1x")
+	if err != nil {
+		return err
+	}
+	nowWarm, ok := find(current, warmBenchName)
+	if !ok {
+		return fmt.Errorf("benchmark run produced no %s line", warmBenchName)
+	}
+	ratio := nowWarm.NsPerOp / baseWarm.NsPerOp
+	scale := 1.0
+	if baseRef, ok := find(base.Benchmarks, "BenchmarkCorePipelineReference"); ok && baseRef.NsPerOp > 0 {
+		ref, err := runBench("^BenchmarkCorePipelineReference$", "")
+		if err != nil {
+			return err
+		}
+		if nowRef, ok := find(ref, "BenchmarkCorePipelineReference"); ok && nowRef.NsPerOp > 0 {
+			scale = nowRef.NsPerOp / baseRef.NsPerOp
+			ratio /= scale
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"benchjson: warm %s: %.3gs now vs %.3gs baseline (machine scale %.2f, normalized ratio %.2f, tolerance +%.0f%%)\n",
+		warmBenchName, nowWarm.NsPerOp/1e9, baseWarm.NsPerOp/1e9, scale, ratio, tolerance*100)
+	if ratio > 1+tolerance {
+		return fmt.Errorf("warm path regressed: %s %.0f ns/op vs baseline %.0f ns/op (normalized %.2fx > %.2fx allowed)",
+			warmBenchName, nowWarm.NsPerOp, baseWarm.NsPerOp, ratio, 1+tolerance)
+	}
+	return nil
 }
 
 func runBench(pattern, benchtime string) ([]benchResult, error) {
