@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm cache-clean
+.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm cache-clean spec-check doc-check
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -37,6 +37,16 @@ bench-smoke:
 # (normalized by the reference pipeline kernel to cancel machine speed).
 bench-check-warm:
 	go run ./tools/benchjson -check-warm BENCH_adapt.json
+
+# Validate the checked-in example workload specs: each must decode,
+# lower, and (for traces) replay byte-identically (see WORKLOADS.md).
+spec-check:
+	go run ./cmd/tracegen -validate examples/specs/*.json
+
+# Verify every local markdown link in the reference docs points at a
+# file that exists, so the docs cannot drift ahead of the tree.
+doc-check:
+	go run ./tools/doccheck README.md WORKLOADS.md EXPERIMENTS.md ROADMAP.md
 
 # Remove the persistent artifact cache (the CI default directory, or
 # whatever EVAL_CACHE_DIR points at). Safe: everything in it is derived

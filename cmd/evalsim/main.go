@@ -36,6 +36,17 @@
 //	                  table2 (0 = GOMAXPROCS); results are byte-identical
 //	                  at every worker count
 //
+// Workload flags (summary, fig10-13, table2; see WORKLOADS.md):
+//
+//	-workload-spec f  generate the application set from a workload spec
+//	                  JSON instead of the proxy suite; mutually exclusive
+//	                  with -apps and -trace
+//	-workload-seed n  generation seed for -workload-spec (default 1);
+//	                  (spec, seed) fully determine the workload
+//	-trace f          replay a recorded TraceV1 trace file ("-" = stdin),
+//	                  e.g. one emitted by tracegen; rows are identical to
+//	                  the live-generated run of the same (spec, seed)
+//
 // Artifact-cache flags (see README "Artifact cache"):
 //
 //	-cache-dir dir    persistent content-addressed cache of chips, phase
@@ -60,6 +71,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -93,6 +105,9 @@ func main() {
 		trainChips = flag.Int("trainchips", 2, "chips used for fuzzy training")
 		traceLen   = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
 		modes      = flag.String("modes", "static,fuzzy,exh", "adaptation modes for fig10-12")
+		wlSpec     = flag.String("workload-spec", "", "workload spec JSON to generate the app set from (see WORKLOADS.md)")
+		wlSeed     = flag.Int64("workload-seed", 1, "generation seed for -workload-spec")
+		tracePath  = flag.String("trace", "", "TraceV1 trace file to replay (\"-\" = stdin)")
 		workers    = flag.Int("workers", 0, "worker goroutines for the experiment work queues (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "persistent artifact cache directory (default off; falls back to $EVAL_CACHE_DIR)")
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
@@ -154,6 +169,9 @@ func main() {
 	cfg.Workers = *workers
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
+	}
+	if cfg.Workloads, err = resolveWorkloads(sim, *wlSpec, *wlSeed, *tracePath, *apps); err != nil {
+		fatal(err)
 	}
 	if cfg.Modes, err = parseModes(*modes); err != nil {
 		fatal(err)
@@ -231,6 +249,49 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "evalsim:", err)
 	os.Exit(1)
+}
+
+// resolveWorkloads loads the generated or replayed application set when
+// -workload-spec or -trace is given (nil otherwise: the proxy suite or
+// -apps subset applies). Both paths lower through workload.TraceV1, so a
+// replayed trace yields rows identical to the live-generated run of the
+// same (spec, seed).
+func resolveWorkloads(sim *core.Simulator, specPath string, specSeed int64, tracePath, apps string) ([]workload.App, error) {
+	if specPath == "" && tracePath == "" {
+		return nil, nil
+	}
+	if specPath != "" && tracePath != "" {
+		return nil, fmt.Errorf("-workload-spec and -trace are mutually exclusive")
+	}
+	if apps != "" {
+		return nil, fmt.Errorf("-apps cannot be combined with -workload-spec or -trace")
+	}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := workload.DecodeSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		return sim.GeneratedApps(*spec, specSeed)
+	}
+	var data []byte
+	var err error
+	if tracePath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(tracePath)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t, err := workload.DecodeTrace(data)
+	if err != nil {
+		return nil, err
+	}
+	return t.Lower()
 }
 
 func parseModes(s string) ([]core.Mode, error) {

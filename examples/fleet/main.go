@@ -4,12 +4,19 @@
 // For a fleet of chips, this example bins the worst-case-safe (Baseline)
 // frequency, then shows the per-chip frequency the preferred EVAL
 // environment recovers with dynamic adaptation, and the distribution of
-// the gains.
+// the gains. It runs the fleet twice: once on the gcc proxy, once on a
+// generated client workload (see WORKLOADS.md) — pass -spec to bring
+// your own scenario:
+//
+//	go run ./examples/fleet
+//	go run ./examples/fleet -spec examples/specs/edge.json -seed 42
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/adapt"
@@ -19,16 +26,62 @@ import (
 )
 
 func main() {
+	specPath := flag.String("spec", "", "workload spec JSON for the generated fleet run (default: a built-in server-mix client)")
+	specSeed := flag.Int64("seed", 1, "generation seed for the workload spec")
+	flag.Parse()
+
 	sim, err := core.NewSimulator(core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	const chips = 12
-	app, err := workload.ByName("gcc")
+	proxy, err := workload.ByName("gcc")
 	if err != nil {
 		log.Fatal(err)
 	}
-	prof, err := sim.Profile(app, app.Phases[0])
+	generated, err := generatedApp(*specPath, *specSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleetRun(sim, proxy)
+	fmt.Println()
+	fleetRun(sim, generated)
+}
+
+// generatedApp lowers the spec (or a built-in single-client scenario) and
+// returns its first app.
+func generatedApp(specPath string, seed int64) (workload.App, error) {
+	spec := workload.Spec{
+		Name: "fleet",
+		Clients: []workload.ClientSpec{{
+			Name:    "serve",
+			Class:   workload.GenServerMix,
+			Arrival: workload.Arrival{Process: workload.Gamma, RatePerS: 300, Shape: 0.6},
+			Windows: 6,
+			Drift:   0.15,
+		}},
+	}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return workload.App{}, err
+		}
+		s, err := workload.DecodeSpec(data)
+		if err != nil {
+			return workload.App{}, err
+		}
+		spec = *s
+	}
+	apps, err := workload.GenerateApps(spec, seed)
+	if err != nil {
+		return workload.App{}, err
+	}
+	return apps[0], nil
+}
+
+// fleetRun bins one app's baseline vs EVAL frequencies across the fleet.
+func fleetRun(sim *core.Simulator, app workload.App) {
+	const chips = 12
+	prof, err := sim.Profile(app, heaviestPhase(app))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,6 +123,17 @@ func main() {
 	fmt.Printf("  baseline  %s\n", sparkline(base, 0.6, 1.4))
 	fmt.Printf("  EVAL      %s\n", sparkline(adapted, 0.6, 1.4))
 	fmt.Println("            0.6 GHz-bins (relative 0.6 .. 1.4 of nominal)")
+}
+
+// heaviestPhase picks the app's highest-weight phase.
+func heaviestPhase(app workload.App) workload.Phase {
+	best := app.Phases[0]
+	for _, ph := range app.Phases[1:] {
+		if ph.Weight > best.Weight {
+			best = ph
+		}
+	}
+	return best
 }
 
 // sparkline bins values into 16 buckets over [lo, hi].

@@ -1,11 +1,13 @@
 // Package artifact is a persistent, content-addressed, concurrency-safe
 // on-disk cache for the expensive deterministic artifacts of the EVAL
 // stack: chip variation maps (varius.ChipMaps), phase performance
-// profiles (pipeline.Profile), and trained fuzzy-controller sets
-// (adapt.FuzzySolver). All three are pure functions of (parameters,
-// seed), which is the paper's own artifact lifecycle — the manufacturer
-// tests a die once, profiles a phase once, trains a controller set once,
-// and every later run reuses the stored result (§4.2-§4.3).
+// profiles (pipeline.Profile), trained fuzzy-controller sets
+// (adapt.FuzzySolver), accumulated PE-fmax tables, and generated
+// workload traces (workload.TraceV1). All are pure functions of
+// (parameters, seed), which is the paper's own artifact lifecycle — the
+// manufacturer tests a die once, profiles a phase once, trains a
+// controller set once, and every later run reuses the stored result
+// (§4.2-§4.3).
 //
 // # Key derivation
 //
@@ -29,6 +31,17 @@
 // key — is deterministic. Any parameter change, seed change, producer
 // version bump, or schema bump therefore misses cleanly; there is no
 // in-place migration, only rebuild-and-overwrite.
+//
+// Two kinds carry workload-trace identity (see WORKLOADS.md):
+//
+//   - "trace"@1 stores generated workload.TraceV1 documents keyed by
+//     their generator inputs (params: the workload.Spec, seed): a warm
+//     run replays the stored canonical document instead of regenerating
+//     it, byte-identically either way.
+//   - "profile"@2 keys include the app's TraceV1 content hash (empty
+//     for the built-in proxy suite), so identically named apps from
+//     different traces never alias each other's profiles, and any byte
+//     change to a trace re-keys everything derived from it.
 //
 // # On-disk layout
 //

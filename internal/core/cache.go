@@ -17,10 +17,17 @@ import (
 // Artifact kinds produced by the simulator. Bump a Version whenever the
 // producer's output for the same (params, seed) changes.
 var (
-	chipKind    = artifact.Kind{Name: "chip", Version: 1}
-	profileKind = artifact.Kind{Name: "profile", Version: 1}
+	chipKind = artifact.Kind{Name: "chip", Version: 1}
+	// profile v2: the key material gained trace provenance and the Mix and
+	// Phase structs gained wire-format JSON tags, changing the params
+	// encoding for unchanged outputs.
+	profileKind = artifact.Kind{Name: "profile", Version: 2}
 	solverKind  = artifact.Kind{Name: "solver", Version: 1}
 	petableKind = artifact.Kind{Name: "petables", Version: 1}
+	// trace entries hold canonical TraceV1 documents keyed by their
+	// generator inputs (workload.Spec, seed), so generated scenarios replay
+	// from the store like proxy-suite artifacts.
+	traceKind = artifact.Kind{Name: "trace", Version: 1}
 )
 
 // SetArtifacts attaches a persistent artifact store; chip variation maps,
@@ -62,15 +69,19 @@ func (s *Simulator) cachedChip(seed int64) *varius.ChipMaps {
 // struct is included (not just its index) so editing the workload tables
 // invalidates stale entries without a version bump.
 type profileParams struct {
-	App      string         `json:"app"`
-	Class    workload.Class `json:"class"`
+	App   string         `json:"app"`
+	Class workload.Class `json:"class"`
+	// Trace is the TraceV1 content hash for apps lowered from a trace
+	// (empty for the proxy suite): identically named apps from different
+	// traces must never share a profile entry.
+	Trace    string         `json:"trace,omitempty"`
 	Phase    workload.Phase `json:"phase"`
 	TraceLen int            `json:"trace_len"`
 }
 
 // buildProfile builds (or loads) one phase profile through the store.
 func (s *Simulator) buildProfile(app workload.App, ph workload.Phase) (pipeline.Profile, error) {
-	seed := profileSeed(app.Name, ph.Index)
+	seed := profileSeed(app.Name+app.Trace, ph.Index)
 	build := func() (pipeline.Profile, error) {
 		defer s.obs.Timer("core.profile.build").Start().Stop()
 		return pipeline.BuildProfileSim(app, ph, s.opts.TraceLen, seed, s.memoSim(ph.Mix, seed))
@@ -78,7 +89,7 @@ func (s *Simulator) buildProfile(app workload.App, ph workload.Phase) (pipeline.
 	if s.store == nil {
 		return build()
 	}
-	params := profileParams{App: app.Name, Class: app.Class, Phase: ph, TraceLen: s.opts.TraceLen}
+	params := profileParams{App: app.Name, Class: app.Class, Trace: app.Trace, Phase: ph, TraceLen: s.opts.TraceLen}
 	key, err := artifact.Key(profileKind, params, seed)
 	if err != nil {
 		return build()

@@ -180,6 +180,7 @@ type Simulator struct {
 
 type profileKey struct {
 	app   string
+	trace string
 	phase int
 }
 
@@ -364,7 +365,7 @@ func (s *Simulator) coreFromSubsystems(subs []adapt.Subsystem, cfg tech.Config) 
 
 // Profile returns the (cached) measured profile of one application phase.
 func (s *Simulator) Profile(app workload.App, ph workload.Phase) (pipeline.Profile, error) {
-	key := profileKey{app: app.Name, phase: ph.Index}
+	key := profileKey{app: app.Name, trace: app.Trace, phase: ph.Index}
 	s.mu.Lock()
 	if p, ok := s.profiles[key]; ok {
 		s.mu.Unlock()

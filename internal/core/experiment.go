@@ -28,8 +28,13 @@ type ExperimentConfig struct {
 	// TrainChips is the number of *distinct* chips used to train the fuzzy
 	// controllers (never overlapping the evaluation chips).
 	TrainChips int
-	// Apps selects applications by name (nil = the full 26-app suite).
+	// Apps selects proxy-suite applications by name (nil = the full
+	// 26-app suite, unless Workloads is set).
 	Apps []string
+	// Workloads supplies the applications directly — generated clients or
+	// trace-replayed apps (see Simulator.GeneratedApps and
+	// workload.TraceV1.Lower). Mutually exclusive with Apps.
+	Workloads []workload.App
 	// Envs selects the adaptive environments (nil = all six of Table 1).
 	Envs []Environment
 	// Modes selects adaptation modes (nil = Static, Fuzzy-Dyn, Exh-Dyn).
@@ -73,9 +78,15 @@ func (c ExperimentConfig) resolve() (ExperimentConfig, []workload.App, error) {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	var apps []workload.App
-	if len(c.Apps) == 0 {
+	switch {
+	case len(c.Workloads) > 0:
+		if len(c.Apps) > 0 {
+			return c, nil, fmt.Errorf("core: Apps and Workloads are mutually exclusive")
+		}
+		apps = c.Workloads
+	case len(c.Apps) == 0:
 		apps = workload.Suite()
-	} else {
+	default:
 		for _, name := range c.Apps {
 			a, err := workload.ByName(name)
 			if err != nil {
@@ -454,7 +465,9 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 		trainSW.Stop()
 		trainSpan.End()
 	}
-	// Static points per class, chosen once per chip.
+	// Static points per class, chosen once per chip — only for classes the
+	// app set actually contains, so single-class workload sets (a common
+	// shape for generated scenarios) run Static without error.
 	var staticInt, staticFP adapt.OperatingPoint
 	hasStatic := false
 	for _, m := range cfg.Modes {
@@ -463,11 +476,23 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 		}
 	}
 	if hasStatic {
-		if staticInt, err = s.StaticPoint(core, workload.Int, apps); err != nil {
-			return nil, err
+		hasInt, hasFP := false, false
+		for _, a := range apps {
+			if a.Class == workload.FP {
+				hasFP = true
+			} else {
+				hasInt = true
+			}
 		}
-		if staticFP, err = s.StaticPoint(core, workload.FP, apps); err != nil {
-			return nil, err
+		if hasInt {
+			if staticInt, err = s.StaticPoint(core, workload.Int, apps); err != nil {
+				return nil, err
+			}
+		}
+		if hasFP {
+			if staticFP, err = s.StaticPoint(core, workload.FP, apps); err != nil {
+				return nil, err
+			}
 		}
 	}
 	cells := newCellMap()

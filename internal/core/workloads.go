@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/artifact"
+	"repro/internal/workload"
+)
+
+// GeneratedApps lowers a workload spec at a seed to runnable apps. With
+// an artifact store attached, the generated trace is persisted under its
+// (spec, seed) key, so later runs — in this or any process — replay the
+// stored canonical document instead of regenerating it; either path
+// yields byte-identical traces, and thus identical apps, profiles, and
+// experiment rows. The returned apps carry the trace's content hash as
+// provenance (see workload.App.Trace).
+func (s *Simulator) GeneratedApps(spec workload.Spec, seed int64) ([]workload.App, error) {
+	if s.store == nil {
+		return workload.GenerateApps(spec, seed)
+	}
+	key, err := artifact.Key(traceKind, spec, seed)
+	if err != nil {
+		return workload.GenerateApps(spec, seed)
+	}
+	var doc []byte
+	err = s.store.GetOrBuild(traceKind, key,
+		func(payload []byte) error {
+			// Reject corrupt or stale entries here so the store's
+			// degradation path (count, rebuild, overwrite) handles them.
+			if _, derr := workload.DecodeTrace(payload); derr != nil {
+				return derr
+			}
+			doc = append([]byte(nil), payload...)
+			return nil
+		},
+		func() ([]byte, error) {
+			t, gerr := workload.Generate(spec, seed)
+			if gerr != nil {
+				return nil, gerr
+			}
+			enc, gerr := t.Encode()
+			if gerr != nil {
+				return nil, gerr
+			}
+			doc = enc
+			return enc, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	t, err := workload.DecodeTrace(doc)
+	if err != nil {
+		return nil, err
+	}
+	return t.Lower()
+}

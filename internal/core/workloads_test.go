@@ -1,0 +1,144 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// genSpec is a two-client scenario spanning both instruction-mix classes
+// (memory-wall lowers to Int, vector-fp to FP), so experiments over it
+// exercise the per-class static-point path as well as both pipelines.
+func genSpec() workload.Spec {
+	return workload.Spec{
+		Name: "coretest",
+		Clients: []workload.ClientSpec{
+			{
+				Name:    "stream",
+				Class:   workload.GenMemoryWall,
+				Arrival: workload.Arrival{Process: workload.Gamma, RatePerS: 200, Shape: 0.5},
+				Windows: 4,
+				Drift:   0.2,
+			},
+			{
+				Name:    "simd",
+				Class:   workload.GenVectorFP,
+				Arrival: workload.Arrival{Process: workload.Poisson, RatePerS: 150},
+				Windows: 4,
+				Drift:   0.1,
+			},
+		},
+	}
+}
+
+// genConfig is the cheap experiment budget the generated-workload tests
+// run under.
+func genConfig(apps []workload.App) ExperimentConfig {
+	cfg := DefaultExperimentConfig()
+	cfg.Chips = 1
+	cfg.SeedBase = 1000
+	cfg.Apps = nil
+	cfg.Workloads = apps
+	cfg.Training.Examples = 60
+	cfg.Training.Fuzzy.Epochs = 2
+	return cfg
+}
+
+// TestReplayMatchesLive: running an experiment on apps lowered from a
+// recorded TraceV1 must produce exactly the Summary of running it on the
+// live-generated apps for the same spec and seed. This is the core-level
+// form of the CLI guarantee that `evalsim -trace` rows are byte-identical
+// to `evalsim -workload-spec` rows.
+func TestReplayMatchesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzy training on generated workloads")
+	}
+	spec := genSpec()
+	live, err := workload.GenerateApps(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := workload.DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := replayed.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replay) {
+		t.Fatalf("apps lowered from the recorded trace differ from live generation")
+	}
+
+	ref, err := newSim(t).RunSummary(genConfig(live))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := newSim(t).RunSummary(genConfig(replay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, rep) {
+		t.Errorf("replayed-trace summary differs from live-generated:\n  live:   %+v\n  replay: %+v", ref, rep)
+	}
+}
+
+// TestGeneratedWorkloadWorkerDeterminism: the worker-count invariance that
+// pins the proxy suite must hold for generated workloads too — same spec,
+// same seed, identical Summary at workers=1 and workers=8.
+func TestGeneratedWorkloadWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzy training on generated workloads")
+	}
+	apps, err := workload.GenerateApps(genSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := genConfig(apps)
+	cfg.Workers = 1
+	ref, err := newSim(t).RunSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := newSim(t).RunSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, par) {
+		t.Errorf("generated-workload summary at workers=8 differs from workers=1:\n  w1: %+v\n  w8: %+v", ref, par)
+	}
+}
+
+// TestGeneratedAppsCacheStability: Simulator.GeneratedApps with a nil
+// store must equal the direct workload.GenerateApps lowering, and the
+// mutual-exclusion rule between Apps and Workloads must be enforced.
+func TestGeneratedAppsCacheStability(t *testing.T) {
+	sim := newSim(t)
+	direct, err := workload.GenerateApps(genSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSim, err := sim.GeneratedApps(genSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaSim) {
+		t.Errorf("Simulator.GeneratedApps differs from workload.GenerateApps")
+	}
+
+	cfg := genConfig(direct)
+	cfg.Apps = []string{"gcc"}
+	if _, _, err := cfg.resolve(); err == nil {
+		t.Error("resolve() accepted both Apps and Workloads")
+	}
+}

@@ -63,6 +63,51 @@ func (g *RNG) Exponential(mean float64) float64 {
 	return g.r.ExpFloat64() * mean
 }
 
+// Gamma returns a sample from a Gamma(shape, scale) distribution (mean
+// shape*scale) using the Marsaglia-Tsang squeeze method, with the
+// standard boost for shape < 1. Non-positive parameters return 0.
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := g.Float64()
+		for u == 0 {
+			u = g.Float64()
+		}
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.StdNormal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a sample from a Weibull(shape, scale) distribution
+// (mean scale*Gamma(1+1/shape)) by inverting the CDF. Non-positive
+// parameters return 0.
+func (g *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	// 1-u is in (0, 1], so the log is finite.
+	return scale * math.Pow(-math.Log(1-g.Float64()), 1/shape)
+}
+
 // Geometric returns a sample from a geometric distribution with success
 // probability p, counted as the number of failures before the first
 // success (support {0, 1, 2, ...}). For p <= 0 it returns 0.

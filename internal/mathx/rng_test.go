@@ -94,6 +94,68 @@ func TestExponentialMean(t *testing.T) {
 	}
 }
 
+func TestGammaMoments(t *testing.T) {
+	g := NewRNG(7)
+	const n = 200000
+	// Both branches: boosted shape < 1 and squeeze-method shape >= 1.
+	for _, c := range []struct{ shape, scale float64 }{{0.5, 2}, {3, 1.5}} {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := g.Gamma(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v, %v) sample negative: %v", c.shape, c.scale, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean, wantMean := sum/n, c.shape*c.scale
+		varc, wantVar := sumSq/n-mean*mean, c.shape*c.scale*c.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("Gamma(%v, %v) mean = %v, want ~%v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(varc-wantVar) > 0.1*wantVar {
+			t.Errorf("Gamma(%v, %v) variance = %v, want ~%v", c.shape, c.scale, varc, wantVar)
+		}
+	}
+	if g.Gamma(0, 1) != 0 || g.Gamma(1, -1) != 0 {
+		t.Error("degenerate gamma parameters should return 0")
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	g := NewRNG(8)
+	const n = 200000
+	for _, c := range []struct{ shape, scale float64 }{{0.7, 3}, {2, 1}} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := g.Weibull(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Weibull sample negative: %v", x)
+			}
+			sum += x
+		}
+		want := c.scale * math.Gamma(1+1/c.shape)
+		if m := sum / n; math.Abs(m-want) > 0.05*want {
+			t.Errorf("Weibull(%v, %v) mean = %v, want ~%v", c.shape, c.scale, m, want)
+		}
+	}
+	if g.Weibull(0, 1) != 0 || g.Weibull(1, 0) != 0 {
+		t.Error("degenerate weibull parameters should return 0")
+	}
+}
+
+func TestGammaWeibullDeterminism(t *testing.T) {
+	a, b := NewRNG(11), NewRNG(11)
+	for i := 0; i < 200; i++ {
+		if a.Gamma(0.8, 2) != b.Gamma(0.8, 2) {
+			t.Fatal("same-seed Gamma streams diverged")
+		}
+		if a.Weibull(1.5, 2) != b.Weibull(1.5, 2) {
+			t.Fatal("same-seed Weibull streams diverged")
+		}
+	}
+}
+
 func TestLogNormalPositive(t *testing.T) {
 	g := NewRNG(5)
 	for i := 0; i < 1000; i++ {

@@ -1,0 +1,46 @@
+// Package workload supplies the instruction streams the EVAL evaluation
+// runs on: a fixed proxy suite standing in for the paper's SPEC CPU2000
+// binaries, and a generative engine that opens the same experiments to an
+// unbounded scenario space.
+//
+// # Proxy suite
+//
+// Each of the 26 applications is described by the generative parameters
+// of its instruction stream — type mix, dependency distances (ILP),
+// branch predictability, cache and memory miss behavior — per execution
+// phase (Mix, Phase, App; see workload.go). The pipeline package
+// synthesizes traces from these mixes and measures CPI components and
+// per-subsystem activity factors, exactly the quantities (Eq. 5 terms and
+// alpha_f inputs) the paper's evaluation extracts from SESC running SPEC.
+//
+// The proxies are calibrated to the published character of each benchmark
+// (mcf/art/swim memory-bound with high L2 miss rates, crafty/eon/sixtrack
+// compute-bound, etc.); absolute CPIs are not meant to match the Athlon
+// simulation, but the spread of memory-boundedness, ILP, and int/fp
+// activity that drives the adaptation study is preserved.
+//
+// # Generative workloads
+//
+// Spec (spec.go) composes client workloads the paper's fixed menu cannot
+// express: each ClientSpec names a generative class (memory-wall
+// streaming, branchy integer, vectorizable FP, bursty/idle duty cycles,
+// server mix), an arrival process (Poisson, Gamma, or Weibull renewal
+// with a shape knob for burstiness), a per-window mix-drift amplitude,
+// and a duty cycle. Generate (generate.go) lowers a spec deterministically
+// to ordinary App values — one App per client, one Phase per active
+// window, weights proportional to the work that arrived in the window —
+// so every downstream consumer (profiles, figures, controllers) treats
+// generated scenarios exactly like proxies.
+//
+// # Trace record/replay
+//
+// TraceV1 (trace.go) is the versioned, self-describing JSON envelope that
+// makes any scenario — generated or hand-built — recordable and
+// byte-identically replayable: format/version header, the generator spec
+// and seed that produced it (when one did), and the full per-phase
+// records. Encode is canonical (fixed field order, shortest round-trip
+// floats), so encode→decode→re-encode is byte-identical and the SHA-256
+// of the encoding (TraceV1.Hash) is a stable content address that joins
+// the artifact-cache keys of everything derived from the trace. See
+// WORKLOADS.md for the format specification and compatibility rules.
+package workload

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mathx"
+)
+
+// Generator is the TraceV1.Generator value stamped by Generate.
+const Generator = "workload.Generate"
+
+// Generate lowers a spec to its trace at a seed. The result is a pure
+// function of (spec, seed): the root RNG is derived from the seed and
+// the spec name, each client gets an independent child stream keyed by
+// its position, and every draw inside a client happens in a fixed
+// order, so regenerating with the same inputs reproduces the trace
+// byte for byte (see TestGenerateDeterministic).
+func Generate(spec Spec, seed int64) (*TraceV1, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	root := mathx.NewRNG(seed ^ nameSeed(spec.Name))
+	apps := make([]TraceApp, len(spec.Clients))
+	for i, c := range spec.Clients {
+		apps[i] = genClient(spec, c, root.Split(int64(i)))
+	}
+	t := &TraceV1{
+		Format:    TraceFormat,
+		Version:   TraceVersion,
+		Generator: Generator,
+		Spec:      &spec,
+		Seed:      seed,
+		Apps:      apps,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// GenerateApps is Generate followed by Lower: it returns the ready-to-run
+// App values, each carrying the trace's content hash as provenance.
+func GenerateApps(spec Spec, seed int64) ([]App, error) {
+	t, err := Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return t.Lower()
+}
+
+// genClient lowers one client to a TraceApp. Draw order per window is
+// fixed — duty activation, then drift steps (windows after the first),
+// then arrival counting — so the stream consumed is independent of
+// which windows end up active.
+func genClient(spec Spec, c ClientSpec, rng *mathx.RNG) TraceApp {
+	base, class, err := c.Class.Archetype()
+	if err != nil {
+		// Unreachable: spec.Validate checked every client class.
+		panic(err)
+	}
+	windowS := spec.windowS()
+	duty := c.dutyCycle()
+	drift := make([]float64, 9)
+	// rem is the renewal-process time until the next arrival; it carries
+	// across windows so the process is continuous over the active span.
+	rem := c.Arrival.interarrival(rng)
+	type window struct {
+		arrivals int
+		mix      Mix
+	}
+	var wins []window
+	total := 0
+	for w := 0; w < c.windows(); w++ {
+		active := rng.Float64() < duty
+		if w > 0 && c.Drift > 0 {
+			for j := range drift {
+				step := rng.Uniform(-c.Drift, c.Drift) / 2
+				drift[j] = mathx.Clamp(drift[j]+step, -c.Drift, c.Drift)
+			}
+		}
+		if !active {
+			continue
+		}
+		arrivals := 0
+		avail := windowS
+		for rem <= avail {
+			avail -= rem
+			arrivals++
+			rem = c.Arrival.interarrival(rng)
+		}
+		rem -= avail
+		if arrivals == 0 {
+			continue
+		}
+		wins = append(wins, window{arrivals, driftMix(base, drift)})
+		total += arrivals
+	}
+	if total == 0 {
+		// Degenerate draw (low rate x low duty cycle left every window
+		// empty): emit one archetype phase so the client still runs.
+		wins = []window{{1, base}}
+		total = 1
+	}
+	phases := make([]Phase, len(wins))
+	for i, w := range wins {
+		phases[i] = Phase{
+			Index:     i,
+			Weight:    float64(w.arrivals) / float64(total),
+			Mix:       w.mix,
+			Signature: genSignature(spec.Name, c.Name, i),
+		}
+	}
+	return TraceApp{Name: spec.Name + "/" + c.Name, Class: class.String(), Phases: phases}
+}
+
+// driftMix applies the accumulated multiplicative drift state to the
+// archetype mix, clamped to the same envelope jitterMix keeps the proxy
+// suite inside (branch widened to cover the branchy-int archetype). A
+// zero drift vector returns the archetype exactly.
+func driftMix(m Mix, d []float64) Mix {
+	s := func(v, lo, hi float64, j int) float64 {
+		return mathx.Clamp(v*(1+d[j]), lo, hi)
+	}
+	out := Mix{
+		LoadFrac:             s(m.LoadFrac, 0.05, 0.45, 0),
+		StoreFrac:            s(m.StoreFrac, 0.02, 0.25, 1),
+		BranchFrac:           s(m.BranchFrac, 0.02, 0.30, 2),
+		FPFrac:               s(m.FPFrac, 0, 1, 3),
+		DepDistMean:          s(m.DepDistMean, 1.2, 8, 4),
+		BranchMispredictRate: s(m.BranchMispredictRate, 0.001, 0.25, 5),
+		L1MissRate:           s(m.L1MissRate, 0.001, 0.3, 6),
+		L2MissRate:           s(m.L2MissRate, 0.00005, 0.08, 7),
+		MemOverlap:           s(m.MemOverlap, 0, 0.9, 8),
+	}
+	if sum := out.LoadFrac + out.StoreFrac + out.BranchFrac; sum > 0.9 {
+		out.LoadFrac *= 0.9 / sum
+		out.StoreFrac *= 0.9 / sum
+		out.BranchFrac *= 0.9 / sum
+	}
+	return out
+}
+
+// genSignature derives a stable basic-block-vector identity for a
+// generated phase from its (spec, client, window) coordinates.
+func genSignature(spec, client string, window int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d", spec, client, window)
+	return h.Sum64()
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// TraceFormat and TraceVersion identify the TraceV1 wire format. The
+// format string never changes; the version bumps whenever a field is
+// renamed, removed, or re-interpreted (additions also bump it: readers
+// decode strictly, so an old reader must never silently drop data a
+// newer writer considered meaningful). See WORKLOADS.md for the full
+// compatibility rules.
+const (
+	TraceFormat  = "eval.workload.trace"
+	TraceVersion = 1
+)
+
+// TraceApp is the wire form of one App: the class is spelled out
+// ("int"/"fp") so the envelope is self-describing without Go enums.
+type TraceApp struct {
+	Name   string  `json:"name"`
+	Class  string  `json:"class"`
+	Phases []Phase `json:"phases"`
+}
+
+// TraceV1 is the versioned, self-describing envelope for a recorded
+// workload scenario. A trace captures everything the experiments need —
+// per-app, per-phase instruction-mix records — plus the provenance
+// (generator, spec, seed) that produced it, so any scenario can be
+// regenerated and cross-checked or replayed directly.
+//
+// Encode is canonical: field order is fixed by this struct, floats use
+// Go's shortest round-trip formatting, and the document is indented
+// with two spaces and ends in one newline. encode→decode→re-encode is
+// therefore byte-identical, and Hash (the SHA-256 of the encoding) is a
+// stable content address.
+type TraceV1 struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Generator records what produced the trace (workload.Generator for
+	// generated traces; hand-built traces may say anything or omit it).
+	Generator string `json:"generator,omitempty"`
+	// Spec and Seed are the generator inputs, present when the trace was
+	// generated; `tracegen -validate` regenerates from them and checks
+	// the hash matches.
+	Spec *Spec      `json:"spec,omitempty"`
+	Seed int64      `json:"seed"`
+	Apps []TraceApp `json:"apps"`
+}
+
+// Validate checks the envelope: header, app names, classes, and that
+// every app's phases are consecutively indexed valid mixes with weights
+// summing to 1.
+func (t *TraceV1) Validate() error {
+	if t.Format != TraceFormat {
+		return fmt.Errorf("workload: trace format %q, want %q", t.Format, TraceFormat)
+	}
+	if t.Version != TraceVersion {
+		return fmt.Errorf("workload: unsupported trace version %d (this build reads version %d; regenerate the trace from its spec)", t.Version, TraceVersion)
+	}
+	if len(t.Apps) == 0 {
+		return fmt.Errorf("workload: trace has no apps")
+	}
+	seen := make(map[string]bool, len(t.Apps))
+	for _, a := range t.Apps {
+		if a.Name == "" {
+			return fmt.Errorf("workload: trace app has no name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("workload: trace has duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if _, err := ParseClass(a.Class); err != nil {
+			return fmt.Errorf("workload: trace app %q: %w", a.Name, err)
+		}
+		if len(a.Phases) == 0 {
+			return fmt.Errorf("workload: trace app %q has no phases", a.Name)
+		}
+		wsum := 0.0
+		for i, ph := range a.Phases {
+			if ph.Index != i {
+				return fmt.Errorf("workload: trace app %q: phase %d has index %d (indices must be consecutive from 0)", a.Name, i, ph.Index)
+			}
+			if !(ph.Weight > 0) || ph.Weight > 1 {
+				return fmt.Errorf("workload: trace app %q phase %d: weight %g out of (0, 1]", a.Name, i, ph.Weight)
+			}
+			if err := ph.Mix.Validate(); err != nil {
+				return fmt.Errorf("workload: trace app %q phase %d: %w", a.Name, i, err)
+			}
+			wsum += ph.Weight
+		}
+		if math.Abs(wsum-1) > 1e-6 {
+			return fmt.Errorf("workload: trace app %q: phase weights sum to %g, want 1", a.Name, wsum)
+		}
+	}
+	return nil
+}
+
+// Encode renders the trace in canonical form. The result is the unit of
+// hashing: any byte difference is a semantic difference.
+func (t *TraceV1) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workload: encoding trace: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Hash returns the SHA-256 hex digest of the canonical encoding — the
+// trace's content address, used as the `trace` component of downstream
+// artifact-cache keys.
+func (t *TraceV1) Hash() (string, error) {
+	b, err := t.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// DecodeTrace parses and validates a canonical trace document. Decoding
+// is strict: the format and version are checked first (so a stale or
+// foreign document fails with a version error, not a field error), and
+// unknown fields are rejected — a v1 reader never silently drops data a
+// newer writer meant something by.
+func DecodeTrace(data []byte) (*TraceV1, error) {
+	var header struct {
+		Format  string `json:"format"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(data, &header); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	if header.Format != TraceFormat {
+		return nil, fmt.Errorf("workload: trace format %q, want %q", header.Format, TraceFormat)
+	}
+	if header.Version != TraceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d (this build reads version %d; regenerate the trace from its spec)", header.Version, TraceVersion)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t TraceV1
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Lower converts the trace to runnable App values. Every app carries
+// the trace's content hash as provenance, which flows into the profile
+// cache keys so identically named apps from different traces never
+// alias.
+func (t *TraceV1) Lower() ([]App, error) {
+	hash, err := t.Hash()
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]App, len(t.Apps))
+	for i, a := range t.Apps {
+		class, err := ParseClass(a.Class)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace app %q: %w", a.Name, err)
+		}
+		phases := make([]Phase, len(a.Phases))
+		copy(phases, a.Phases)
+		apps[i] = App{Name: a.Name, Class: class, Phases: phases, Trace: hash}
+	}
+	return apps, nil
+}
+
+// DecodeSpec parses and validates a workload spec document (the input
+// to Generate and `tracegen -spec`). Unknown fields are rejected so a
+// typo'd knob fails loudly instead of silently using a default.
+func DecodeSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

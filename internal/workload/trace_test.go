@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func genTrace(t *testing.T) *TraceV1 {
+	t.Helper()
+	tr, err := Generate(testSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceRoundTripByteIdentical(t *testing.T) {
+	tr := genTrace(t)
+	first, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeTrace(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("encode→decode→re-encode is not byte-identical")
+	}
+	h1, err := tr.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := decoded.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash changed across round trip: %s vs %s", h1, h2)
+	}
+}
+
+func TestTraceGoldenEnvelope(t *testing.T) {
+	// Golden structural check: the canonical encoding starts with the
+	// fixed header fields in order, ends with exactly one newline, and
+	// declares the current format/version.
+	enc, err := genTrace(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := "{\n  \"format\": \"eval.workload.trace\",\n  \"version\": 1,\n  \"generator\": \"workload.Generate\",\n"
+	if !bytes.HasPrefix(enc, []byte(head)) {
+		t.Errorf("canonical encoding does not start with the fixed header:\n%s", enc[:min(len(enc), 200)])
+	}
+	if !bytes.HasSuffix(enc, []byte("}\n")) || bytes.HasSuffix(enc, []byte("\n\n")) {
+		t.Error("canonical encoding must end with exactly one newline")
+	}
+}
+
+func TestDecodeTraceRejectsStaleVersion(t *testing.T) {
+	enc, err := genTrace(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := bytes.Replace(enc, []byte(`"version": 1`), []byte(`"version": 2`), 1)
+	_, err = DecodeTrace(stale)
+	if err == nil || !strings.Contains(err.Error(), "unsupported trace version 2") {
+		t.Errorf("stale version: got %v, want unsupported-version error", err)
+	}
+	foreign := bytes.Replace(enc, []byte(`"format": "eval.workload.trace"`), []byte(`"format": "other.trace"`), 1)
+	if _, err := DecodeTrace(foreign); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("foreign format: got %v, want format error", err)
+	}
+}
+
+func TestDecodeTraceRejectsUnknownFields(t *testing.T) {
+	enc, err := genTrace(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := bytes.Replace(enc, []byte(`"seed": 42`), []byte(`"seed": 42,`+"\n"+`  "wattage": 9000`), 1)
+	if _, err := DecodeTrace(extended); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown field: got %v, want strict-decode rejection", err)
+	}
+}
+
+func TestDecodeTraceRejectsInvalidPayload(t *testing.T) {
+	tr := genTrace(t)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(enc, &raw); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		doc  func() []byte
+		want string
+	}{
+		{"no apps", func() []byte {
+			b := bytes.Replace(enc, raw["apps"], []byte("[]"), 1)
+			return b
+		}, "no apps"},
+		{"bad weight", func() []byte {
+			mut := *tr
+			mut.Apps = append([]TraceApp(nil), tr.Apps...)
+			mut.Apps[0].Phases = append([]Phase(nil), tr.Apps[0].Phases...)
+			mut.Apps[0].Phases[0].Weight = 2
+			b, _ := json.MarshalIndent(&mut, "", "  ")
+			return append(b, '\n')
+		}, "weight"},
+		{"bad class", func() []byte {
+			mut := *tr
+			mut.Apps = append([]TraceApp(nil), tr.Apps...)
+			mut.Apps[0].Class = "vector"
+			b, _ := json.MarshalIndent(&mut, "", "  ")
+			return append(b, '\n')
+		}, "unknown class"},
+	}
+	for _, c := range cases {
+		if _, err := DecodeTrace(c.doc()); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeSpec(t *testing.T) {
+	spec := testSpec()
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != spec.Name || len(got.Clients) != len(spec.Clients) {
+		t.Errorf("decoded spec mismatch: %+v", got)
+	}
+	if _, err := DecodeSpec([]byte(`{"name": "x", "clienst": []}`)); err == nil {
+		t.Error("typo'd field accepted")
+	}
+}
+
+func TestLowerProvenanceDistinguishesTraces(t *testing.T) {
+	a, err := GenerateApps(testSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateApps(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Name != b[0].Name {
+		t.Fatal("expected identical app names across seeds")
+	}
+	if a[0].Trace == b[0].Trace {
+		t.Error("different seeds produced the same trace hash")
+	}
+}

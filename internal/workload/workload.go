@@ -1,17 +1,3 @@
-// Package workload defines the synthetic SPEC CPU2000 proxy suite that
-// stands in for the paper's benchmark binaries. Each of the 26 applications
-// is described by the generative parameters of its instruction stream —
-// type mix, dependency distances (ILP), branch predictability, cache and
-// memory miss behavior — per execution phase. The pipeline package
-// synthesizes traces from these mixes and measures CPI components and
-// per-subsystem activity factors, exactly the quantities (Eq. 5 terms and
-// alpha_f inputs) the paper's evaluation extracts from SESC running SPEC.
-//
-// The proxies are calibrated to the published character of each benchmark
-// (mcf/art/swim memory-bound with high L2 miss rates, crafty/eon/sixtrack
-// compute-bound, etc.); absolute CPIs are not meant to match the Athlon
-// simulation, but the spread of memory-boundedness, ILP, and int/fp
-// activity that drives the adaptation study is preserved.
 package workload
 
 import (
@@ -38,27 +24,43 @@ func (c Class) String() string {
 	return "fp"
 }
 
-// Mix holds the generative parameters of an instruction stream.
+// ParseClass inverts String; it accepts exactly "int" and "fp".
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "int":
+		return Int, nil
+	case "fp":
+		return FP, nil
+	default:
+		return Int, fmt.Errorf("workload: unknown class %q (want \"int\" or \"fp\")", s)
+	}
+}
+
+// Mix holds the generative parameters of an instruction stream. The JSON
+// field names are part of the TraceV1 wire format (see trace.go and
+// WORKLOADS.md); renaming one is a trace-format version bump.
 type Mix struct {
 	// Instruction-type fractions; the remainder after loads, stores and
 	// branches is compute, split between integer and FP by FPFrac.
-	LoadFrac, StoreFrac, BranchFrac float64
-	FPFrac                          float64
+	LoadFrac   float64 `json:"load_frac"`
+	StoreFrac  float64 `json:"store_frac"`
+	BranchFrac float64 `json:"branch_frac"`
+	FPFrac     float64 `json:"fp_frac"`
 	// DepDistMean is the mean register dependency distance (in dynamic
 	// instructions); larger means more ILP.
-	DepDistMean float64
+	DepDistMean float64 `json:"dep_dist_mean"`
 	// BranchMispredictRate is the misprediction probability per branch.
-	BranchMispredictRate float64
+	BranchMispredictRate float64 `json:"branch_mispredict_rate"`
 	// L1MissRate is the per-memory-op probability of missing L1 and
 	// hitting L2.
-	L1MissRate float64
+	L1MissRate float64 `json:"l1_miss_rate"`
 	// L2MissRate is the per-instruction rate of L2 misses to memory
 	// (the paper's mr).
-	L2MissRate float64
+	L2MissRate float64 `json:"l2_miss_rate"`
 	// MemOverlap is the fraction of main-memory latency hidden under
 	// computation and other misses (MLP); the paper's mp is the
 	// *non-overlapped* penalty.
-	MemOverlap float64
+	MemOverlap float64 `json:"mem_overlap"`
 }
 
 // Validate checks that the mix is a proper distribution.
@@ -94,22 +96,28 @@ func (m Mix) ComputeFrac() float64 {
 }
 
 // Phase is one stable execution phase of an application (the ~120 ms
-// regions the Sherwood-style detector finds; §4.3.3).
+// regions the Sherwood-style detector finds; §4.3.3). Like Mix, the JSON
+// field names are part of the TraceV1 wire format.
 type Phase struct {
-	Index int
+	Index int `json:"index"`
 	// Weight is the fraction of execution time spent in this phase.
-	Weight float64
-	Mix    Mix
+	Weight float64 `json:"weight"`
+	Mix    Mix     `json:"mix"`
 	// Signature is the phase's basic-block-vector identity, used by the
 	// phase detector to recognize recurring phases.
-	Signature uint64
+	Signature uint64 `json:"signature"`
 }
 
-// App is one benchmark proxy.
+// App is one benchmark proxy or one generated client workload.
 type App struct {
 	Name   string
 	Class  Class
 	Phases []Phase
+	// Trace is the TraceV1 hash of the trace this app was decoded from
+	// (empty for the built-in proxy suite). It rides into the profile
+	// cache keys so two traces that happen to share an app name can
+	// never alias each other's cached profiles.
+	Trace string
 }
 
 // archetype is the per-app base mix; phases jitter around it.

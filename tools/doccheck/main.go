@@ -1,0 +1,98 @@
+// Doccheck verifies that every local link target in the given markdown
+// files exists on disk, so the reference docs (WORKLOADS.md,
+// EXPERIMENTS.md, README.md) cannot drift ahead of the tree they
+// describe. External links (http/https/mailto) and pure in-page anchors
+// are skipped; a relative target is resolved against the directory of
+// the file that references it, and any "#fragment" suffix is dropped
+// before the existence check.
+//
+//	go run ./tools/doccheck README.md WORKLOADS.md EXPERIMENTS.md
+//
+// Exits non-zero listing every broken link as file:line -> target.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Reference-style
+// links and autolinks are not used in this repo's docs.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	checked := 0
+	for _, path := range os.Args[1:] {
+		n, bad, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		checked += n
+		broken += bad
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s) out of %d checked\n", broken, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d local link(s) ok across %d file(s)\n", checked, len(os.Args)-1)
+}
+
+// checkFile returns (local links checked, broken links found).
+func checkFile(path string) (int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	dir := filepath.Dir(path)
+	checked, broken := 0, 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	inFence := false
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		// Links inside fenced code blocks are sample output, not references.
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if isExternal(target) || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			checked++
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d -> %s (missing)\n", path, line, m[1])
+				broken++
+			}
+		}
+	}
+	return checked, broken, sc.Err()
+}
+
+func isExternal(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}
