@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm cache-clean spec-check doc-check
+.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold cache-clean spec-check doc-check
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -37,6 +37,12 @@ bench-smoke:
 # (normalized by the reference pipeline kernel to cancel machine speed).
 bench-check-warm:
 	go run ./tools/benchjson -check-warm BENCH_adapt.json
+
+# Cold-path regression gate: the same normalized 20% check against the
+# empty-cache Figure 10 benchmark — the end-to-end build path the batched
+# PE tables, slab builds, and async artifact flusher optimize.
+bench-check-cold:
+	go run ./tools/benchjson -check-cold BENCH_adapt.json
 
 # Validate the checked-in example workload specs: each must decode,
 # lower, and (for traces) replay byte-identically (see WORKLOADS.md).

@@ -255,6 +255,10 @@ func runSummaryCached(b *testing.B, dir string, modes []core.Mode) (*core.Summar
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Close inside the timed region: the cold benchmark must pay for its
+	// queued cache writes, and the warm run's fresh store only sees them
+	// once they are flushed.
+	store.Close()
 	return sum, reg.Counter("artifact.cache.hits").Value()
 }
 
@@ -790,6 +794,110 @@ func BenchmarkFreqSolveCold(b *testing.B) {
 		q := cpu.QueryFor(0, prof, 62+273.15+float64(i)*1e-6,
 			tech.QueueFull, tech.FUNormal)
 		_ = cpu.FreqSolve(0, q)
+	}
+}
+
+// BenchmarkPEFMaxBatch measures the error-budget inversion at the heart
+// of every dense PE-table column build, in its two forms: the shared
+// dyadic bisection over the whole ascending budget grid (what the slab
+// builder uses) and the equivalent independent per-budget bisections.
+func BenchmarkPEFMaxBatch(b *testing.B) {
+	vp := varius.DefaultParams()
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := varius.NewGenerator(vp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stage, err := vats.NewStage(fp.Subsystems[0], gen.Chip(5), vp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cv := stage.Eval(vats.Cond{VddV: vp.VddNomV, TK: 65 + 273.15}, vats.IdentityVariant())
+	budgets := []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	out := make([]float64, len(budgets))
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cv.FMaxForPESet(budgets, out)
+		}
+	})
+	b.Run("per_budget", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, bud := range budgets {
+				out[j] = cv.FMaxForPE(bud)
+			}
+		}
+	})
+}
+
+// BenchmarkThermalSolveBatch measures one whole-actuation-grid thermal
+// sweep (every Vdd × Vbb level) through Solver.SolveBatch: warm chains
+// each point off its grid neighbor's converged state; reference retraces
+// the exact cold-start Model.CoreSteady at every point.
+func BenchmarkThermalSolveBatch(b *testing.B) {
+	vp := varius.DefaultParams()
+	fp, err := floorplan.Default(vp.CoreSide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pw, err := power.NewModel(fp, vp, power.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := thermal.NewModel(fp, vp, pw, thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := make([]thermal.SubsystemInput, fp.N())
+	for i, sub := range fp.Subsystems {
+		base[i] = thermal.SubsystemInput{
+			Index:  i,
+			Vt0Eff: vp.VtMeanV,
+			AlphaF: sub.TypicalAlpha,
+			FRel:   1.0,
+		}
+	}
+	cfgT := tech.Config{TimingSpec: true, ASV: true, ABB: true}
+	var pts []thermal.BatchPoint
+	for _, vdd := range cfgT.VddLevels(vp.VddNomV) {
+		for _, vbb := range cfgT.VbbLevels() {
+			ins := make([]thermal.SubsystemInput, len(base))
+			for j, in := range base {
+				in.VddV = vdd
+				in.VbbV = vbb
+				ins[j] = in
+			}
+			pts = append(pts, thermal.BatchPoint{Ins: ins, FRel: 1.0})
+		}
+	}
+	for _, mode := range []struct {
+		name      string
+		reference bool
+	}{{"warm", false}, {"reference", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sv := thermal.NewSolver(m)
+			sv.DisableAcceleration = mode.reference
+			b.ReportAllocs()
+			b.ResetTimer()
+			solved := 0
+			for i := 0; i < b.N; i++ {
+				solved = 0
+				// The hottest grid corners legitimately run away (the
+				// adaptation layer never picks them); a batch reports
+				// that per point rather than failing the sweep.
+				for _, r := range sv.SolveBatch(pts) {
+					if r.Err == nil {
+						solved++
+					}
+				}
+			}
+			if solved == 0 {
+				b.Fatal("no grid point converged")
+			}
+			b.ReportMetric(float64(solved), "solved/op")
+		})
 	}
 }
 

@@ -53,6 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer store.Close() // settle queued cache writes; nil-safe
 	sim.SetArtifacts(store)
 	if *n > 0 {
 		if err := binChips(sim, *n); err != nil {

@@ -131,6 +131,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer store.Close() // settle queued cache writes; nil-safe
 	// instrument attaches the run's observability sinks and the artifact
 	// store to a simulator; every simulator the experiments construct goes
 	// through it.

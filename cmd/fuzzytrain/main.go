@@ -73,6 +73,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer store.Close() // settle queued cache writes; nil-safe
 	sim.SetArtifacts(store)
 
 	cfg := core.DefaultExperimentConfig()

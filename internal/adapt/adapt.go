@@ -193,46 +193,61 @@ func (c *Core) SharePETables(donor *Core) error {
 }
 
 // PETableSlot is one built dense PE-fmax table in serializable form: the
-// flat store slot it occupies plus the inverse-table values. The slot index
-// encodes (subsystem, variant, vddIdx, vbbIdx, tempIdx) exactly as the
-// dense store lays them out, so a chip's tables round-trip through JSON
-// without re-deriving grid coordinates; float64 values survive encoding
-// bit-for-bit (encoding/json emits shortest-round-trip literals).
+// flat store slot it occupies, the bitmask of built budget columns, and
+// the inverse-table values. The slot index encodes (subsystem, variant,
+// vddIdx, vbbIdx, tempIdx) exactly as the dense store lays them out, so a
+// chip's tables round-trip through JSON without re-deriving grid
+// coordinates; float64 values survive encoding bit-for-bit
+// (encoding/json emits shortest-round-trip literals). Columns whose Mask
+// bit is clear were never built and carry no meaning.
 type PETableSlot struct {
 	Slot int                     `json:"slot"`
+	Mask uint8                   `json:"mask"`
 	FMax [len(peBudgets)]float64 `json:"fmax"`
 }
 
-// ExportPETables snapshots every built dense PE-fmax table. Safe to call
-// concurrently with readers and builders: each slot is checked through its
-// atomic publication flag, so only fully-built tables are exported. The
-// overflow map (off-grid figure sweeps) is deliberately excluded — it is
-// not on the experiment warm path.
+// ExportPETables snapshots every dense PE-fmax table with at least one
+// built budget column. Safe to call concurrently with readers and
+// builders: the store mutex is held across the snapshot so no
+// half-written column is observed. The overflow map (off-grid figure
+// sweeps) is deliberately excluded — it is not on the experiment warm
+// path.
 func (c *Core) ExportPETables() []PETableSlot {
 	var out []PETableSlot
+	c.pe.mu.Lock()
 	for slot := range c.pe.dense {
-		if c.pe.built[slot].Load() {
-			out = append(out, PETableSlot{Slot: slot, FMax: c.pe.dense[slot].fmax})
+		if m := c.pe.built[slot].Load(); m != 0 {
+			out = append(out, PETableSlot{Slot: slot, Mask: uint8(m), FMax: c.pe.dense[slot].fmax})
 		}
 	}
+	c.pe.mu.Unlock()
 	return out
 }
 
 // ImportPETables seeds the dense store with previously exported tables,
 // skipping out-of-range slots (a floorplan or grid change between runs)
-// and slots already built. Imported tables publish through the same
-// atomic flags as lazily built ones, so concurrent readers are safe.
-// Returns the number of slots newly filled.
+// and columns already built. Imported columns publish through the same
+// atomic masks as lazily built ones, so concurrent readers are safe.
+// Returns the number of (slot, column) entries newly filled.
 func (c *Core) ImportPETables(tabs []PETableSlot) int {
 	n := 0
 	c.pe.mu.Lock()
 	for _, t := range tabs {
-		if t.Slot < 0 || t.Slot >= len(c.pe.dense) || c.pe.built[t.Slot].Load() {
+		if t.Slot < 0 || t.Slot >= len(c.pe.dense) {
 			continue
 		}
-		c.pe.dense[t.Slot].fmax = t.FMax
-		c.pe.built[t.Slot].Store(true)
-		n++
+		cur := c.pe.built[t.Slot].Load()
+		add := uint32(t.Mask) &^ cur
+		if add == 0 {
+			continue
+		}
+		for bi := range peBudgets {
+			if add>>bi&1 == 1 {
+				c.pe.dense[t.Slot].fmax[bi] = t.FMax[bi]
+				n++
+			}
+		}
+		c.pe.built[t.Slot].Store(cur | add)
 	}
 	c.pe.mu.Unlock()
 	return n
@@ -293,17 +308,25 @@ func variantIndex(v vats.Variant) (int, bool) {
 // first touch.
 //
 // The store is safe for concurrent use by the cores that share it. Dense
-// slots publish through per-slot atomic flags: the fast path is a single
-// atomic load of built[slot], and builders take mu, re-check, fill the
-// table, and only then Store(true) — so a reader that observes the flag
-// also observes the completed table, and each table is built at most
-// once. The overflow map is guarded by the same mutex end to end.
+// slots build one budget *column* at a time and publish through per-slot
+// atomic column masks: the fast path is a single atomic load of
+// built[slot] checked against the needed column bits, and builders take
+// mu, re-check, fill the missing columns, and only then Store the widened
+// mask — so a reader that observes a column's bit also observes the
+// completed column, and each column is built at most once. Column
+// laziness matters because a query touches at most two of the eight
+// budget columns and the solver paths only ever probe a narrow budget
+// band, so building whole tables eagerly wastes most of the
+// erfc-dominated bisection work. The overflow map is guarded by the same
+// mutex end to end, and scratch is the mutex-guarded curve arena every
+// dense build reuses.
 type peStore struct {
 	nSubs    int
 	dense    []peTable
-	built    []atomic.Bool
+	built    []atomic.Uint32
 	mu       sync.Mutex
 	overflow map[peKey]*peTable
+	scratch  vats.Curve
 }
 
 func newPEStore(nSubs int) *peStore {
@@ -311,7 +334,7 @@ func newPEStore(nSubs int) *peStore {
 	return &peStore{
 		nSubs:    nSubs,
 		dense:    make([]peTable, n),
-		built:    make([]atomic.Bool, n),
+		built:    make([]atomic.Uint32, n),
 		overflow: make(map[peKey]*peTable),
 	}
 }
@@ -341,46 +364,164 @@ type peTable struct {
 	fmax [len(peBudgets)]float64
 }
 
-// tableAt returns (building if needed) the inverse table at temperature
-// grid index tIdx. On-grid (Vdd, Vbb) points with a known variant hit the
-// dense store by index arithmetic alone; everything else falls back to
-// the overflow map.
-func (c *Core) tableAt(sub int, v vats.Variant, vddV, vbbV float64, tIdx int) *peTable {
+// peAllCols is the column mask of a fully built table.
+const peAllCols = uint32(1)<<len(peBudgets) - 1
+
+// peRef is a (subsystem, variant, Vdd, Vbb) coordinate resolved against
+// the dense store once per scan, so the hot solve loops stop re-deriving
+// variant and actuation-level indices (tech.VddIndex/VbbIndex round and
+// compare per call) on every table touch.
+type peRef struct {
+	sub        int
+	vi, di, bi int
+	dense      bool
+	v          vats.Variant
+	vddV, vbbV float64
+}
+
+// peRefFor resolves the coordinate; off-grid levels and exotic variants
+// yield a non-dense ref that routes to the overflow map.
+func (c *Core) peRefFor(sub int, v vats.Variant, vddV, vbbV float64) peRef {
+	r := peRef{sub: sub, v: v, vddV: vddV, vbbV: vbbV}
 	if vi, ok := variantIndex(v); ok {
 		if di, ok := tech.VddIndex(vddV); ok {
 			if bi, ok := tech.VbbIndex(vbbV); ok {
-				slot := (((sub*peNumVariants+vi)*tech.NumVddLevels+di)*tech.NumVbbLevels+bi)*len(peTempsC) + tIdx
-				if !c.pe.built[slot].Load() {
-					c.pe.mu.Lock()
-					if !c.pe.built[slot].Load() {
-						c.buildTable(&c.pe.dense[slot], sub, v, vddV, vbbV, tIdx)
-						c.pe.built[slot].Store(true)
-					}
-					c.pe.mu.Unlock()
-				}
-				return &c.pe.dense[slot]
+				r.vi, r.di, r.bi, r.dense = vi, di, bi, true
 			}
 		}
 	}
+	return r
+}
+
+// slot returns the ref's dense-store slot at temperature index tIdx.
+func (r *peRef) slot(tIdx int) int {
+	return (((r.sub*peNumVariants+r.vi)*tech.NumVddLevels+r.di)*tech.NumVbbLevels+r.bi)*len(peTempsC) + tIdx
+}
+
+// budgetQuery is a stage budget resolved against the budget grid once per
+// scan: the bracketing columns, the log-interpolation abscissa, and the
+// bitmask of columns a query touches. The resolution reproduces query's
+// branch structure exactly, so interpolated values are bit-identical.
+type budgetQuery struct {
+	lo, hi int
+	lb     float64 // log10(budget); meaningful only when lo != hi
+	need   uint32
+}
+
+func budgetQueryFor(budget float64) budgetQuery {
+	if budget <= peBudgets[0] {
+		return budgetQuery{lo: 0, hi: 0, need: 1}
+	}
+	last := len(peBudgets) - 1
+	if budget >= peBudgets[last] {
+		return budgetQuery{lo: last, hi: last, need: 1 << last}
+	}
+	lb := math.Log10(budget)
+	for i := 0; i < last; i++ {
+		if lb <= peLogBudgets[i+1] {
+			return budgetQuery{lo: i, hi: i + 1, lb: lb, need: 3 << i}
+		}
+	}
+	return budgetQuery{lo: last, hi: last, need: 1 << last}
+}
+
+// tempQuery is a device temperature resolved against the temperature grid
+// once: the bracketing table indices and interpolation fraction. lo == hi
+// encodes the clamped (single-table) cases.
+type tempQuery struct {
+	lo, hi int
+	frac   float64
+}
+
+func tempQueryFor(tK float64) tempQuery {
+	tC := tK - 273.15
+	last := len(peTempsC) - 1
+	switch {
+	case tC <= peTempsC[0]:
+		return tempQuery{}
+	case tC >= peTempsC[last]:
+		return tempQuery{lo: last, hi: last}
+	}
+	hi := 1
+	for peTempsC[hi] < tC {
+		hi++
+	}
+	lo := hi - 1
+	return tempQuery{lo: lo, hi: hi, frac: (tC - peTempsC[lo]) / (peTempsC[hi] - peTempsC[lo])}
+}
+
+// tableRef returns (building the needed columns if necessary) the ref's
+// inverse table at temperature grid index tIdx. Dense refs hit the flat
+// store by index arithmetic alone; everything else falls back to the
+// overflow map, which always builds all columns (it is the rare
+// figure-sweep path and the reference the equivalence tests compare
+// against).
+func (c *Core) tableRef(ref *peRef, tIdx int, need uint32) *peTable {
+	if !ref.dense {
+		return c.overflowTable(ref, tIdx)
+	}
+	slot := ref.slot(tIdx)
+	if c.pe.built[slot].Load()&need != need {
+		c.pe.mu.Lock()
+		c.buildColsLocked(slot, ref, tIdx, need)
+		c.pe.mu.Unlock()
+	}
+	return &c.pe.dense[slot]
+}
+
+// buildColsLocked fills slot's missing columns from need. Caller holds
+// c.pe.mu.
+func (c *Core) buildColsLocked(slot int, ref *peRef, tIdx int, need uint32) {
+	cur := c.pe.built[slot].Load()
+	miss := need &^ cur
+	if miss == 0 {
+		return
+	}
+	tK := peTempsC[tIdx] + 273.15
+	cv := c.Subs[ref.sub].Stage.EvalInto(
+		vats.Cond{VddV: ref.vddV, VbbV: ref.vbbV, TK: tK}, ref.v, &c.pe.scratch)
+	var bud, res [len(peBudgets)]float64
+	var cols [len(peBudgets)]int
+	k := 0
+	for bi := range peBudgets {
+		if miss>>bi&1 == 1 {
+			cols[k], bud[k] = bi, peBudgets[bi]
+			k++
+		}
+	}
+	cv.FMaxForPESet(bud[:k], res[:k])
+	tab := &c.pe.dense[slot]
+	for j := 0; j < k; j++ {
+		tab.fmax[cols[j]] = res[j]
+	}
+	c.pe.built[slot].Store(cur | miss)
+}
+
+// overflowTable returns (building if needed) the overflow-map table for
+// an off-grid or exotic-variant coordinate.
+func (c *Core) overflowTable(ref *peRef, tIdx int) *peTable {
 	key := peKey{
-		sub:      sub,
-		variant:  v,
-		vddMilli: int(math.Round(vddV * 1000)),
-		vbbMilli: int(math.Round(vbbV * 1000)),
+		sub:      ref.sub,
+		variant:  ref.v,
+		vddMilli: int(math.Round(ref.vddV * 1000)),
+		vbbMilli: int(math.Round(ref.vbbV * 1000)),
 		tIdx:     tIdx,
 	}
 	c.pe.mu.Lock()
 	tab, ok := c.pe.overflow[key]
 	if !ok {
 		tab = &peTable{}
-		c.buildTable(tab, sub, v, vddV, vbbV, tIdx)
+		c.buildTable(tab, ref.sub, ref.v, ref.vddV, ref.vbbV, tIdx)
 		c.pe.overflow[key] = tab
 	}
 	c.pe.mu.Unlock()
 	return tab
 }
 
-// buildTable fills one inverse table from the stage's error curve.
+// buildTable fills one inverse table from the stage's error curve, one
+// independent FMaxForPE bisection per budget column — the reference
+// builder the batched dense path is tested against (and the overflow
+// path's builder).
 func (c *Core) buildTable(tab *peTable, sub int, v vats.Variant, vddV, vbbV float64, tIdx int) {
 	tK := peTempsC[tIdx] + 273.15
 	curve := c.Subs[sub].Stage.Eval(vats.Cond{VddV: vddV, VbbV: vbbV, TK: tK}, v)
@@ -393,43 +534,31 @@ func (c *Core) buildTable(tab *peTable, sub int, v vats.Variant, vddV, vbbV floa
 // per-access error probability stays within budget when its devices sit at
 // temperature tK, interpolated from the per-chip cache.
 func (c *Core) peFMax(sub int, v vats.Variant, vddV, vbbV, budget, tK float64) float64 {
-	tC := tK - 273.15
-	last := len(peTempsC) - 1
-	switch {
-	case tC <= peTempsC[0]:
-		return c.tableAt(sub, v, vddV, vbbV, 0).query(budget)
-	case tC >= peTempsC[last]:
-		return c.tableAt(sub, v, vddV, vbbV, last).query(budget)
-	}
-	hi := 1
-	for peTempsC[hi] < tC {
-		hi++
-	}
-	lo := hi - 1
-	frac := (tC - peTempsC[lo]) / (peTempsC[hi] - peTempsC[lo])
-	fLo := c.tableAt(sub, v, vddV, vbbV, lo).query(budget)
-	fHi := c.tableAt(sub, v, vddV, vbbV, hi).query(budget)
-	return fLo + frac*(fHi-fLo)
+	ref := c.peRefFor(sub, v, vddV, vbbV)
+	return c.peFMaxQ(&ref, budgetQueryFor(budget), tempQueryFor(tK))
 }
 
-// query interpolates the inverse table in log10(budget).
-func (t *peTable) query(budget float64) float64 {
-	if budget <= peBudgets[0] {
-		return t.fmax[0]
+// peFMaxQ is peFMax over pre-resolved coordinates: the scan loops resolve
+// the ref and budget once and pay only the temperature bracket per call.
+func (c *Core) peFMaxQ(ref *peRef, bq budgetQuery, tq tempQuery) float64 {
+	if tq.lo == tq.hi {
+		return c.tableRef(ref, tq.lo, bq.need).queryBQ(bq)
 	}
-	last := len(peBudgets) - 1
-	if budget >= peBudgets[last] {
-		return t.fmax[last]
+	fLo := c.tableRef(ref, tq.lo, bq.need).queryBQ(bq)
+	fHi := c.tableRef(ref, tq.hi, bq.need).queryBQ(bq)
+	return fLo + tq.frac*(fHi-fLo)
+}
+
+// queryBQ interpolates the inverse table in log10(budget) using the
+// pre-resolved bracket; bit-identical to interpolating from the raw
+// budget (same columns, same abscissa, same expression).
+func (t *peTable) queryBQ(q budgetQuery) float64 {
+	if q.lo == q.hi {
+		return t.fmax[q.lo]
 	}
-	lb := math.Log10(budget)
-	for i := 0; i < last; i++ {
-		lo, hi := peLogBudgets[i], peLogBudgets[i+1]
-		if lb <= hi {
-			frac := (lb - lo) / (hi - lo)
-			return t.fmax[i] + frac*(t.fmax[i+1]-t.fmax[i])
-		}
-	}
-	return t.fmax[last]
+	lo, hi := peLogBudgets[q.lo], peLogBudgets[q.hi]
+	frac := (q.lb - lo) / (hi - lo)
+	return t.fmax[q.lo] + frac*(t.fmax[q.hi]-t.fmax[q.lo])
 }
 
 // SixInputs are the per-subsystem controller inputs of §4.1: the heat-sink
@@ -498,12 +627,19 @@ func (c *Core) stageBudget(rho float64) float64 {
 // fixed point of f = fPE(T_steady(f)), found by damped iteration (fPE
 // decreases in T, T increases in f).
 func (c *Core) comboFMax(i int, q FreqQuery, vdd, vbb, budget float64) float64 {
+	ref := c.peRefFor(i, q.Variant, vdd, vbb)
+	return c.comboFMaxRef(i, q, &ref, budgetQueryFor(budget))
+}
+
+// comboFMaxRef is comboFMax over a pre-resolved (Vdd, Vbb) ref and budget
+// bracket, for the scan loops that resolve them once per combo/scan.
+func (c *Core) comboFMaxRef(i int, q FreqQuery, ref *peRef, bq budgetQuery) float64 {
 	in := thermal.SubsystemInput{
 		Index:     i,
 		Vt0Eff:    c.Subs[i].Vt0EffV,
 		AlphaF:    q.AlphaF,
-		VddV:      vdd,
-		VbbV:      vbb,
+		VddV:      ref.vddV,
+		VbbV:      ref.vbbV,
 		PowerMult: q.PowerMult,
 	}
 	fT := c.Thermal.FRelMaxForTemp(in, q.THK, c.Limits.TMaxK)
@@ -511,12 +647,12 @@ func (c *Core) comboFMax(i int, q FreqQuery, vdd, vbb, budget float64) float64 {
 		return 0
 	}
 	// Start from the conservative hottest-case estimate and relax.
-	f := math.Min(c.peFMax(i, q.Variant, vdd, vbb, budget, c.Limits.TMaxK), fT)
+	f := math.Min(c.peFMaxQ(ref, bq, tempQueryFor(c.Limits.TMaxK)), fT)
 	for iter := 0; iter < 4; iter++ {
 		in.FRel = math.Min(f, tech.FRelMax)
 		st := c.Thermal.SubsystemSteady(in, q.THK)
 		tK := math.Min(st.TK, c.Limits.TMaxK)
-		fNew := math.Min(c.peFMax(i, q.Variant, vdd, vbb, budget, tK), fT)
+		fNew := math.Min(c.peFMaxQ(ref, bq, tempQueryFor(tK)), fT)
 		if math.Abs(fNew-f) < tech.FRelStep/4 {
 			f = math.Min(f, fNew)
 			break
@@ -585,24 +721,36 @@ func (c *Core) FreqSolve(i int, q FreqQuery) FreqResult {
 // (the level lists are caller state), but still pruned.
 func (c *Core) FreqSolveAt(i int, q FreqQuery, vdds, vbbs []float64) FreqResult {
 	budget := c.stageBudget(q.Rho)
+	bq := budgetQueryFor(budget)
 	// Devices can be no cooler than the heat sink, and the PE-limited
 	// fmax falls with temperature, so fPE at the sink temperature (capped
 	// at TMAX, matching comboFMax's clamp) upper-bounds every damped
 	// iterate of comboFMax. A combo whose bound cannot beat the incumbent
 	// after the snap cannot win the scan and is skipped outright.
 	sinkT := math.Min(q.THK, c.Limits.TMaxK)
+	stq := tempQueryFor(sinkT)
+	if !c.DisablePruning {
+		// The bound loop is about to touch the sink-temperature tables of
+		// every on-grid combo: build their needed budget columns for the
+		// whole (vdds × vbbs) slab in one sweep under one lock, sharing
+		// the curve scratch, instead of paying a lock round-trip and a
+		// cold build per combo. Values are identical to lazy builds — the
+		// sweep just front-loads them.
+		c.buildSlab(i, q.Variant, vdds, vbbs, stq, bq.need)
+	}
 	pruned := 0
 	var best FreqResult
 	for _, vdd := range vdds {
 		for _, vbb := range vbbs {
+			ref := c.peRefFor(i, q.Variant, vdd, vbb)
 			if best.FMax > 0 && !c.DisablePruning {
-				bound := c.peFMax(i, q.Variant, vdd, vbb, budget, sinkT)
+				bound := c.peFMaxQ(&ref, bq, stq)
 				if tech.SnapFRelDown(math.Min(bound, tech.FRelMax)) <= best.FMax+1e-12 {
 					pruned++
 					continue
 				}
 			}
-			f := c.comboFMax(i, q, vdd, vbb, budget)
+			f := c.comboFMaxRef(i, q, &ref, bq)
 			f = tech.SnapFRelDown(math.Min(f, tech.FRelMax))
 			if f > best.FMax+1e-12 {
 				best = FreqResult{FMax: f, VddV: vdd, VbbV: vbb}
@@ -613,6 +761,42 @@ func (c *Core) FreqSolveAt(i int, q FreqQuery, vdds, vbbs []float64) FreqResult 
 		c.Obs.Counter("adapt.freq.pruned_combos").Add(int64(pruned))
 	}
 	return best
+}
+
+// buildSlab builds the needed budget columns of the temperature-bracket
+// tables for every on-grid (vdd, vbb) combination in one pass: one lock
+// acquisition, one shared curve scratch, one joint bisection per table.
+// This is the grid-wide batched kernel behind FreqSolveAt — per-cell lazy
+// builds would re-derive the same setup (level indices, curve arena,
+// bracket probes) hundreds of times per scan. Off-grid levels are left to
+// the overflow path.
+func (c *Core) buildSlab(sub int, v vats.Variant, vdds, vbbs []float64, tq tempQuery, need uint32) {
+	vi, ok := variantIndex(v)
+	if !ok {
+		return
+	}
+	c.pe.mu.Lock()
+	for tIdx := tq.lo; ; tIdx = tq.hi {
+		for _, vdd := range vdds {
+			di, ok := tech.VddIndex(vdd)
+			if !ok {
+				continue
+			}
+			for _, vbb := range vbbs {
+				bi, ok := tech.VbbIndex(vbb)
+				if !ok {
+					continue
+				}
+				ref := peRef{sub: sub, vi: vi, di: di, bi: bi, dense: true,
+					v: v, vddV: vdd, vbbV: vbb}
+				c.buildColsLocked(ref.slot(tIdx), &ref, tIdx, need)
+			}
+		}
+		if tIdx == tq.hi {
+			break
+		}
+	}
+	c.pe.mu.Unlock()
 }
 
 // nominalVdd is the design supply; tech.Config pins Vdd here without ASV.
@@ -650,6 +834,8 @@ func (c *Core) PowerSolve(i int, fCore float64, q FreqQuery) PowerResult {
 // powerSolveScan is the uncached Power scan.
 func (c *Core) powerSolveScan(i int, fCore float64, q FreqQuery) PowerResult {
 	budget := c.stageBudget(q.Rho)
+	bq := budgetQueryFor(budget)
+	thq := tempQueryFor(q.THK)
 	var best PowerResult
 	bestPower := math.Inf(1)
 	mult := q.PowerMult
@@ -673,10 +859,11 @@ func (c *Core) powerSolveScan(i int, fCore float64, q FreqQuery) PowerResult {
 			if pdyn+pstaMin >= bestPower {
 				continue
 			}
+			ref := c.peRefFor(i, q.Variant, vdd, vbb)
 			// Devices can be no cooler than the heat sink, and fPE falls
 			// with temperature — so infeasibility at the sink temperature
 			// is infeasibility, without a thermal solve.
-			if c.peFMax(i, q.Variant, vdd, vbb, budget, q.THK) < fCore-1e-9 {
+			if c.peFMaxQ(&ref, bq, thq) < fCore-1e-9 {
 				continue
 			}
 			in := thermal.SubsystemInput{
@@ -689,7 +876,7 @@ func (c *Core) powerSolveScan(i int, fCore float64, q FreqQuery) PowerResult {
 				PowerMult: q.PowerMult,
 			}
 			st := c.Thermal.SubsystemSteady(in, q.THK)
-			fPE := c.peFMax(i, q.Variant, vdd, vbb, budget, math.Min(st.TK, c.Limits.TMaxK))
+			fPE := c.peFMaxQ(&ref, bq, tempQueryFor(math.Min(st.TK, c.Limits.TMaxK)))
 			feasible := fPE >= fCore-1e-9 && st.Converged && st.TK <= c.Limits.TMaxK+1e-9
 			if feasible && st.PowerW() < bestPower {
 				bestPower = st.PowerW()
@@ -702,21 +889,27 @@ func (c *Core) powerSolveScan(i int, fCore float64, q FreqQuery) PowerResult {
 	}
 	// No level pair meets fCore: fall back to the fastest pair (retuning
 	// will pull the core frequency down). Computed only on this cold path,
-	// since it costs a full frequency solve per pair.
+	// since it costs a full frequency solve per pair. Only the argmax
+	// needs a thermal state — interim leaders' states are never read — so
+	// the steady solve runs once for the winner; the selection comparisons
+	// are unchanged, so the winner and its cold-start state are identical
+	// to solving per leader.
 	var fastest PowerResult
 	fastestF := -1.0
 	for _, vdd := range c.Config.VddLevels(nominalVdd) {
 		for _, vbb := range c.Config.VbbLevels() {
 			if f := c.comboFMax(i, q, vdd, vbb, budget); f > fastestF {
-				in := thermal.SubsystemInput{
-					Index: i, Vt0Eff: c.Subs[i].Vt0EffV, AlphaF: q.AlphaF,
-					VddV: vdd, VbbV: vbb, FRel: fCore, PowerMult: q.PowerMult,
-				}
 				fastestF = f
-				fastest = PowerResult{VddV: vdd, VbbV: vbb,
-					State: c.Thermal.SubsystemSteady(in, q.THK), Feasible: false}
+				fastest = PowerResult{VddV: vdd, VbbV: vbb, Feasible: false}
 			}
 		}
+	}
+	if fastestF >= 0 {
+		in := thermal.SubsystemInput{
+			Index: i, Vt0Eff: c.Subs[i].Vt0EffV, AlphaF: q.AlphaF,
+			VddV: fastest.VddV, VbbV: fastest.VbbV, FRel: fCore, PowerMult: q.PowerMult,
+		}
+		fastest.State = c.Thermal.SubsystemSteady(in, q.THK)
 	}
 	return fastest
 }

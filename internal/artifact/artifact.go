@@ -29,13 +29,21 @@ type Kind struct {
 
 // Options configures a Store.
 type Options struct {
-	// MaxBytes bounds the store's total size; the LRU sweep after a
-	// write deletes least-recently-used entries down to the cap.
+	// MaxBytes bounds the store's total size; the LRU sweep deletes
+	// least-recently-used entries down to the cap.
 	// 0 uses DefaultMaxBytes; negative disables the sweep.
 	MaxBytes int64
 	// Obs receives cache counters; nil (the default) disables metrics
 	// at zero cost.
 	Obs *obs.Registry
+	// SyncWrites persists every entry on the writer's goroutine before
+	// returning, the way early versions of the store did. By default
+	// writes are handed to a background flusher so the building
+	// goroutine overlaps the next build with the disk I/O; the in-memory
+	// pending set keeps reads-after-writes exact either way. Use
+	// SyncWrites when the process cannot call Close/Flush before another
+	// process reads the directory.
+	SyncWrites bool
 }
 
 // DefaultMaxBytes caps the store at 2 GiB unless Options says otherwise —
@@ -43,18 +51,69 @@ type Options struct {
 // long-lived shared caches.
 const DefaultMaxBytes = 2 << 30
 
+// maxQueuedWrites bounds the flusher queue; writers past the bound block
+// until the flusher drains, so a slow disk applies backpressure instead of
+// growing memory without limit.
+const maxQueuedWrites = 128
+
+// sweepIntervalBytes is how many freshly written bytes accumulate before
+// the flusher runs an LRU sweep on its own; Flush and Close always settle
+// the remainder. Keeping the sweep off the per-write path matters because
+// each sweep walks the whole store directory.
+const sweepIntervalBytes = 1 << 20
+
 // Store is a persistent content-addressed artifact cache rooted at one
 // directory. It is safe for concurrent use by multiple goroutines and,
 // thanks to atomic renames, by multiple processes sharing the directory.
 // All methods are safe on a nil *Store, where every lookup builds
 // directly — a disabled cache costs one nil check.
+//
+// Writes are asynchronous by default (see Options.SyncWrites): Put and
+// GetOrBuild enqueue the entry and return, a single background flusher
+// performs the temp-file + atomic-rename persistence, and reads consult
+// the pending set first so a store always observes its own writes. Call
+// Flush (or Close, which also stops the flusher) before handing the
+// directory to another process.
 type Store struct {
 	dir      string
 	maxBytes int64
 	obs      *obs.Registry
+	syncW    bool
 
 	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on queue/pending/closed changes
 	flights map[string]*flight
+	queue   []writeReq
+	pending map[string]pendingWrite
+	nextSeq uint64
+	doneSeq uint64 // every req with seq <= doneSeq has been persisted
+	closed  bool
+
+	flusherDone chan struct{}
+
+	// sweepMu serializes LRU sweeps and the disk-byte accounting they
+	// publish: the flusher, Flush callers, and SyncWrites writers may all
+	// reach the sweep, and interleaved walks would tear the
+	// artifact.cache.disk_bytes gauge.
+	sweepMu    sync.Mutex
+	dirtyBytes int64 // bytes written since the last sweep; under sweepMu
+}
+
+// writeReq is one queued persistence job (the full envelope bytes).
+type writeReq struct {
+	kind Kind
+	path string
+	fkey string // kind-qualified pending-map key
+	blob []byte
+	seq  uint64
+}
+
+// pendingWrite is an entry that has been written logically but not yet
+// persisted: reads are served from it until the flusher renames the entry
+// into place.
+type pendingWrite struct {
+	payload []byte
+	seq     uint64
 }
 
 // flight is one in-process single-flight build: the first goroutine to
@@ -77,12 +136,20 @@ func Open(dir string, opt Options) (*Store, error) {
 	if opt.MaxBytes == 0 {
 		opt.MaxBytes = DefaultMaxBytes
 	}
-	return &Store{
+	s := &Store{
 		dir:      dir,
 		maxBytes: opt.MaxBytes,
 		obs:      opt.Obs,
+		syncW:    opt.SyncWrites,
 		flights:  make(map[string]*flight),
-	}, nil
+		pending:  make(map[string]pendingWrite),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if !s.syncW {
+		s.flusherDone = make(chan struct{})
+		go s.flusher()
+	}
+	return s, nil
 }
 
 // Resolve turns the shared CLI surface (-cache-dir, -no-cache, and the
@@ -109,6 +176,84 @@ func (s *Store) Dir() string {
 		return ""
 	}
 	return s.dir
+}
+
+// Flush blocks until every write enqueued before the call is durably
+// renamed into place, then settles any outstanding LRU sweep. After Flush
+// returns, a fresh store (or another process) opening the same directory
+// sees all of this store's writes. No-op on a nil or synchronous store.
+func (s *Store) Flush() {
+	if s == nil || s.syncW {
+		return
+	}
+	s.mu.Lock()
+	target := s.nextSeq
+	for s.doneSeq < target {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	s.sweepIfDirty(true)
+}
+
+// Close flushes the queue, stops the background flusher, and runs the
+// final sweep. Idempotent and nil-safe. The store remains usable after
+// Close: reads behave normally and later writes fall back to synchronous
+// persistence, so a defer-closed store can never lose or corrupt data.
+func (s *Store) Close() {
+	if s == nil || s.syncW {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.flusherDone
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.flusherDone
+}
+
+// flusher is the single background writer: it drains the queue in batches
+// (FIFO, so the last write of a key wins on disk), clears the pending set
+// as entries land, and sweeps at batch boundaries once enough bytes have
+// accumulated. It exits — after a final drain and sweep — when Close
+// marks the store closed.
+func (s *Store) flusher() {
+	defer close(s.flusherDone)
+	s.mu.Lock()
+	for {
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			break // closed and fully drained
+		}
+		batch := s.queue
+		s.queue = nil
+		s.cond.Broadcast() // wake writers blocked on the queue bound
+		s.mu.Unlock()
+
+		for i := range batch {
+			s.persist(batch[i].kind, batch[i].path, batch[i].blob)
+		}
+
+		s.mu.Lock()
+		for i := range batch {
+			if p, ok := s.pending[batch[i].fkey]; ok && p.seq == batch[i].seq {
+				delete(s.pending, batch[i].fkey)
+			}
+		}
+		s.doneSeq = batch[len(batch)-1].seq
+		s.cond.Broadcast() // wake Flush waiters
+		s.mu.Unlock()
+
+		s.sweepIfDirty(false)
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+	s.sweepIfDirty(true)
 }
 
 // keyEnvelope is the canonical pre-image of an entry key.
@@ -251,8 +396,18 @@ func (s *Store) Put(kind Kind, key string, payload []byte) {
 }
 
 // read loads and verifies one entry, returning (payload, true) only for
-// an intact entry. Absence is silent; any damage counts as corrupt.
+// an intact entry. A pending (queued but not yet flushed) write is
+// authoritative and served from memory — read-your-writes. Absence is
+// silent; any damage counts as corrupt.
 func (s *Store) read(kind Kind, key, path string) ([]byte, bool) {
+	if !s.syncW {
+		s.mu.Lock()
+		if p, ok := s.pending[kind.Name+"/"+key]; ok {
+			s.mu.Unlock()
+			return p.payload, true
+		}
+		s.mu.Unlock()
+	}
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -277,9 +432,10 @@ func (s *Store) read(kind Kind, key, path string) ([]byte, bool) {
 	return env.Payload, true
 }
 
-// write persists one entry via temp-file + atomic rename. Failures are
-// counted and swallowed: the cache never fails the run that built the
-// artifact.
+// write records one logical entry write: the envelope is sealed here (so
+// marshalling failures surface to the writer's counters immediately) and
+// either persisted in place (SyncWrites, or a closed store) or queued for
+// the background flusher with the payload entered into the pending set.
 func (s *Store) write(kind Kind, key, path string, payload []byte) {
 	sum := sha256.Sum256(payload)
 	blob, err := json.Marshal(envelope{
@@ -293,12 +449,39 @@ func (s *Store) write(kind Kind, key, path string, payload []byte) {
 		s.obs.Counter("artifact.cache.write_errors").Inc()
 		return
 	}
+	if s.syncW {
+		s.persist(kind, path, blob)
+		s.sweepIfDirty(true)
+		return
+	}
+	s.mu.Lock()
+	for len(s.queue) >= maxQueuedWrites && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		s.persist(kind, path, blob)
+		s.sweepIfDirty(true)
+		return
+	}
+	s.nextSeq++
+	fkey := kind.Name + "/" + key
+	s.queue = append(s.queue, writeReq{kind: kind, path: path, fkey: fkey, blob: blob, seq: s.nextSeq})
+	s.pending[fkey] = pendingWrite{payload: payload, seq: s.nextSeq}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// persist performs the actual temp-file + atomic-rename write of one
+// sealed envelope. Failures are counted and swallowed: the cache never
+// fails the run that built the artifact.
+func (s *Store) persist(kind Kind, path string, blob []byte) {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		s.obs.Counter("artifact.cache.write_errors").Inc()
 		return
 	}
-	tmp, err := os.CreateTemp(dir, "."+key+".tmp-")
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
 	if err != nil {
 		s.obs.Counter("artifact.cache.write_errors").Inc()
 		return
@@ -316,7 +499,9 @@ func (s *Store) write(kind Kind, key, path string, payload []byte) {
 		return
 	}
 	s.obs.Counter("artifact.cache.bytes").Add(int64(len(blob)))
-	s.sweep()
+	s.sweepMu.Lock()
+	s.dirtyBytes += int64(len(blob))
+	s.sweepMu.Unlock()
 }
 
 // count bumps the global and per-kind counter of one event class.
@@ -341,10 +526,26 @@ type sweepEntry struct {
 	mtime time.Time
 }
 
-// sweep enforces the size bound: when the store exceeds maxBytes it
+// sweepIfDirty runs an LRU sweep when bytes have been written since the
+// last one — always when forced (Flush, Close, synchronous writes),
+// otherwise only once sweepIntervalBytes have accumulated. The sweep and
+// its disk_bytes gauge update run under sweepMu, so concurrent callers
+// (the flusher, Flush, SyncWrites writers) serialize instead of
+// interleaving directory walks and tearing the accounting.
+func (s *Store) sweepIfDirty(force bool) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if s.dirtyBytes == 0 || (!force && s.dirtyBytes < sweepIntervalBytes) {
+		return
+	}
+	s.dirtyBytes = 0
+	s.sweepLocked()
+}
+
+// sweepLocked enforces the size bound: when the store exceeds maxBytes it
 // deletes least-recently-used entries (and any orphaned temp files)
-// until back under the cap.
-func (s *Store) sweep() {
+// until back under the cap. Caller holds sweepMu.
+func (s *Store) sweepLocked() {
 	if s.maxBytes < 0 {
 		return
 	}

@@ -44,6 +44,7 @@ func openTestStore(t *testing.T) (*Store, *obs.Registry) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(st.Close)
 	return st, reg
 }
 
@@ -126,11 +127,15 @@ func TestMissThenHit(t *testing.T) {
 func TestPersistsAcrossStores(t *testing.T) {
 	dir := t.TempDir()
 	st1, _ := Open(dir, Options{})
+	t.Cleanup(st1.Close)
 	key, _ := Key(testKind, 1, 1)
 	get(t, st1, key, 7)
+	// Cross-store visibility requires the first store to flush its queue.
+	st1.Flush()
 
 	reg := obs.NewRegistry()
 	st2, _ := Open(dir, Options{Obs: reg})
+	t.Cleanup(st2.Close)
 	if p := get(t, st2, key, 8); p.Value != 7 {
 		t.Fatalf("second store rebuilt instead of loading: %+v", p)
 	}
@@ -139,9 +144,12 @@ func TestPersistsAcrossStores(t *testing.T) {
 	}
 }
 
-// corruptEntry finds key's entry file and rewrites it via mutate.
+// corruptEntry finds key's entry file and rewrites it via mutate. The
+// store is flushed first so the entry is on disk (and its pending copy
+// retired) — the damage must be visible to the next read.
 func corruptEntry(t *testing.T, st *Store, key string, mutate func([]byte) []byte) {
 	t.Helper()
+	st.Flush()
 	path := st.entryPath(testKind, key)
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -203,7 +211,9 @@ func TestFaultInjection(t *testing.T) {
 			if m := counter(reg, "artifact.cache.misses"); m != 2 {
 				t.Errorf("misses = %d, want 2 (initial + rebuild)", m)
 			}
-			// The rebuild must have overwritten the damaged entry.
+			// The rebuild must have overwritten the damaged entry on disk,
+			// not merely in the pending set.
+			st.Flush()
 			if p := get(t, st, key, 99); p.Value != 42 {
 				t.Fatalf("rebuilt entry not persisted: %+v", p)
 			}
@@ -278,7 +288,9 @@ func TestSingleFlight(t *testing.T) {
 func TestConcurrentReadersDuringWrite(t *testing.T) {
 	dir := t.TempDir()
 	writer, _ := Open(dir, Options{})
+	t.Cleanup(writer.Close)
 	reader, _ := Open(dir, Options{})
+	t.Cleanup(reader.Close)
 	const keys = 4
 	stop := make(chan struct{})
 	var writerWG, readerWG sync.WaitGroup
@@ -378,11 +390,15 @@ func TestLRUSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(st.Close)
 	var keys []string
 	for i := 0; i < 8; i++ {
 		key, _ := Key(testKind, i, 1)
 		keys = append(keys, key)
 		get(t, st, key, i)
+		// Settle each write so the sweep sees entries in insertion order
+		// (mtime == write order) and the newest survives deterministically.
+		st.Flush()
 	}
 	if ev := counter(reg, "artifact.cache.evictions"); ev == 0 {
 		t.Fatal("no evictions despite exceeding MaxBytes")

@@ -1,0 +1,248 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// readBack fetches key with Get (never building) and reports the decoded
+// value, or -1 on a miss.
+func readBack(t *testing.T, st *Store, key string) int {
+	t.Helper()
+	var p payload
+	if !st.Get(testKind, key, p.decode) {
+		return -1
+	}
+	return p.Value
+}
+
+// put writes one toy payload under key.
+func put(t *testing.T, st *Store, key string, v int) {
+	t.Helper()
+	b, err := buildPayload(v)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(testKind, key, b)
+}
+
+// TestReadYourWrites: a store must observe its own unflushed writes (the
+// pending set), while a second store on the same directory sees them only
+// after Flush.
+func TestReadYourWrites(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	key, _ := Key(testKind, "ryw", 1)
+	put(t, st, key, 11)
+	if v := readBack(t, st, key); v != 11 {
+		t.Fatalf("own unflushed write invisible: got %d", v)
+	}
+
+	st.Flush()
+	other, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(other.Close)
+	if v := readBack(t, other, key); v != 11 {
+		t.Fatalf("flushed write invisible to second store: got %d", v)
+	}
+}
+
+// TestLastWriteWins: repeated writes of one key — queued, pending, and
+// persisted — must resolve to the final value both before and after Flush.
+func TestLastWriteWins(t *testing.T) {
+	st, _ := openTestStore(t)
+	key, _ := Key(testKind, "lww", 1)
+	for v := 0; v < 20; v++ {
+		put(t, st, key, v)
+	}
+	if v := readBack(t, st, key); v != 19 {
+		t.Fatalf("pending read got %d, want 19", v)
+	}
+	st.Flush()
+	if v := readBack(t, st, key); v != 19 {
+		t.Fatalf("post-flush read got %d, want 19", v)
+	}
+}
+
+// TestFlushCloseIdempotentNilSafe: Flush and Close must be callable any
+// number of times, in any order, on live, closed, and nil stores.
+func TestFlushCloseIdempotentNilSafe(t *testing.T) {
+	var nilStore *Store
+	nilStore.Flush()
+	nilStore.Close()
+
+	st, _ := openTestStore(t)
+	key, _ := Key(testKind, "idem", 1)
+	put(t, st, key, 3)
+	st.Flush()
+	st.Flush()
+	st.Close()
+	st.Close()
+	st.Flush()
+	if v := readBack(t, st, key); v != 3 {
+		t.Fatalf("entry lost across flush/close churn: got %d", v)
+	}
+
+	syncStore, err := Open(t.TempDir(), Options{SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncStore.Flush()
+	syncStore.Close()
+}
+
+// TestWriteAfterCloseIsSynchronous: a closed store keeps working — writes
+// fall back to the synchronous path and are immediately durable.
+func TestWriteAfterCloseIsSynchronous(t *testing.T) {
+	st, _ := openTestStore(t)
+	st.Close()
+	key, _ := Key(testKind, "postclose", 1)
+	put(t, st, key, 8)
+	if _, err := os.Stat(st.entryPath(testKind, key)); err != nil {
+		t.Fatalf("post-close write not on disk: %v", err)
+	}
+	if v := readBack(t, st, key); v != 8 {
+		t.Fatalf("post-close write unreadable: got %d", v)
+	}
+}
+
+// TestSyncWritesMode: with Options.SyncWrites every write is durable the
+// moment Put returns, with no Flush needed — the pre-async behavior.
+func TestSyncWritesMode(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(testKind, "sync", 1)
+	put(t, st, key, 5)
+	if _, err := os.Stat(st.entryPath(testKind, key)); err != nil {
+		t.Fatalf("sync write not on disk: %v", err)
+	}
+	if v := readBack(t, st, key); v != 5 {
+		t.Fatalf("sync write unreadable: got %d", v)
+	}
+}
+
+// TestCloseFlushesQueue: entries still queued at Close must all reach disk
+// before Close returns (a run's defer store.Close() is its durability
+// point).
+func TestCloseFlushesQueue(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 50; i++ {
+		key, _ := Key(testKind, fmt.Sprintf("close-%d", i), 1)
+		keys = append(keys, key)
+		put(t, st, key, i)
+	}
+	st.Close()
+	for i, key := range keys {
+		if _, err := os.Stat(st.entryPath(testKind, key)); err != nil {
+			t.Fatalf("entry %d missing after Close: %v", i, err)
+		}
+	}
+}
+
+// TestDiskBytesAccountingUnderConcurrency: the LRU sweep and the async
+// flusher share the disk-byte accounting; hammering writes, flushes, and
+// reads concurrently (run under -race) must leave the
+// artifact.cache.disk_bytes gauge exactly equal to a fresh walk of the
+// directory, and the store under its byte cap.
+func TestDiskBytesAccountingUnderConcurrency(t *testing.T) {
+	reg := obs.NewRegistry()
+	const maxBytes = 4000
+	st, err := Open(t.TempDir(), Options{MaxBytes: maxBytes, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key, _ := Key(testKind, fmt.Sprintf("acct-%d-%d", g, i%8), 1)
+				put(t, st, key, i)
+				if i%5 == 0 {
+					st.Flush() // force sweeps to race the flusher's own
+				}
+				readBack(t, st, key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st.Flush()
+
+	var walked int64
+	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, _ := d.Info()
+		walked += info.Size()
+		return nil
+	})
+	gauge := int64(reg.Gauge("artifact.cache.disk_bytes").Value())
+	if gauge != walked {
+		t.Fatalf("disk_bytes gauge %d != on-disk total %d", gauge, walked)
+	}
+	if walked > maxBytes {
+		t.Fatalf("store holds %d bytes, cap %d", walked, maxBytes)
+	}
+}
+
+// TestCrashDebrisRecovery: leftover temp files from a crashed writer (the
+// only partial-write artifact the atomic-rename protocol can leave) must
+// neither corrupt reads nor survive a sweep once stale.
+func TestCrashDebrisRecovery(t *testing.T) {
+	st, reg := openTestStore(t)
+	key, _ := Key(testKind, "debris", 1)
+	put(t, st, key, 21)
+	st.Flush()
+
+	// Simulate a crash mid-write: a stale temp file next to the entry.
+	path := st.entryPath(testKind, key)
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte(`{"partial":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// The entry itself stays perfectly readable around the debris.
+	if v := readBack(t, st, key); v != 21 {
+		t.Fatalf("debris broke a clean read: got %d", v)
+	}
+	if c := counter(reg, "artifact.cache.corrupt"); c != 0 {
+		t.Fatalf("debris counted as corruption: %d", c)
+	}
+
+	// The next settled sweep clears stale debris.
+	put(t, st, key, 22)
+	st.Flush()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived the sweep: %v", err)
+	}
+	if v := readBack(t, st, key); v != 22 {
+		t.Fatalf("entry lost during debris cleanup: got %d", v)
+	}
+}

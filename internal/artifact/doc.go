@@ -67,14 +67,49 @@
 // built (Go's JSON float encoding round-trips exactly), so cold and warm
 // runs of an experiment are byte-identical at a fixed seed.
 //
+// # Asynchronous persistence
+//
+// By default writes are decoupled from the builder: Put and GetOrBuild
+// seal the envelope, enqueue it on a bounded queue (writers block once
+// maxQueuedWrites jobs are outstanding, so a slow disk applies
+// backpressure), and return while a single background flusher performs
+// the temp-file + atomic-rename persistence. This overlaps cold-path
+// disk I/O with the next artifact's build. The ordering contract:
+//
+//   - Read-your-writes: within one Store, a write is visible to reads
+//     the moment Put/GetOrBuild returns — reads consult the in-memory
+//     pending set before the disk, so a store can never miss on (or read
+//     a stale version of) its own write.
+//   - Same-key FIFO, last write wins: the queue persists in write order,
+//     and a pending entry is retired only when the flusher lands the
+//     write carrying its sequence number, so the final value of a
+//     rewritten key wins both in memory and on disk.
+//   - Durability only at Flush/Close: an unflushed write exists only in
+//     this process. Flush blocks until everything enqueued before it is
+//     renamed into place; Close flushes, stops the flusher, and leaves
+//     the store usable (later writes fall back to synchronous
+//     persistence). Both are idempotent and nil-safe.
+//   - Cross-store visibility requires Flush: another Store (or process)
+//     on the same directory sees an entry only after the writer flushes.
+//     The atomic rename still guarantees it sees a whole entry or none.
+//
+// Options.SyncWrites restores the old persist-before-return behavior for
+// callers that cannot interpose a Flush before handing the directory off.
+// Either way a process crash loses at most queued-but-unrenamed entries —
+// pure cache misses on the next run, never corruption — and the stale
+// temp files it may leave behind are swept once they age out.
+//
 // # Concurrency and bounds
 //
 // In-process, GetOrBuild deduplicates concurrent builds of the same key
 // (single-flight): one goroutine builds, the rest wait and decode the
 // same bytes. Across processes the atomic rename makes duplicate builds
 // harmless — both write identical content. A bounded-size LRU sweep
-// (Options.MaxBytes) deletes the least-recently-used entries after a
-// write pushes the store over its cap; hits bump an entry's mtime.
+// (Options.MaxBytes) deletes the least-recently-used entries once enough
+// written bytes accumulate (and always at Flush/Close); hits bump an
+// entry's mtime. The sweep and the disk-byte accounting it publishes are
+// serialized under a dedicated mutex, so the flusher, Flush callers, and
+// synchronous writers never interleave directory walks.
 //
 // # Metrics
 //

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"math/bits"
 
 	"repro/internal/adapt"
 	"repro/internal/artifact"
@@ -23,7 +24,9 @@ var (
 	// encoding for unchanged outputs.
 	profileKind = artifact.Kind{Name: "profile", Version: 2}
 	solverKind  = artifact.Kind{Name: "solver", Version: 1}
-	petableKind = artifact.Kind{Name: "petables", Version: 1}
+	// petables v2: slots carry a per-column build mask (the dense store
+	// builds budget columns lazily), changing the payload shape.
+	petableKind = artifact.Kind{Name: "petables", Version: 2}
 	// trace entries hold canonical TraceV1 documents keyed by their
 	// generator inputs (workload.Spec, seed), so generated scenarios replay
 	// from the store like proxy-suite artifacts.
@@ -130,7 +133,8 @@ func (s *Simulator) petableKey(seed int64) (string, bool) {
 }
 
 // loadPETables seeds cpu's dense PE-fmax store from the artifact cache,
-// returning how many tables were imported (0 with no store or no entry).
+// returning how many table columns were imported (0 with no store or no
+// entry).
 func (s *Simulator) loadPETables(cpu *adapt.Core, seed int64) int {
 	if s.store == nil {
 		return 0
@@ -149,14 +153,18 @@ func (s *Simulator) loadPETables(cpu *adapt.Core, seed int64) int {
 }
 
 // storePETables writes cpu's built PE-fmax tables back to the artifact
-// cache, skipping the write when the run built nothing beyond what
+// cache, skipping the write when the run built no columns beyond what
 // loadPETables imported.
 func (s *Simulator) storePETables(cpu *adapt.Core, seed int64, imported int) {
 	if s.store == nil {
 		return
 	}
 	tabs := cpu.ExportPETables()
-	if len(tabs) <= imported {
+	cols := 0
+	for _, t := range tabs {
+		cols += bits.OnesCount8(t.Mask)
+	}
+	if cols <= imported {
 		return
 	}
 	key, ok := s.petableKey(seed)

@@ -150,6 +150,7 @@ func (s *Simulator) RunSummary(cfg ExperimentConfig) (*Summary, error) {
 		cfg.Training.Obs = s.obs
 	}
 	defer s.obs.Timer("core.run_summary").Start().Stop()
+	s.prefetchArtifacts(cfg, apps)
 
 	// NoVar reference per app.
 	novarSW := s.obs.Timer("core.novar_refs").Start()
@@ -589,6 +590,7 @@ func (s *Simulator) RunOutcomes(cfg ExperimentConfig) ([]OutcomeCell, error) {
 		cfg.Training.Obs = s.obs
 	}
 	defer s.obs.Timer("core.run_outcomes").Start().Stop()
+	s.prefetchArtifacts(cfg, apps)
 	cells := Figure13Configs()
 	// (config × chip) units over the shared pool. Each unit builds and
 	// trains its own core, so units share nothing mutable; per-unit
@@ -699,6 +701,7 @@ func (s *Simulator) RunTable2(cfg ExperimentConfig) ([]Table2Row, error) {
 		cfg.Training.Obs = s.obs
 	}
 	defer s.obs.Timer("core.run_table2").Start().Stop()
+	s.prefetchArtifacts(cfg, nil) // chips only; Table 2 reads no profiles
 	const nomFreqMHz = 4000.0
 	const nomVddMV = 1000.0
 	envs := []struct {

@@ -74,6 +74,10 @@ type Model struct {
 	kdyn, ksta []float64
 	// alphaRef[i] is the activity at which kdyn[i] is anchored.
 	alphaRef []float64
+	// leakRef caches varius.Params.LeakageRef() — the constant Eq. 2
+	// normalization — so every Psta call saves an Exp (bit-identical; see
+	// LeakageFactorRef). vtNomOp caches the matching nominal Vt.
+	leakRef, vtNomOp float64
 }
 
 // NewModel calibrates a power model for the floorplan.
@@ -95,6 +99,8 @@ func NewModel(fp *floorplan.Floorplan, vp varius.Params, p Params) (*Model, erro
 		kdyn:     make([]float64, fp.N()),
 		ksta:     make([]float64, fp.N()),
 		alphaRef: make([]float64, fp.N()),
+		leakRef:  vp.LeakageRef(),
+		vtNomOp:  vp.VtNomOp(),
 	}
 	for i, s := range fp.Subsystems {
 		if s.TypicalAlpha <= 0 {
@@ -132,7 +138,7 @@ func (m *Model) Pdyn(i int, alphaF, vddV, fRel float64) float64 {
 // (already adjusted for T, Vdd, Vbb via Eq. 9), supply vddV, and
 // temperature tK.
 func (m *Model) Psta(i int, vt, vddV, tK float64) float64 {
-	return m.ksta[i] * m.vp.LeakageFactor(vt, vddV, tK)
+	return m.ksta[i] * m.vp.LeakageFactorRef(vt, vddV, tK, m.leakRef)
 }
 
 // Uncore returns the power of the L2 and the uninstrumented core remainder
@@ -140,5 +146,5 @@ func (m *Model) Psta(i int, vt, vddV, tK float64) float64 {
 // stay at nominal supply and nominal Vt.
 func (m *Model) Uncore(fRel, thK float64) float64 {
 	return m.params.UncoreDynW*fRel +
-		m.params.UncoreStaW*m.vp.LeakageFactor(m.vp.VtNomOp(), m.vp.VddNomV, thK)
+		m.params.UncoreStaW*m.vp.LeakageFactorRef(m.vtNomOp, m.vp.VddNomV, thK, m.leakRef)
 }

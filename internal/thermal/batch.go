@@ -1,0 +1,40 @@
+package thermal
+
+// BatchPoint is one operating point of a batched solve: the per-subsystem
+// inputs plus the core frequency applied to the uncore.
+type BatchPoint struct {
+	Ins  []SubsystemInput
+	FRel float64
+}
+
+// BatchResult is one batched solve outcome; Err mirrors what the per-combo
+// CoreSteady would have returned for the same point.
+type BatchResult struct {
+	State CoreState
+	Err   error
+}
+
+// SolveBatch solves the core steady state for every operating point of one
+// chip/phase sweep in a single call. The points share the solver's scratch
+// arena (the subsystem iterate buffer is allocated once for the whole
+// batch), and each point warm-starts from its predecessor's converged
+// state — adjacent grid points differ by one actuation step, so the
+// previous fixed point is within a few iterations of the next. With
+// DisableAcceleration set every point cold-starts and retraces
+// Model.CoreSteady exactly, which is what the equivalence tests pin.
+//
+// Results are positionally aligned with pts. A failed point invalidates
+// the warm state (exactly as sequential CoreSteady calls would), so the
+// next point cold-starts rather than inheriting a diverged iterate.
+//
+// The batch books a "thermal.batch.solves" counter on the solver's
+// registry, so sweeps are distinguishable from per-combo solves in
+// -metrics output.
+func (s *Solver) SolveBatch(pts []BatchPoint) []BatchResult {
+	out := make([]BatchResult, len(pts))
+	for i, pt := range pts {
+		out[i].State, out[i].Err = s.CoreSteady(pt.Ins, pt.FRel)
+	}
+	s.Obs.Counter("thermal.batch.solves").Add(int64(len(pts)))
+	return out
+}

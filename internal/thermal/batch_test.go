@@ -1,0 +1,139 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tech"
+)
+
+// batchGrid assembles the chip/phase sweep a batched solve covers: every
+// (Vdd, Vbb) actuation pair at two frequencies.
+func batchGrid(fp interface{ N() int }, base []SubsystemInput, vddNomV float64) []BatchPoint {
+	cfg := tech.Config{TimingSpec: true, ASV: true, ABB: true}
+	var pts []BatchPoint
+	for _, fRel := range []float64{0.9, 1.1} {
+		for _, vdd := range cfg.VddLevels(vddNomV) {
+			for _, vbb := range cfg.VbbLevels() {
+				pts = append(pts, BatchPoint{Ins: gridInputs(fp, base, vdd, vbb, fRel), FRel: fRel})
+			}
+		}
+	}
+	return pts
+}
+
+// TestSolveBatchReferenceExact: with acceleration disabled, SolveBatch
+// must reproduce Model.CoreSteady byte for byte at every grid point — the
+// batch is then nothing but the reference loop with shared scratch.
+func TestSolveBatchReferenceExact(t *testing.T) {
+	m, fp, vp := newModel(t)
+	pts := batchGrid(fp, nominalInputs(fp, vp, 1.0), vp.VddNomV)
+	sv := NewSolver(m)
+	sv.DisableAcceleration = true
+	res := sv.SolveBatch(pts)
+	if len(res) != len(pts) {
+		t.Fatalf("got %d results for %d points", len(res), len(pts))
+	}
+	for pi, pt := range pts {
+		want, werr := m.CoreSteady(pt.Ins, pt.FRel)
+		got, gerr := res[pi].State, res[pi].Err
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("point %d: error mismatch: model %v batch %v", pi, werr, gerr)
+		}
+		if got.THK != want.THK || got.UncoreW != want.UncoreW || got.TotalW != want.TotalW {
+			t.Fatalf("point %d: header mismatch: got %+v want %+v", pi, got, want)
+		}
+		for i := range want.Subs {
+			if got.Subs[i] != want.Subs[i] {
+				t.Fatalf("point %d sub %d: %+v != %+v", pi, i, got.Subs[i], want.Subs[i])
+			}
+		}
+	}
+}
+
+// TestSolveBatchWithinTolK: the warm-started, accelerated batch must land
+// within the fixed-point tolerance contract of fresh per-combo reference
+// solves at every grid point, with identical convergence classification —
+// the SolveBatch analogue of TestSolverAcceleratedWithinTolK.
+func TestSolveBatchWithinTolK(t *testing.T) {
+	m, fp, vp := newModel(t)
+	pts := batchGrid(fp, nominalInputs(fp, vp, 1.0), vp.VddNomV)
+	bound := 10 * DefaultParams().TolK
+
+	res := NewSolver(m).SolveBatch(pts)
+	for pi, pt := range pts {
+		ref := NewSolver(m)
+		ref.DisableAcceleration = true
+		want, werr := ref.CoreSteady(pt.Ins, pt.FRel)
+		if werr != nil {
+			// No golden answer where the reference itself fails; the batch
+			// converging faster is acceptable.
+			continue
+		}
+		if res[pi].Err != nil {
+			t.Fatalf("point %d: batch failed where reference converged: %v", pi, res[pi].Err)
+		}
+		got := res[pi].State
+		if d := got.THK - want.THK; d > bound || d < -bound {
+			t.Errorf("point %d: TH %.6f vs %.6f (|d|=%.2e)", pi, got.THK, want.THK, d)
+		}
+		for i := range want.Subs {
+			if got.Subs[i].Converged != want.Subs[i].Converged {
+				t.Fatalf("point %d sub %d: converged %v vs %v",
+					pi, i, got.Subs[i].Converged, want.Subs[i].Converged)
+			}
+			if d := got.Subs[i].TK - want.Subs[i].TK; d > bound || d < -bound {
+				t.Errorf("point %d sub %d: T %.6f vs %.6f (|d|=%.2e)",
+					pi, i, got.Subs[i].TK, want.Subs[i].TK, d)
+			}
+		}
+	}
+}
+
+// TestSolveBatchResultsAreSnapshots: batch results must not alias the
+// solver scratch — every point's state has to survive later points.
+func TestSolveBatchResultsAreSnapshots(t *testing.T) {
+	m, fp, vp := newModel(t)
+	base := nominalInputs(fp, vp, 1.0)
+	pts := []BatchPoint{
+		{Ins: gridInputs(fp, base, vp.VddNomV, 0, 0.8), FRel: 0.8},
+		{Ins: gridInputs(fp, base, vp.VddNomV, 0.3, 1.2), FRel: 1.2},
+	}
+	sv := NewSolver(m)
+	res := sv.SolveBatch(pts)
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("unexpected errors: %v, %v", res[0].Err, res[1].Err)
+	}
+	if res[0].State.Subs[0] == res[1].State.Subs[0] {
+		t.Fatal("distinct operating points returned identical subsystem states")
+	}
+	again, err := sv.CoreSteady(pts[0].Ins, pts[0].FRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = again
+	if len(res[0].State.Subs) != len(pts[0].Ins) {
+		t.Fatal("result lost its subsystem states after later solves")
+	}
+}
+
+// TestSolveBatchObsCounter: sweeps book the thermal.batch.solves counter.
+func TestSolveBatchObsCounter(t *testing.T) {
+	m, fp, vp := newModel(t)
+	base := nominalInputs(fp, vp, 1.0)
+	sv := NewSolver(m)
+	reg := obs.NewRegistry()
+	sv.Obs = reg
+	pts := []BatchPoint{
+		{Ins: gridInputs(fp, base, vp.VddNomV, 0, 1.0), FRel: 1.0},
+		{Ins: gridInputs(fp, base, vp.VddNomV, 0, 1.1), FRel: 1.1},
+	}
+	sv.SolveBatch(pts)
+	if v := reg.Counter("thermal.batch.solves").Value(); v != 2 {
+		t.Fatalf("thermal.batch.solves = %d, want 2", v)
+	}
+	// Empty batches are fine and book nothing.
+	if res := sv.SolveBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}

@@ -1,0 +1,43 @@
+// Package thermal implements the steady-state temperature model of §4.1:
+// each subsystem sits at T = TH + Rth * (Pdyn + Psta) above the common heat
+// sink (Eq. 6), where its static power in turn depends on its temperature
+// (Eqs. 8-9), so the (T, Psta, Vt) system is solved by fixed-point
+// iteration exactly as the paper prescribes ("these equations form a
+// feedback system and need to be solved iteratively").
+//
+// The heat-sink temperature TH itself rises with the core's total power —
+// the slow (seconds-scale) outer feedback the paper's controller samples
+// with a sensor every 2-3 s.
+//
+// # Solving many operating points
+//
+// Three tiers of solver exist, slowest and most authoritative first:
+//
+//   - Model.CoreSteady / Model.SubsystemSteady: stateless cold-start
+//     solves with the undamped inner contraction. These are the reference
+//     semantics everything else is tested against, and they are what the
+//     experiment paths use for the per-combo probes inside the adaptation
+//     scans.
+//   - Solver.CoreSteady: reusable scratch, cross-call warm starts, and
+//     Aitken Δ² acceleration; certified by the same |next-t| < TolK
+//     residual, so answers agree with the reference within a few TolK but
+//     not bit for bit.
+//   - Solver.SolveBatch: a whole chip/phase grid sweep in one call —
+//     one scratch arena for the batch, each point warm-started from its
+//     grid neighbor. With DisableAcceleration it degenerates to the exact
+//     per-combo reference, which is how its equivalence tests pin it.
+//
+// # Why the adaptation scans stay on the cold-start reference
+//
+// The warm tiers honor the same TolK tolerance but land on slightly
+// different iterates (order 1e-3 K). The adaptation layer feeds these
+// temperatures into snap-to-grid frequency decisions, where a ~1e-3
+// perturbation flips a snap with probability of the same order — and the
+// experiment harness performs ~10^5-10^6 steady solves per run, so warm
+// starts inside the scans would make "fast" runs diverge from the
+// reference output byte-wise almost surely. The batched/warm solvers are
+// therefore for callers that want many thermal states per se (training
+// sweeps, diagnostics, figure generation), while FreqSolve/PowerSolve keep
+// paying the exact cold-start solves; their speed comes from exact
+// restructuring (pruning, memoization, batched PE tables) instead.
+package thermal

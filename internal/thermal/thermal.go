@@ -1,13 +1,3 @@
-// Package thermal implements the steady-state temperature model of §4.1:
-// each subsystem sits at T = TH + Rth * (Pdyn + Psta) above the common heat
-// sink (Eq. 6), where its static power in turn depends on its temperature
-// (Eqs. 8-9), so the (T, Psta, Vt) system is solved by fixed-point
-// iteration exactly as the paper prescribes ("these equations form a
-// feedback system and need to be solved iteratively").
-//
-// The heat-sink temperature TH itself rises with the core's total power —
-// the slow (seconds-scale) outer feedback the paper's controller samples
-// with a sensor every 2-3 s.
 package thermal
 
 import (

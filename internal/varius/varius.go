@@ -173,28 +173,78 @@ func (p Params) RelGateDelay(vt, leffRel, vdd, tK float64) float64 {
 // *sensitivity* to Vdd and Vt, which is what makes ASV disproportionately
 // effective on memory structures.
 func (p Params) RelGateDelayDerated(vt, leffRel, vdd, tK, derate float64) float64 {
-	drive := vdd - vt - derate
+	return p.DelayNormAt(vdd, tK, derate).RelGateDelay(vt, leffRel)
+}
+
+// DelayNorm holds the constants of the alpha-power delay law that depend
+// only on the evaluation condition (vdd, tK, derate), not on the device
+// (vt, leffRel). Curve builds evaluate thousands of devices at one
+// condition; hoisting these out of the per-device loop removes a Pow and
+// the normalization arithmetic per call with bit-identical results.
+type DelayNorm struct {
+	Vdd      float64 // supply the norm was built for (V)
+	Derate   float64 // drive derate the norm was built for (V)
+	VddRatio float64 // vdd / VddNomV
+	NomDrive float64 // clamped nominal gate overdrive (V)
+	Mobility float64 // (tK/TOpRefK)^-MobilityExp
+	Alpha    float64 // AlphaPower
+}
+
+// DelayNormAt precomputes the per-condition delay constants; see DelayNorm.
+func (p Params) DelayNormAt(vdd, tK, derate float64) DelayNorm {
+	nomDrive := p.VddNomV - p.VtNomOp() - derate
+	if nomDrive <= 0.02 {
+		nomDrive = 0.02
+	}
+	return DelayNorm{
+		Vdd:      vdd,
+		Derate:   derate,
+		VddRatio: vdd / p.VddNomV,
+		NomDrive: nomDrive,
+		Mobility: math.Pow(tK/p.TOpRefK, -p.MobilityExp),
+		Alpha:    p.AlphaPower,
+	}
+}
+
+// RelGateDelay evaluates the alpha-power delay law at the condition n was
+// built for. Bit-identical to
+// Params.RelGateDelayDerated(vt, leffRel, n.Vdd, tK, n.Derate) at the tK
+// passed to DelayNormAt: the operations on (vt, leffRel) happen in the
+// same order with the same intermediate values.
+func (n DelayNorm) RelGateDelay(vt, leffRel float64) float64 {
+	drive := n.Vdd - vt - n.Derate
 	if drive <= 0.02 {
 		// Device effectively cannot switch; return a huge but finite delay
 		// so callers can treat the operating point as infeasible without
 		// tripping over infinities.
 		drive = 0.02
 	}
-	nomDrive := p.VddNomV - p.VtNomOp() - derate
-	if nomDrive <= 0.02 {
-		nomDrive = 0.02
-	}
-	mobility := math.Pow(tK/p.TOpRefK, -p.MobilityExp)
-	return (vdd / p.VddNomV) * leffRel *
-		math.Pow(nomDrive/drive, p.AlphaPower) / mobility
+	return n.VddRatio * leffRel *
+		math.Pow(n.NomDrive/drive, n.Alpha) / n.Mobility
 }
 
 // LeakageFactor evaluates the subthreshold-leakage law (Eq. 2) normalized
 // to 1.0 at the nominal operating point (VtNomOp, VddNomV, TOpRefK).
 // vt is the operating threshold voltage.
 func (p Params) LeakageFactor(vt, vdd, tK float64) float64 {
-	ref := p.VddNomV * p.TOpRefK * p.TOpRefK *
+	return p.LeakageFactorRef(vt, vdd, tK, p.LeakageRef())
+}
+
+// LeakageRef returns the constant normalization denominator of Eq. 2 —
+// the un-normalized leakage at the nominal operating point. It depends
+// only on the process parameters, so hot loops (thermal fixed points
+// evaluate Psta for every subsystem every iteration) cache it once and
+// call LeakageFactorRef, halving the Exp calls with bit-identical
+// results.
+func (p Params) LeakageRef() float64 {
+	return p.VddNomV * p.TOpRefK * p.TOpRefK *
 		math.Exp(-QOverK*p.VtNomOp()/p.TOpRefK)
+}
+
+// LeakageFactorRef is LeakageFactor with the normalization denominator
+// precomputed via LeakageRef; the division is kept (rather than a
+// reciprocal multiply) so the result is bit-identical to LeakageFactor.
+func (p Params) LeakageFactorRef(vt, vdd, tK, ref float64) float64 {
 	cur := vdd * tK * tK * math.Exp(-QOverK*vt/tK)
 	return cur / ref
 }

@@ -209,6 +209,18 @@ type Curve struct {
 // Eval freezes the stage's path-delay distribution at condition c with
 // variant v.
 func (s *Stage) Eval(c Cond, v Variant) *Curve {
+	return s.EvalInto(c, v, nil)
+}
+
+// EvalInto is Eval writing into cv's backing arrays (allocating only when
+// their capacity is too small), for callers that freeze many curves in a
+// loop — the slab PE-table builder evaluates hundreds of (Vdd, Vbb)
+// conditions per subsystem and reuses one scratch Curve. A nil cv
+// allocates a fresh curve. The per-condition delay constants (the
+// alpha-power normalization and mobility term) are hoisted out of the
+// per-cell loop via varius.DelayNorm; every per-cell value is
+// bit-identical to the unhoisted form.
+func (s *Stage) EvalInto(c Cond, v Variant, cv *Curve) *Curve {
 	sp := s.sp
 	meanL := sp.meanL() * v.MeanScale
 	sigL := sp.SigmaL * v.SigmaScale
@@ -217,18 +229,30 @@ func (s *Stage) Eval(c Cond, v Variant) *Curve {
 		sigL = sp.SigmaL + (1-v.MeanScale)*sp.meanL()/sp.zZero()
 	}
 	n := len(s.vt0)
-	cv := &Curve{
-		m:     make([]float64, n),
-		sig:   make([]float64, n),
-		paths: sp.PathsPerAccess,
-		zzero: sp.zZero(),
+	if cv == nil {
+		cv = new(Curve)
 	}
+	if cap(cv.m) < n {
+		cv.m = make([]float64, n)
+	} else {
+		cv.m = cv.m[:n]
+	}
+	if cap(cv.sig) < n {
+		cv.sig = make([]float64, n)
+	} else {
+		cv.sig = cv.sig[:n]
+	}
+	cv.paths = sp.PathsPerAccess
+	cv.zzero = sp.zZero()
+	dn := s.vp.DelayNormAt(c.VddV, c.TK, sp.DriveDerateV)
 	// Relative random path-delay sigma: per-gate random Vt and Leff
 	// components average over the path depth.
 	depth := math.Sqrt(float64(s.Sub.PathDepth))
+	tz := tailZ * s.vtSigRan
+	dLeff := s.leffSigRan / depth
 	for i := 0; i < n; i++ {
 		vt := s.vp.VtAt(s.vt0[i], c.TK, c.VddV, c.VbbV)
-		g := s.vp.RelGateDelayDerated(vt, s.leff[i], c.VddV, c.TK, sp.DriveDerateV)
+		g := dn.RelGateDelay(vt, s.leff[i])
 		var sigRanRel float64
 		if !s.noVar {
 			// The delay sensitivity to random Vt variation is evaluated at
@@ -238,12 +262,11 @@ func (s *Stage) Eval(c Cond, v Variant) *Curve {
 			// linearization at the mean would show — and they respond much
 			// more strongly to a supply boost, which is why ASV is so
 			// effective on SRAM structures.
-			drive := c.VddV - vt - sp.DriveDerateV - tailZ*s.vtSigRan
+			drive := c.VddV - vt - sp.DriveDerateV - tz
 			if drive < 0.05 {
 				drive = 0.05
 			}
 			dVt := s.vp.AlphaPower / drive * s.vtSigRan / depth
-			dLeff := s.leffSigRan / depth
 			sigRanRel = math.Hypot(dVt, dLeff)
 		}
 		cv.m[i] = g * meanL
@@ -328,6 +351,154 @@ func (cv *Curve) FMaxForPE(budget float64) float64 {
 // FVar returns the stage's error-free frequency (the PE-curve intercept):
 // the highest relative frequency with PE <= PEZero.
 func (cv *Curve) FVar() float64 { return cv.FMaxForPE(PEZero) }
+
+// zSkip is a z-score beyond which mathx.NormalTailProb is exactly +0.0 in
+// float64: NormalTailProb(z) = 0.5*Erfc(z/sqrt2), and for x = z/sqrt2 >=
+// 27.5 the library Erfc underflows to exactly zero (its asymptotic branch
+// evaluates Exp(-x*x-0.5625)*..., and -x*x-0.5625 < -756 is far below
+// Exp's underflow threshold of about -745.2; from x >= 28 it returns 0
+// outright). TestTailShortcutsExact pins the property.
+const zSkip = 39.0
+
+// peTermSum returns the un-normalized sum of capped per-cell error
+// probabilities at available time tau = 1/fRel — exactly the accumulation
+// PE and peExceeds perform, term for term — with two saturation shortcuts
+// that skip the Erfc call without changing a bit of the sum: a term with
+// z >= zSkip contributes exactly +0.0, and (when the path count is large
+// enough that paths*NormalTailProb(0) > 1 with margin) a term with z <= 0
+// caps at exactly 1.0.
+func (cv *Curve) peTermSum(tau float64) float64 {
+	satOK := cv.paths >= 4
+	sum := 0.0
+	for i := range cv.m {
+		z := (tau - cv.m[i]) / cv.sig[i]
+		if z >= zSkip {
+			continue
+		}
+		if satOK && z <= 0 {
+			sum += 1
+			continue
+		}
+		p := cv.paths * mathx.NormalTailProb(z)
+		if p > 1 {
+			p = 1
+		}
+		sum += p
+	}
+	return sum
+}
+
+// peExceedsTau is peExceeds's exact decision at tau = 1/fRel, with the
+// saturation shortcuts of peTermSum and the early-exit check applied
+// after every cell rather than every 32. Both changes preserve the
+// decision bit for bit: the partial means are monotone, so checking more
+// often can only exit earlier with the same answer, and the final
+// comparison is the identical full-sum expression.
+func (cv *Curve) peExceedsTau(tau, budget float64) bool {
+	satOK := cv.paths >= 4
+	n := float64(len(cv.m))
+	sum := 0.0
+	for i := range cv.m {
+		z := (tau - cv.m[i]) / cv.sig[i]
+		if z >= zSkip {
+			continue
+		}
+		if satOK && z <= 0 {
+			sum += 1
+		} else {
+			p := cv.paths * mathx.NormalTailProb(z)
+			if p > 1 {
+				p = 1
+			}
+			sum += p
+		}
+		if sum/n > budget {
+			return true
+		}
+	}
+	return sum/n > budget
+}
+
+// FMaxForPESet computes FMaxForPE for every budget in budgets at once,
+// sharing curve evaluations. All budgets' bisections walk the same dyadic
+// frequency tree rooted at [0.2, 3.0], so one full PE evaluation at a
+// shared probe point answers the exceeds question for every budget whose
+// bracket still contains that point; once a subtree serves a single
+// budget, the remaining probes fall back to the early-exit scan. Results
+// are bit-identical to calling FMaxForPE(budgets[i]) one at a time: every
+// budget sees the same sequence of bracket midpoints, and each exceeds
+// decision compares the same rounded mean against the budget (the
+// documented peExceeds invariant). out[i] receives the result for
+// budgets[i]; budgets need not be sorted.
+func (cv *Curve) FMaxForPESet(budgets, out []float64) {
+	if len(budgets) == 0 {
+		return
+	}
+	const loF, hiF = 0.2, 3.0
+	n := float64(len(cv.m))
+	// Bracket checks, shared: one evaluation at each end serves all
+	// budgets.
+	pend := make([]int, 0, len(budgets))
+	meanHi := cv.peTermSum(1/hiF) / n
+	meanLo := -1.0 // only needed if some budget passes the hiF check
+	lodone := false
+	for j := range budgets {
+		if !(meanHi > budgets[j]) {
+			out[j] = hiF
+			continue
+		}
+		if !lodone {
+			meanLo = cv.peTermSum(1/loF) / n
+			lodone = true
+		}
+		if meanLo > budgets[j] {
+			out[j] = loF
+			continue
+		}
+		pend = append(pend, j)
+	}
+	var rec func(lo, hi float64, pend []int, depth int)
+	rec = func(lo, hi float64, pend []int, depth int) {
+		if len(pend) == 0 {
+			return
+		}
+		if len(pend) == 1 {
+			// Single budget left in this subtree: finish its bisection
+			// with the early-exit scan, exactly as FMaxForPE would.
+			b := budgets[pend[0]]
+			for d := depth; d < 48; d++ {
+				mid := 0.5 * (lo + hi)
+				if !cv.peExceedsTau(1/mid, b) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			out[pend[0]] = lo
+			return
+		}
+		if depth == 48 {
+			for _, j := range pend {
+				out[j] = lo
+			}
+			return
+		}
+		mid := 0.5 * (lo + hi)
+		mean := cv.peTermSum(1/mid) / n
+		// Partition in place: budgets the midpoint exceeds move left
+		// (hi = mid), the rest move right (lo = mid).
+		k := 0
+		for i := 0; i < len(pend); i++ {
+			if mean > budgets[pend[i]] {
+				pend[k], pend[i] = pend[i], pend[k]
+				k++
+			}
+		}
+		rec(lo, mid, pend[:k], depth+1)
+		rec(mid, hi, pend[k:], depth+1)
+	}
+	rec(loF, hiF, pend, 0)
+}
 
 // Wall returns the slowest effective critical-path delay (in nominal
 // periods) across the stage's cells, i.e. 1/FVar up to tail-model detail.

@@ -21,13 +21,17 @@ import (
 )
 
 const (
-	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline|BenchmarkCorePipelineReference|BenchmarkCoreSteady)$"
+	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline|BenchmarkCorePipelineReference|BenchmarkCoreSteady|BenchmarkPEFMaxBatch|BenchmarkThermalSolveBatch)$"
 	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
 )
 
-// warmBenchName is the warm-path headline number the -check-warm gate
-// compares against the checked-in trajectory.
-const warmBenchName = "BenchmarkFig10_ArtifactCache/warm"
+// warmBenchName and coldBenchName are the headline numbers the
+// -check-warm and -check-cold gates compare against the checked-in
+// trajectory.
+const (
+	warmBenchName = "BenchmarkFig10_ArtifactCache/warm"
+	coldBenchName = "BenchmarkFig10_ArtifactCache/cold"
+)
 
 type benchResult struct {
 	Name        string             `json:"name"`
@@ -48,11 +52,19 @@ func main() {
 	outPath := flag.String("out", "BENCH_adapt.json", "output JSON file")
 	checkWarm := flag.String("check-warm", "",
 		"instead of writing a trajectory, re-run the warm Figure 10 benchmark once and fail if ns/op regresses more than -tolerance against this baseline JSON")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional warm-path regression for -check-warm")
+	checkCold := flag.String("check-cold", "",
+		"like -check-warm, but gate the cold (empty-cache) Figure 10 benchmark — the end-to-end build path the batching optimizations target")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression for -check-warm / -check-cold")
 	flag.Parse()
 
 	if *checkWarm != "" {
-		if err := checkWarmRegression(*checkWarm, *tolerance); err != nil {
+		if err := checkRegression(*checkWarm, warmBenchName, *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *checkCold != "" {
+		if err := checkRegression(*checkCold, coldBenchName, *tolerance); err != nil {
 			fatal(err)
 		}
 		return
@@ -82,13 +94,13 @@ func main() {
 		*outPath, len(traj.Benchmarks), traj.Commit)
 }
 
-// checkWarmRegression is the benchstat-style CI smoke gate: it re-runs
-// the warm-path Figure 10 benchmark once and compares its ns/op against
-// the checked-in trajectory at baselinePath. Machines differ in absolute
+// checkRegression is the benchstat-style CI smoke gate: it re-runs the
+// Figure 10 benchmark once and compares benchName's ns/op against the
+// checked-in trajectory at baselinePath. Machines differ in absolute
 // speed, so the gate normalizes both sides by BenchmarkCorePipelineReference
 // (an unoptimized, allocation-free kernel whose cost tracks raw CPU speed)
 // when the baseline recorded it; otherwise it falls back to the raw ratio.
-func checkWarmRegression(baselinePath string, tolerance float64) error {
+func checkRegression(baselinePath, benchName string, tolerance float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -105,19 +117,19 @@ func checkWarmRegression(baselinePath string, tolerance float64) error {
 		}
 		return benchResult{}, false
 	}
-	baseWarm, ok := find(base.Benchmarks, warmBenchName)
+	baseline, ok := find(base.Benchmarks, benchName)
 	if !ok {
-		return fmt.Errorf("%s: no %s entry to compare against", baselinePath, warmBenchName)
+		return fmt.Errorf("%s: no %s entry to compare against", baselinePath, benchName)
 	}
 	current, err := runBench("^(BenchmarkFig10_ArtifactCache)$", "1x")
 	if err != nil {
 		return err
 	}
-	nowWarm, ok := find(current, warmBenchName)
+	now, ok := find(current, benchName)
 	if !ok {
-		return fmt.Errorf("benchmark run produced no %s line", warmBenchName)
+		return fmt.Errorf("benchmark run produced no %s line", benchName)
 	}
-	ratio := nowWarm.NsPerOp / baseWarm.NsPerOp
+	ratio := now.NsPerOp / baseline.NsPerOp
 	scale := 1.0
 	if baseRef, ok := find(base.Benchmarks, "BenchmarkCorePipelineReference"); ok && baseRef.NsPerOp > 0 {
 		ref, err := runBench("^BenchmarkCorePipelineReference$", "")
@@ -130,11 +142,11 @@ func checkWarmRegression(baselinePath string, tolerance float64) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr,
-		"benchjson: warm %s: %.3gs now vs %.3gs baseline (machine scale %.2f, normalized ratio %.2f, tolerance +%.0f%%)\n",
-		warmBenchName, nowWarm.NsPerOp/1e9, baseWarm.NsPerOp/1e9, scale, ratio, tolerance*100)
+		"benchjson: %s: %.3gs now vs %.3gs baseline (machine scale %.2f, normalized ratio %.2f, tolerance +%.0f%%)\n",
+		benchName, now.NsPerOp/1e9, baseline.NsPerOp/1e9, scale, ratio, tolerance*100)
 	if ratio > 1+tolerance {
-		return fmt.Errorf("warm path regressed: %s %.0f ns/op vs baseline %.0f ns/op (normalized %.2fx > %.2fx allowed)",
-			warmBenchName, nowWarm.NsPerOp, baseWarm.NsPerOp, ratio, 1+tolerance)
+		return fmt.Errorf("regression: %s %.0f ns/op vs baseline %.0f ns/op (normalized %.2fx > %.2fx allowed)",
+			benchName, now.NsPerOp, baseline.NsPerOp, ratio, 1+tolerance)
 	}
 	return nil
 }
