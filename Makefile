@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold cache-clean spec-check doc-check
+.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold cache-clean spec-check doc-check fuzz-smoke
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -43,6 +43,15 @@ bench-check-warm:
 # PE tables, slab builds, and async artifact flusher optimize.
 bench-check-cold:
 	go run ./tools/benchjson -check-cold BENCH_adapt.json
+
+# Short coverage-guided runs of the native fuzz targets: the SoA pipeline
+# kernel against its array-of-structs reference, and the pruned Freq
+# solver against the exhaustive scan. The checked-in seed corpora under
+# testdata/fuzz/ already run as part of `make test`; this explores beyond
+# them for a bounded budget.
+fuzz-smoke:
+	go test ./internal/pipeline -run '^$$' -fuzz FuzzSimulateVsReference -fuzztime 20s
+	go test ./internal/adapt -run '^$$' -fuzz FuzzFreqSolvePrunedVsUnpruned -fuzztime 20s
 
 # Validate the checked-in example workload specs: each must decode,
 # lower, and (for traces) replay byte-identically (see WORKLOADS.md).

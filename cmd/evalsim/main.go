@@ -50,8 +50,10 @@
 // Artifact-cache flags (see README "Artifact cache"):
 //
 //	-cache-dir dir    persistent content-addressed cache of chips, phase
-//	                  profiles, and trained fuzzy solvers; repeated runs
-//	                  load instead of rebuild. Default off; an empty flag
+//	                  profiles, trained fuzzy solvers, PE tables,
+//	                  generated traces, static operating points, and
+//	                  per-app adaptation results; repeated runs load
+//	                  instead of rebuild. Default off; an empty flag
 //	                  falls back to $EVAL_CACHE_DIR. Results are
 //	                  byte-identical with or without the cache.
 //	-no-cache         force the cache off even if EVAL_CACHE_DIR is set

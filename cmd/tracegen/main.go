@@ -28,6 +28,12 @@
 //	-validate    validate the positional spec/trace files instead of
 //	             generating
 //	-quiet       suppress the per-file/per-trace stderr notes
+//
+// Artifact-cache flags (see README "Artifact cache"): with -cache-dir
+// (or $EVAL_CACHE_DIR) the generated trace is stored under its (spec,
+// seed) key — the same entry evalsim's -workload-spec runs read — so
+// generating here warms the simulator's replay path and vice versa;
+// -no-cache forces the cache off. Output is byte-identical either way.
 package main
 
 import (
@@ -36,6 +42,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -46,8 +54,16 @@ func main() {
 		outPath  = flag.String("out", "-", "output path (\"-\" = stdout)")
 		validate = flag.Bool("validate", false, "validate the positional spec/trace files instead of generating")
 		quiet    = flag.Bool("quiet", false, "suppress stderr notes")
+		cacheDir = flag.String("cache-dir", "", "persistent artifact cache directory (default off; falls back to $EVAL_CACHE_DIR)")
+		noCache  = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
 	)
 	flag.Parse()
+
+	store, err := artifact.Resolve(*cacheDir, *noCache, artifact.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close() // settle queued cache writes; nil-safe
 
 	switch {
 	case *validate:
@@ -65,7 +81,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *specPath != "":
-		if err := generate(*specPath, *seed, *outPath, *quiet); err != nil {
+		if err := generate(store, *specPath, *seed, *outPath, *quiet); err != nil {
 			fatal(err)
 		}
 	default:
@@ -78,7 +94,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func generate(specPath string, seed int64, outPath string, quiet bool) error {
+func generate(store *artifact.Store, specPath string, seed int64, outPath string, quiet bool) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -87,11 +103,11 @@ func generate(specPath string, seed int64, outPath string, quiet bool) error {
 	if err != nil {
 		return err
 	}
-	t, err := workload.Generate(*spec, seed)
+	enc, err := core.TraceArtifact(store, *spec, seed)
 	if err != nil {
 		return err
 	}
-	enc, err := t.Encode()
+	t, err := workload.DecodeTrace(enc)
 	if err != nil {
 		return err
 	}

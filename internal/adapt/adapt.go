@@ -126,6 +126,10 @@ type Core struct {
 	evalMemo map[string]SystemState
 	evalKey  []byte
 	evalIns  []thermal.SubsystemInput
+	// evalCurve is the reused stage-curve scratch for evaluate's real
+	// error-rate pass — one Curve per Core instead of one per
+	// (subsystem, evaluation).
+	evalCurve vats.Curve
 }
 
 // NewCore validates and assembles the optimization view.
@@ -575,7 +579,14 @@ type SixInputs struct {
 
 // Vector flattens the inputs for the fuzzy controllers.
 func (s SixInputs) Vector() []float64 {
-	return []float64{s.THK, s.RthKPerW, s.KdynW, s.AlphaF, s.KstaW, s.Vt0EffV}
+	a := s.Array()
+	return a[:]
+}
+
+// Array flattens the inputs without allocating — the warm-path solver
+// queries keep the vector on the stack.
+func (s SixInputs) Array() [6]float64 {
+	return [6]float64{s.THK, s.RthKPerW, s.KdynW, s.AlphaF, s.KstaW, s.Vt0EffV}
 }
 
 // Inputs assembles the six controller inputs for subsystem i.

@@ -447,9 +447,9 @@ func (c *Core) evaluate(op OperatingPoint, prof pipeline.Profile) SystemState {
 	for i := 0; i < n; i++ {
 		sub := c.Subs[i].Sub
 		variant, _ := variantFor(sub, prof.Class, op.Queue, op.FU)
-		curve := c.Subs[i].Stage.Eval(vats.Cond{
+		curve := c.Subs[i].Stage.EvalInto(vats.Cond{
 			VddV: op.VddV[i], VbbV: op.VbbV[i], TK: coreState.Subs[i].TK,
-		}, variant)
+		}, variant, &c.evalCurve)
 		rho := rhoFor(prof.Activity[sub.ID], cpi)
 		pe += rho * curve.PE(op.FCore)
 	}

@@ -51,7 +51,8 @@ func (s *FuzzySolver) FreqMax(c *Core, i int, q FreqQuery) float64 {
 	if !ok {
 		return (Exhaustive{}).FreqMax(c, i, q)
 	}
-	pred, err := fc.Predict(c.Inputs(i, q.THK, q.AlphaF).Vector())
+	x := c.Inputs(i, q.THK, q.AlphaF).Array()
+	pred, err := fc.Predict(x[:])
 	if err != nil {
 		return (Exhaustive{}).FreqMax(c, i, q)
 	}
@@ -76,9 +77,12 @@ func (s *FuzzySolver) PowerLevels(c *Core, i int, fCore float64, q FreqQuery) (f
 	if !okV || !okB {
 		return (Exhaustive{}).PowerLevels(c, i, fCore, q)
 	}
-	x := append(c.Inputs(i, q.THK, q.AlphaF).Vector(), fCore)
-	pv, errV := fcV.Predict(x)
-	pb, errB := fcB.Predict(x)
+	si := c.Inputs(i, q.THK, q.AlphaF).Array()
+	var x [7]float64
+	copy(x[:6], si[:])
+	x[6] = fCore
+	pv, errV := fcV.Predict(x[:])
+	pb, errB := fcB.Predict(x[:])
 	if errV != nil || errB != nil {
 		return (Exhaustive{}).PowerLevels(c, i, fCore, q)
 	}

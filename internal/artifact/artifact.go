@@ -8,16 +8,26 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 )
 
-// SchemaVersion is the store's on-disk file-format version. Bumping it
-// invalidates every existing entry (old envelopes read as stale and are
-// rebuilt); the CI cache key embeds it for the same reason.
-const SchemaVersion = 1
+// SchemaVersion is the store's on-disk layout version: 2 is the packed
+// binary layout (sharded packfiles + persistent index). Version-1 stores
+// (one JSON envelope file per artifact) are still readable — entries
+// migrate into packfiles as they are hit — so bumping this constant
+// tracks layout generations without invalidating caches. The CI cache
+// key embeds it.
+const SchemaVersion = 2
+
+// keySchema versions the key pre-image, not the storage layout. It has
+// never been bumped — producers version their output through
+// Kind.Version — and holding it fixed is what lets a v2 store compute
+// the key of (and so migrate) an entry a v1 store wrote.
+const keySchema = 1
 
 // Kind names one artifact producer and its version. The version is part
 // of the key: bump it whenever the producer's output for the same
@@ -29,20 +39,19 @@ type Kind struct {
 
 // Options configures a Store.
 type Options struct {
-	// MaxBytes bounds the store's total size; the LRU sweep deletes
-	// least-recently-used entries down to the cap.
+	// MaxBytes bounds the store's total size; the LRU sweep evicts
+	// least-recently-used entries and compacts packfiles down to the cap.
 	// 0 uses DefaultMaxBytes; negative disables the sweep.
 	MaxBytes int64
 	// Obs receives cache counters; nil (the default) disables metrics
 	// at zero cost.
 	Obs *obs.Registry
-	// SyncWrites persists every entry on the writer's goroutine before
-	// returning, the way early versions of the store did. By default
-	// writes are handed to a background flusher so the building
-	// goroutine overlaps the next build with the disk I/O; the in-memory
-	// pending set keeps reads-after-writes exact either way. Use
-	// SyncWrites when the process cannot call Close/Flush before another
-	// process reads the directory.
+	// SyncWrites appends every record on the writer's goroutine before
+	// returning. By default writes are handed to a background flusher so
+	// the building goroutine overlaps the next build with the disk I/O;
+	// the in-memory pending set keeps reads-after-writes exact either
+	// way. Use SyncWrites when the process cannot call Close/Flush before
+	// another process reads the directory.
 	SyncWrites bool
 }
 
@@ -57,21 +66,30 @@ const DefaultMaxBytes = 2 << 30
 const maxQueuedWrites = 128
 
 // sweepIntervalBytes is how many freshly written bytes accumulate before
-// the flusher runs an LRU sweep on its own; Flush and Close always settle
-// the remainder. Keeping the sweep off the per-write path matters because
-// each sweep walks the whole store directory.
+// the flusher settles the store (LRU sweep, compaction, index save) on
+// its own; Flush and Close always settle the remainder.
 const sweepIntervalBytes = 1 << 20
 
+// compactMinGarbage is the least garbage (superseded or evicted record
+// bytes) a segment accumulates before a routine settle rewrites it; when
+// the store is over its byte cap every garbage-bearing segment compacts
+// regardless.
+const compactMinGarbage = 256 << 10
+
 // Store is a persistent content-addressed artifact cache rooted at one
-// directory. It is safe for concurrent use by multiple goroutines and,
-// thanks to atomic renames, by multiple processes sharing the directory.
-// All methods are safe on a nil *Store, where every lookup builds
-// directly — a disabled cache costs one nil check.
+// directory: N sharded packfiles of checksummed binary records plus a
+// compact index (key → segment, offset, length). It is safe for
+// concurrent use by multiple goroutines. Concurrent processes may share
+// a directory read-only, but the packed layout assumes a single writing
+// process at a time (the v1 one-file-per-entry layout allowed concurrent
+// writers; see doc.go for the migration story). All methods are safe on
+// a nil *Store, where every lookup builds directly — a disabled cache
+// costs one nil check.
 //
 // Writes are asynchronous by default (see Options.SyncWrites): Put and
 // GetOrBuild enqueue the entry and return, a single background flusher
-// performs the temp-file + atomic-rename persistence, and reads consult
-// the pending set first so a store always observes its own writes. Call
+// appends records to the lock-striped segments, and reads consult the
+// pending set first so a store always observes its own writes. Call
 // Flush (or Close, which also stops the flusher) before handing the
 // directory to another process.
 type Store struct {
@@ -89,28 +107,34 @@ type Store struct {
 	doneSeq uint64 // every req with seq <= doneSeq has been persisted
 	closed  bool
 
+	index   map[string]idxEntry // live records; under mu
+	garbage [numShards]int64    // superseded/evicted bytes per segment; under mu
+
+	shards [numShards]shard
+
 	flusherDone chan struct{}
 
-	// sweepMu serializes LRU sweeps and the disk-byte accounting they
-	// publish: the flusher, Flush callers, and SyncWrites writers may all
-	// reach the sweep, and interleaved walks would tear the
-	// artifact.cache.disk_bytes gauge.
+	// sweepMu serializes settles (LRU sweep, compaction, index save) and
+	// the disk-byte accounting they publish: the flusher, Flush callers,
+	// and SyncWrites writers may all reach the settle, and interleaved
+	// runs would tear the artifact.cache.disk_bytes gauge.
 	sweepMu    sync.Mutex
-	dirtyBytes int64 // bytes written since the last sweep; under sweepMu
+	dirtyBytes int64 // bytes written since the last settle; under sweepMu
+	legacySeen bool  // v1 entry files may remain under dir; under sweepMu
 }
 
-// writeReq is one queued persistence job (the full envelope bytes).
+// writeReq is one queued persistence job.
 type writeReq struct {
-	kind Kind
-	path string
-	fkey string // kind-qualified pending-map key
-	blob []byte
-	seq  uint64
+	kind    Kind
+	key     string
+	fkey    string // kind-qualified pending/index key
+	payload []byte
+	seq     uint64
 }
 
 // pendingWrite is an entry that has been written logically but not yet
-// persisted: reads are served from it until the flusher renames the entry
-// into place.
+// persisted: reads are served from it until the flusher appends the
+// record.
 type pendingWrite struct {
 	payload []byte
 	seq     uint64
@@ -125,7 +149,14 @@ type flight struct {
 	err     error
 }
 
-// Open creates (if needed) the cache directory and returns a store.
+// bufPool recycles read and record-encoding scratch so the warm path's
+// pack reads and decodes allocate nothing per artifact.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// Open creates (if needed) the cache directory and returns a store,
+// restoring the packfile index (rebuilding it from segment scans when
+// missing or damaged, and recovering any records a crashed writer
+// appended after the last index save).
 func Open(dir string, opt Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty cache directory")
@@ -145,6 +176,30 @@ func Open(dir string, opt Options) (*Store, error) {
 		pending:  make(map[string]pendingWrite),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	index, sizes, garbage, rebuilt := loadIndex(dir, time.Now().UnixNano())
+	s.index = index
+	s.garbage = garbage
+	segments := 0
+	for si := range s.shards {
+		s.shards[si].size = sizes[si]
+		if sizes[si] > 0 {
+			segments++
+		}
+	}
+	if rebuilt {
+		s.obs.Counter("artifact.cache.index_rebuilds").Inc()
+	}
+	s.obs.Gauge("artifact.cache.segments").Set(float64(segments))
+	// A v1 store keeps entries in per-kind subdirectories; remember
+	// whether any exist so the read path knows to try migration.
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			if de.IsDir() {
+				s.legacySeen = true
+				break
+			}
+		}
+	}
 	if !s.syncW {
 		s.flusherDone = make(chan struct{})
 		go s.flusher()
@@ -178,29 +233,47 @@ func (s *Store) Dir() string {
 	return s.dir
 }
 
-// Flush blocks until every write enqueued before the call is durably
-// renamed into place, then settles any outstanding LRU sweep. After Flush
-// returns, a fresh store (or another process) opening the same directory
-// sees all of this store's writes. No-op on a nil or synchronous store.
-func (s *Store) Flush() {
-	if s == nil || s.syncW {
-		return
-	}
-	s.mu.Lock()
-	target := s.nextSeq
-	for s.doneSeq < target {
-		s.cond.Wait()
-	}
-	s.mu.Unlock()
-	s.sweepIfDirty(true)
+// hasLegacy reports whether v1 entry files may remain under the store.
+func (s *Store) hasLegacy() bool {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	return s.legacySeen
 }
 
-// Close flushes the queue, stops the background flusher, and runs the
-// final sweep. Idempotent and nil-safe. The store remains usable after
-// Close: reads behave normally and later writes fall back to synchronous
-// persistence, so a defer-closed store can never lose or corrupt data.
+// Flush blocks until every write enqueued before the call is appended to
+// its segment, then settles the store: LRU sweep, compaction of
+// garbage-heavy segments, and an index save. After Flush returns, a
+// fresh store (or another process) opening the same directory sees all
+// of this store's writes.
+func (s *Store) Flush() {
+	if s == nil {
+		return
+	}
+	if !s.syncW {
+		s.mu.Lock()
+		target := s.nextSeq
+		for s.doneSeq < target {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}
+	s.settle(true)
+}
+
+// Close flushes the queue, stops the background flusher, runs the final
+// settle, and closes the segment handles. Idempotent and nil-safe. The
+// store remains usable after Close: reads behave normally and later
+// writes fall back to synchronous persistence, so a defer-closed store
+// can never lose or corrupt data.
 func (s *Store) Close() {
-	if s == nil || s.syncW {
+	if s == nil {
+		return
+	}
+	if s.syncW {
+		s.settle(true)
+		for si := range s.shards {
+			s.shards[si].closeHandles()
+		}
 		return
 	}
 	s.mu.Lock()
@@ -213,13 +286,17 @@ func (s *Store) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-s.flusherDone
+	for si := range s.shards {
+		s.shards[si].closeHandles()
+	}
 }
 
-// flusher is the single background writer: it drains the queue in batches
-// (FIFO, so the last write of a key wins on disk), clears the pending set
-// as entries land, and sweeps at batch boundaries once enough bytes have
-// accumulated. It exits — after a final drain and sweep — when Close
-// marks the store closed.
+// flusher is the single background writer: it drains the queue in
+// batches (FIFO, so the last write of a key wins in the index), appends
+// each record to its segment, clears the pending set as entries land,
+// and settles at batch boundaries once enough bytes have accumulated. It
+// exits — after a final drain and settle — when Close marks the store
+// closed.
 func (s *Store) flusher() {
 	defer close(s.flusherDone)
 	s.mu.Lock()
@@ -236,7 +313,7 @@ func (s *Store) flusher() {
 		s.mu.Unlock()
 
 		for i := range batch {
-			s.persist(batch[i].kind, batch[i].path, batch[i].blob)
+			s.persist(batch[i].kind, batch[i].key, batch[i].fkey, batch[i].payload)
 		}
 
 		s.mu.Lock()
@@ -249,11 +326,11 @@ func (s *Store) flusher() {
 		s.cond.Broadcast() // wake Flush waiters
 		s.mu.Unlock()
 
-		s.sweepIfDirty(false)
+		s.settle(false)
 		s.mu.Lock()
 	}
 	s.mu.Unlock()
-	s.sweepIfDirty(true)
+	s.settle(true)
 }
 
 // keyEnvelope is the canonical pre-image of an entry key.
@@ -268,10 +345,12 @@ type keyEnvelope struct {
 // Key derives the content address of (kind, params, seed): the SHA-256
 // of the canonical JSON key envelope. params must JSON-marshal
 // deterministically (plain structs and slices do; maps do not belong in
-// key parameter structs).
+// key parameter structs). Keys are layout-independent: a v2 store
+// computes the same key a v1 store did, which is what makes read-through
+// migration possible.
 func Key(kind Kind, params any, seed int64) (string, error) {
 	blob, err := json.Marshal(keyEnvelope{
-		Schema:  SchemaVersion,
+		Schema:  keySchema,
 		Kind:    kind.Name,
 		Version: kind.Version,
 		Params:  params,
@@ -284,8 +363,9 @@ func Key(kind Kind, params any, seed int64) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// envelope is the on-disk entry format.
-type envelope struct {
+// legacyEnvelope is the v1 on-disk entry format, retained read-only for
+// migration.
+type legacyEnvelope struct {
 	Schema  int             `json:"schema"`
 	Kind    string          `json:"kind"`
 	Key     string          `json:"key"`
@@ -293,25 +373,53 @@ type envelope struct {
 	Payload json.RawMessage `json:"payload"`
 }
 
-// entryPath shards entries by the key's first byte to keep directories
-// small.
-func (s *Store) entryPath(kind Kind, key string) string {
-	return filepath.Join(s.dir, kind.Name, key[:2], key+".json")
+// legacySchemaVersion is the v1 envelope schema those files carry.
+const legacySchemaVersion = 1
+
+// legacyPath is where a v1 store kept (kind, key)'s envelope file.
+func legacyPath(dir string, kind Kind, key string) string {
+	return filepath.Join(dir, kind.Name, key[:2], key+".json")
+}
+
+// WriteLegacyEntry writes one v1-format JSON envelope entry under dir —
+// the layout version-1 stores produced. It exists for migration tests
+// and fixtures; new code writes through a Store, which uses the packed
+// layout.
+func WriteLegacyEntry(dir string, kind Kind, key string, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	blob, err := json.Marshal(legacyEnvelope{
+		Schema:  legacySchemaVersion,
+		Kind:    kind.Name,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	path := legacyPath(dir, kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
 }
 
 // GetOrBuild returns the artifact for key, building it at most once per
 // process. On a cache hit decode receives the stored payload; when build
 // runs, decode is NOT called — the builder already holds the object and
-// returns its serialized form for the store. A corrupt entry (checksum,
-// schema, key, or decode failure) counts as a miss, rebuilds, and
-// overwrites. The returned error is build's (or a failed decode of
-// freshly built bytes); cache I/O problems never surface as errors.
+// returns its serialized form for the store. A corrupt record (checksum,
+// framing, or decode failure) counts as a miss, rebuilds, and
+// supersedes the record. The returned error is build's; cache I/O
+// problems never surface as errors.
+//
+// The payload slice passed to decode is only valid for the duration of
+// the call: it may alias pooled read scratch.
 func (s *Store) GetOrBuild(kind Kind, key string, decode func([]byte) error, build func() ([]byte, error)) error {
 	if s == nil {
 		_, err := build()
 		return err
 	}
-	flightKey := kind.Name + "/" + key
+	flightKey := fkeyOf(kind.Name, key)
 
 	s.mu.Lock()
 	if f, ok := s.flights[flightKey]; ok {
@@ -333,17 +441,19 @@ func (s *Store) GetOrBuild(kind Kind, key string, decode func([]byte) error, bui
 		s.mu.Unlock()
 	}()
 
-	path := s.entryPath(kind, key)
-	if payload, ok := s.read(kind, key, path); ok {
-		if err := decode(payload); err == nil {
+	if payload, release, ok := s.read(kind, key); ok {
+		err := decode(payload)
+		if err == nil {
 			s.count(kind, "hits")
-			now := time.Now()
-			_ = os.Chtimes(path, now, now) // best-effort LRU recency
-			f.payload = payload
+			// Followers decode after this goroutine returns; give them a
+			// stable copy rather than the pooled read buffer.
+			f.payload = append([]byte(nil), payload...)
+			release()
 			return nil
 		}
-		// Payload passed the checksum but its consumer rejects it:
-		// a stale producer whose Kind.Version was not bumped, or a
+		release()
+		// Payload passed the checksum but its consumer rejects it: a
+		// stale producer whose Kind.Version was not bumped, or a
 		// hand-edited entry. Same degradation path as corruption.
 		s.count(kind, "corrupt")
 	}
@@ -355,36 +465,36 @@ func (s *Store) GetOrBuild(kind Kind, key string, decode func([]byte) error, bui
 		return err
 	}
 	f.payload = payload
-	s.write(kind, key, path, payload)
+	s.write(kind, key, payload)
 	return nil
 }
 
-// Get returns the artifact for key if an intact entry exists, feeding the
-// payload to decode. Unlike GetOrBuild it never builds: absence or
-// corruption simply returns false, and the caller produces (or skips) the
-// object itself. Nil-safe, like every Store method.
+// Get returns the artifact for key if an intact record exists, feeding
+// the payload to decode. Unlike GetOrBuild it never builds: absence or
+// corruption simply returns false, and the caller produces (or skips)
+// the object itself. The payload passed to decode is only valid during
+// the call. Nil-safe, like every Store method.
 func (s *Store) Get(kind Kind, key string, decode func([]byte) error) bool {
 	if s == nil {
 		return false
 	}
-	path := s.entryPath(kind, key)
-	payload, ok := s.read(kind, key, path)
+	payload, release, ok := s.read(kind, key)
 	if !ok {
 		s.count(kind, "misses")
 		return false
 	}
-	if err := decode(payload); err != nil {
+	err := decode(payload)
+	release()
+	if err != nil {
 		s.count(kind, "corrupt")
 		s.count(kind, "misses")
 		return false
 	}
 	s.count(kind, "hits")
-	now := time.Now()
-	_ = os.Chtimes(path, now, now) // best-effort LRU recency
 	return true
 }
 
-// Put persists payload under key, overwriting any existing entry. The
+// Put persists payload under key, superseding any existing record. The
 // complement of Get for artifacts whose build has no single call site to
 // wrap (e.g. tables accumulated lazily over a run). Failures are counted
 // and swallowed; nil-safe.
@@ -392,22 +502,85 @@ func (s *Store) Put(kind Kind, key string, payload []byte) {
 	if s == nil {
 		return
 	}
-	s.write(kind, key, s.entryPath(kind, key), payload)
+	s.write(kind, key, payload)
 }
 
-// read loads and verifies one entry, returning (payload, true) only for
-// an intact entry. A pending (queued but not yet flushed) write is
-// authoritative and served from memory — read-your-writes. Absence is
-// silent; any damage counts as corrupt.
-func (s *Store) read(kind Kind, key, path string) ([]byte, bool) {
+// noRelease is the release function for payloads that do not come from
+// pooled scratch.
+func noRelease() {}
+
+// read resolves (kind, key) to its payload: the pending set first
+// (read-your-writes), then the packfile index, then — for stores carrying
+// v1 entry files — the legacy read-through, which rewrites the entry
+// into a packfile and deletes the old file. ok=false means a clean miss;
+// damage is counted as corrupt. The returned release must be called
+// once the payload has been consumed.
+func (s *Store) read(kind Kind, key string) (payload []byte, release func(), ok bool) {
+	fkey := fkeyOf(kind.Name, key)
+	s.mu.Lock()
 	if !s.syncW {
-		s.mu.Lock()
-		if p, ok := s.pending[kind.Name+"/"+key]; ok {
+		if p, ok := s.pending[fkey]; ok {
 			s.mu.Unlock()
-			return p.payload, true
+			return p.payload, noRelease, true
+		}
+	}
+	e, found := s.index[fkey]
+	if found {
+		e.atime = time.Now().UnixNano()
+		s.index[fkey] = e // LRU recency, durable at the next index save
+	}
+	s.mu.Unlock()
+
+	if found {
+		if payload, release, ok := s.readPack(kind, fkey, e); ok {
+			return payload, release, true
+		}
+		// Index/segment mismatch or a damaged record: drop the entry (if
+		// it has not been remapped meanwhile) and fall through to the
+		// legacy path / miss.
+		s.count(kind, "corrupt")
+		s.mu.Lock()
+		if cur, still := s.index[fkey]; still && cur.shard == e.shard && cur.off == e.off {
+			delete(s.index, fkey)
+			s.garbage[e.shard] += e.size
 		}
 		s.mu.Unlock()
 	}
+	if s.hasLegacy() {
+		if payload, ok := s.readLegacy(kind, key); ok {
+			return payload, noRelease, true
+		}
+	}
+	return nil, nil, false
+}
+
+// readPack preads and verifies one record. The returned payload aliases
+// pooled scratch; release returns it.
+func (s *Store) readPack(kind Kind, fkey string, e idxEntry) (payload []byte, release func(), ok bool) {
+	sw := s.obs.Timer("artifact.cache.decode_ns").Start()
+	defer sw.Stop()
+	buf := bufPool.Get().(*[]byte)
+	sh := &s.shards[e.shard]
+	blob, err := sh.readAt(packPath(s.dir, e.shard), *buf, e.off, e.size)
+	if err != nil {
+		bufPool.Put(buf)
+		return nil, nil, false
+	}
+	*buf = blob
+	rec, valid := parseRecord(blob)
+	if !valid || rec.size != e.size || fkeyOf(rec.kind, rec.key) != fkey {
+		bufPool.Put(buf)
+		return nil, nil, false
+	}
+	return rec.payload, func() { bufPool.Put(buf) }, true
+}
+
+// readLegacy attempts the v1 read-through: load and verify a version-1
+// JSON envelope file, rewrite its payload into the packed store, and
+// delete the file. Damaged legacy files are counted corrupt and removed
+// (they could never be repaired in place — v2 writes go to packfiles).
+func (s *Store) readLegacy(kind Kind, key string) ([]byte, bool) {
+	path := legacyPath(s.dir, kind, key)
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
@@ -415,43 +588,37 @@ func (s *Store) read(kind Kind, key, path string) ([]byte, bool) {
 		}
 		return nil, false
 	}
-	var env envelope
+	var env legacyEnvelope
 	if err := json.Unmarshal(blob, &env); err != nil {
 		s.count(kind, "corrupt")
+		os.Remove(path)
 		return nil, false
 	}
-	if env.Schema != SchemaVersion || env.Kind != kind.Name || env.Key != key {
+	if env.Schema != legacySchemaVersion || env.Kind != kind.Name || env.Key != key {
 		s.count(kind, "corrupt")
+		os.Remove(path)
 		return nil, false
 	}
 	sum := sha256.Sum256(env.Payload)
 	if hex.EncodeToString(sum[:]) != env.SHA256 {
 		s.count(kind, "corrupt")
+		os.Remove(path)
 		return nil, false
 	}
+	s.count(kind, "migrated")
+	s.write(kind, key, env.Payload)
+	os.Remove(path)
 	return env.Payload, true
 }
 
-// write records one logical entry write: the envelope is sealed here (so
-// marshalling failures surface to the writer's counters immediately) and
-// either persisted in place (SyncWrites, or a closed store) or queued for
-// the background flusher with the payload entered into the pending set.
-func (s *Store) write(kind Kind, key, path string, payload []byte) {
-	sum := sha256.Sum256(payload)
-	blob, err := json.Marshal(envelope{
-		Schema:  SchemaVersion,
-		Kind:    kind.Name,
-		Key:     key,
-		SHA256:  hex.EncodeToString(sum[:]),
-		Payload: payload,
-	})
-	if err != nil {
-		s.obs.Counter("artifact.cache.write_errors").Inc()
-		return
-	}
+// write records one logical entry write: either persisted in place
+// (SyncWrites, or a closed store) or queued for the background flusher
+// with the payload entered into the pending set.
+func (s *Store) write(kind Kind, key string, payload []byte) {
+	fkey := fkeyOf(kind.Name, key)
 	if s.syncW {
-		s.persist(kind, path, blob)
-		s.sweepIfDirty(true)
+		s.persist(kind, key, fkey, payload)
+		s.settle(false)
 		return
 	}
 	s.mu.Lock()
@@ -460,48 +627,69 @@ func (s *Store) write(kind Kind, key, path string, payload []byte) {
 	}
 	if s.closed {
 		s.mu.Unlock()
-		s.persist(kind, path, blob)
-		s.sweepIfDirty(true)
+		s.persist(kind, key, fkey, payload)
+		s.settle(false)
 		return
 	}
 	s.nextSeq++
-	fkey := kind.Name + "/" + key
-	s.queue = append(s.queue, writeReq{kind: kind, path: path, fkey: fkey, blob: blob, seq: s.nextSeq})
+	s.queue = append(s.queue, writeReq{kind: kind, key: key, fkey: fkey, payload: payload, seq: s.nextSeq})
 	s.pending[fkey] = pendingWrite{payload: payload, seq: s.nextSeq}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
-// persist performs the actual temp-file + atomic-rename write of one
-// sealed envelope. Failures are counted and swallowed: the cache never
-// fails the run that built the artifact.
-func (s *Store) persist(kind Kind, path string, blob []byte) {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.obs.Counter("artifact.cache.write_errors").Inc()
-		return
-	}
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+// persist frames one record and appends it to its segment, then
+// publishes the new location in the index. Failures are counted and
+// swallowed: the cache never fails the run that built the artifact.
+func (s *Store) persist(kind Kind, key, fkey string, payload []byte) {
+	sw := s.obs.Timer("artifact.cache.encode_ns").Start()
+	buf := bufPool.Get().(*[]byte)
+	blob, err := appendRecord((*buf)[:0], kind.Name, key, payload)
+	*buf = blob
+	sw.Stop()
 	if err != nil {
+		bufPool.Put(buf)
 		s.obs.Counter("artifact.cache.write_errors").Inc()
 		return
 	}
-	_, werr := tmp.Write(blob)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+	si := shardOf(key)
+	sh := &s.shards[si]
+	off, err := sh.append(packPath(s.dir, si), blob)
+	if err != nil {
+		bufPool.Put(buf)
 		s.obs.Counter("artifact.cache.write_errors").Inc()
 		return
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		s.obs.Counter("artifact.cache.write_errors").Inc()
-		return
+	size := int64(len(blob))
+	bufPool.Put(buf)
+
+	s.mu.Lock()
+	if old, ok := s.index[fkey]; ok {
+		s.garbage[old.shard] += old.size
 	}
-	s.obs.Counter("artifact.cache.bytes").Add(int64(len(blob)))
+	s.index[fkey] = idxEntry{kind: kind.Name, shard: si, off: off, size: size, atime: time.Now().UnixNano()}
+	s.mu.Unlock()
+
+	s.obs.Counter("artifact.cache.bytes").Add(size)
+	if off == 0 {
+		s.refreshSegmentsGauge()
+	}
 	s.sweepMu.Lock()
-	s.dirtyBytes += int64(len(blob))
+	s.dirtyBytes += size
 	s.sweepMu.Unlock()
+}
+
+// refreshSegmentsGauge republishes the live segment count.
+func (s *Store) refreshSegmentsGauge() {
+	n := 0
+	for si := range s.shards {
+		s.shards[si].mu.Lock()
+		if s.shards[si].size > 0 {
+			n++
+		}
+		s.shards[si].mu.Unlock()
+	}
+	s.obs.Gauge("artifact.cache.segments").Set(float64(n))
 }
 
 // count bumps the global and per-kind counter of one event class.
@@ -519,71 +707,314 @@ func (s *Store) Hits() int64 {
 	return s.obs.Counter("artifact.cache.hits").Value()
 }
 
-// sweepEntry is one on-disk entry considered for eviction.
-type sweepEntry struct {
+// settle runs the store's maintenance pass — LRU eviction, segment
+// compaction, index save, disk accounting — under sweepMu. Routine
+// callers (the flusher, SyncWrites writers) pass force=false and only
+// settle once sweepIntervalBytes have accumulated; Flush and Close
+// force it.
+func (s *Store) settle(force bool) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if !force && s.dirtyBytes < sweepIntervalBytes {
+		return
+	}
+	s.dirtyBytes = 0
+	s.settleLocked()
+}
+
+// legacyFile is one v1 entry file considered for eviction.
+type legacyFile struct {
 	path  string
 	size  int64
 	mtime time.Time
 }
 
-// sweepIfDirty runs an LRU sweep when bytes have been written since the
-// last one — always when forced (Flush, Close, synchronous writes),
-// otherwise only once sweepIntervalBytes have accumulated. The sweep and
-// its disk_bytes gauge update run under sweepMu, so concurrent callers
-// (the flusher, Flush, SyncWrites writers) serialize instead of
-// interleaving directory walks and tearing the accounting.
-func (s *Store) sweepIfDirty(force bool) {
-	s.sweepMu.Lock()
-	defer s.sweepMu.Unlock()
-	if s.dirtyBytes == 0 || (!force && s.dirtyBytes < sweepIntervalBytes) {
-		return
+// settleLocked performs the maintenance pass. Caller holds sweepMu.
+func (s *Store) settleLocked() {
+	// Snapshot the live set.
+	type liveEntry struct {
+		fkey string
+		e    idxEntry
 	}
-	s.dirtyBytes = 0
-	s.sweepLocked()
+	s.mu.Lock()
+	live := make([]liveEntry, 0, len(s.index))
+	var liveBytes int64
+	for fkey, e := range s.index {
+		live = append(live, liveEntry{fkey: fkey, e: e})
+		liveBytes += e.size
+	}
+	garbage := s.garbage
+	s.mu.Unlock()
+
+	// Walk any v1 remains: legacy entry files plus crashed-writer temp
+	// debris (ours or a v1 store's).
+	var legacy []legacyFile
+	var legacyBytes int64
+	if s.legacySeen {
+		_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			if filepath.Dir(path) == s.dir {
+				return nil // packfiles, index, root-level temp files
+			}
+			info, err := d.Info()
+			if err != nil {
+				return nil
+			}
+			if filepath.Ext(path) != ".json" {
+				if time.Since(info.ModTime()) > time.Minute {
+					os.Remove(path)
+				}
+				return nil
+			}
+			legacy = append(legacy, legacyFile{path: path, size: info.Size(), mtime: info.ModTime()})
+			legacyBytes += info.Size()
+			return nil
+		})
+		if len(legacy) == 0 {
+			s.legacySeen = false
+		}
+	}
+
+	if s.maxBytes >= 0 {
+		// Eviction: the packed layout reclaims pack bytes at compaction,
+		// so the budget compares the post-compaction footprint (live
+		// records + remaining legacy files + a small index overhead)
+		// against the cap, and evicts least-recently-used items across
+		// both generations until it fits.
+		// Approximate index cost: ~50 encoded bytes per entry plus the
+		// header. Slightly high is fine; wildly high would over-evict.
+		indexOverhead := int64(56)*int64(len(live)) + 128
+		if liveBytes+legacyBytes+indexOverhead > s.maxBytes {
+			type victim struct {
+				fkey   string // "" for a legacy file
+				legacy int    // index into legacy, -1 otherwise
+				at     int64
+				size   int64
+			}
+			victims := make([]victim, 0, len(live)+len(legacy))
+			for _, le := range live {
+				victims = append(victims, victim{fkey: le.fkey, legacy: -1, at: le.e.atime, size: le.e.size})
+			}
+			for i, lf := range legacy {
+				victims = append(victims, victim{legacy: i, at: lf.mtime.UnixNano(), size: lf.size})
+			}
+			sort.Slice(victims, func(i, j int) bool { return victims[i].at < victims[j].at })
+			excess := liveBytes + legacyBytes + indexOverhead - s.maxBytes
+			for _, v := range victims {
+				if excess <= 0 {
+					break
+				}
+				if v.legacy >= 0 {
+					if os.Remove(legacy[v.legacy].path) == nil {
+						legacy[v.legacy].size = 0
+						legacyBytes -= v.size
+						excess -= v.size
+						s.obs.Counter("artifact.cache.evictions").Inc()
+					}
+					continue
+				}
+				s.mu.Lock()
+				if e, ok := s.index[v.fkey]; ok {
+					delete(s.index, v.fkey)
+					s.garbage[e.shard] += e.size
+					garbage[e.shard] += e.size
+					s.mu.Unlock()
+					liveBytes -= v.size
+					excess -= v.size
+					s.obs.Counter("artifact.cache.evictions").Inc()
+					continue
+				}
+				s.mu.Unlock()
+			}
+		}
+		// Compaction reclaims garbage (superseded and evicted records).
+		// Eviction above budgets on live bytes; the on-disk footprint is
+		// the segment files themselves, so when those exceed the cap every
+		// garbage-bearing segment compacts. Otherwise only segments whose
+		// garbage passed the threshold and half the file are rewritten.
+		var sizes [numShards]int64
+		var packBytes int64
+		for si := range s.shards {
+			s.shards[si].mu.Lock()
+			sizes[si] = s.shards[si].size
+			s.shards[si].mu.Unlock()
+			packBytes += sizes[si]
+		}
+		overCap := packBytes+legacyBytes+indexOverhead > s.maxBytes
+		for si := range s.shards {
+			if garbage[si] == 0 {
+				continue
+			}
+			if overCap || (garbage[si] >= compactMinGarbage && garbage[si]*2 >= sizes[si]) {
+				s.compactShard(si)
+			}
+		}
+	}
+
+	// Clear root-level temp debris a crashed settle may have left (failed
+	// index saves, abandoned compactions) once it is old enough that no
+	// live rename can still claim it.
+	if des, err := os.ReadDir(s.dir); err == nil {
+		for _, de := range des {
+			name := de.Name()
+			if de.IsDir() ||
+				(!strings.HasPrefix(name, ".index.tmp-") && !strings.HasPrefix(name, ".pack-compact-")) {
+				continue
+			}
+			if info, err := de.Info(); err == nil && time.Since(info.ModTime()) > time.Minute {
+				os.Remove(filepath.Join(s.dir, name))
+			}
+		}
+	}
+
+	s.saveIndex()
+
+	// Publish the exact on-disk footprint.
+	var total int64
+	for si := range s.shards {
+		if info, err := os.Stat(packPath(s.dir, si)); err == nil {
+			total += info.Size()
+		}
+	}
+	if info, err := os.Stat(filepath.Join(s.dir, indexName)); err == nil {
+		total += info.Size()
+	}
+	for _, lf := range legacy {
+		total += lf.size
+	}
+	s.obs.Gauge("artifact.cache.disk_bytes").Set(float64(total))
+	s.refreshSegmentsGauge()
 }
 
-// sweepLocked enforces the size bound: when the store exceeds maxBytes it
-// deletes least-recently-used entries (and any orphaned temp files)
-// until back under the cap. Caller holds sweepMu.
-func (s *Store) sweepLocked() {
-	if s.maxBytes < 0 {
+// compactShard rewrites segment si with only its live records, in offset
+// order, and atomically renames the result into place. The stripe lock
+// blocks appends for the duration; readers holding the old descriptor
+// keep reading the old inode, and the swap retires it.
+func (s *Store) compactShard(si int) {
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	path := packPath(s.dir, si)
+	old, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
 		return
 	}
-	var entries []sweepEntry
-	var total int64
-	_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return nil
+
+	type move struct {
+		fkey string
+		e    idxEntry
+	}
+	var moves []move
+	s.mu.Lock()
+	for fkey, e := range s.index {
+		if e.shard == si {
+			moves = append(moves, move{fkey: fkey, e: e})
 		}
-		info, err := d.Info()
-		if err != nil {
-			return nil
+	}
+	s.mu.Unlock()
+	sort.Slice(moves, func(i, j int) bool { return moves[i].e.off < moves[j].e.off })
+
+	fresh := make([]byte, 0, len(old))
+	newOff := make([]int64, len(moves))
+	for i, m := range moves {
+		if m.e.off+m.e.size > int64(len(old)) {
+			newOff[i] = -1 // stale entry; drop below
+			continue
 		}
-		// Orphaned temp files older than a minute are debris from a
-		// crashed writer; live ones are about to be renamed.
-		if filepath.Ext(path) != ".json" {
-			if time.Since(info.ModTime()) > time.Minute {
-				os.Remove(path)
-			}
-			return nil
-		}
-		entries = append(entries, sweepEntry{path: path, size: info.Size(), mtime: info.ModTime()})
-		total += info.Size()
-		return nil
-	})
-	s.obs.Gauge("artifact.cache.disk_bytes").Set(float64(total))
-	if total <= s.maxBytes {
+		newOff[i] = int64(len(fresh))
+		fresh = append(fresh, old[m.e.off:m.e.off+m.e.size]...)
+	}
+
+	tmp, err := os.CreateTemp(s.dir, ".pack-compact-")
+	if err != nil {
+		s.obs.Counter("artifact.cache.write_errors").Inc()
 		return
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
-	for _, e := range entries {
-		if total <= s.maxBytes {
-			break
-		}
-		if os.Remove(e.path) == nil {
-			total -= e.size
-			s.obs.Counter("artifact.cache.evictions").Inc()
-		}
+	if _, err := tmp.Write(fresh); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
 	}
-	s.obs.Gauge("artifact.cache.disk_bytes").Set(float64(total))
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	if len(fresh) == 0 {
+		os.Remove(tmp.Name())
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return
+		}
+	} else if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+
+	// Publish the new geometry: remap the moved entries, reset the
+	// shard's size and garbage, and retire the old read descriptor. The
+	// write handle reopens lazily in append mode at the new tail.
+	s.mu.Lock()
+	for i, m := range moves {
+		cur, ok := s.index[m.fkey]
+		// Compare locations, not whole entries: a concurrent read may have
+		// bumped the atime, which does not supersede the record.
+		if !ok || cur.shard != m.e.shard || cur.off != m.e.off || cur.size != m.e.size {
+			continue // superseded or evicted during the rewrite
+		}
+		if newOff[i] < 0 {
+			delete(s.index, m.fkey)
+			continue
+		}
+		cur.off = newOff[i]
+		s.index[m.fkey] = cur
+	}
+	s.garbage[si] = 0
+	s.mu.Unlock()
+	if sh.w != nil {
+		sh.w.Close()
+		sh.w = nil
+	}
+	sh.size = int64(len(fresh))
+	sh.swapReadHandle()
+	s.obs.Counter("artifact.cache.compactions").Inc()
+}
+
+// saveIndex atomically writes the index file. The covered lengths are
+// read after the entry snapshot; a record appended in between is simply
+// re-found by the next Open's tail scan.
+func (s *Store) saveIndex() {
+	s.mu.Lock()
+	snapshot := make(map[string]idxEntry, len(s.index))
+	for k, v := range s.index {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	var covered [numShards]int64
+	for si := range s.shards {
+		s.shards[si].mu.Lock()
+		covered[si] = s.shards[si].size
+		s.shards[si].mu.Unlock()
+	}
+	blob := encodeIndex(snapshot, covered)
+	tmp, err := os.CreateTemp(s.dir, ".index.tmp-")
+	if err != nil {
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, indexName)); err != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("artifact.cache.write_errors").Inc()
+	}
 }

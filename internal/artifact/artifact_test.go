@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -144,66 +145,76 @@ func TestPersistsAcrossStores(t *testing.T) {
 	}
 }
 
-// corruptEntry finds key's entry file and rewrites it via mutate. The
-// store is flushed first so the entry is on disk (and its pending copy
-// retired) — the damage must be visible to the next read.
-func corruptEntry(t *testing.T, st *Store, key string, mutate func([]byte) []byte) {
+// entryLoc looks up key's current packfile location.
+func entryLoc(t *testing.T, st *Store, key string) idxEntry {
+	t.Helper()
+	st.mu.Lock()
+	e, ok := st.index[fkeyOf(testKind.Name, key)]
+	st.mu.Unlock()
+	if !ok {
+		t.Fatalf("key %s not in index", key)
+	}
+	return e
+}
+
+// corruptRecord flushes the store and mutates key's record bytes in
+// place inside its packfile. mutate must preserve the record's length so
+// later appends stay aligned — mid-file damage is exactly what a bad
+// disk produces.
+func corruptRecord(t *testing.T, st *Store, key string, mutate func([]byte) []byte) {
 	t.Helper()
 	st.Flush()
-	path := st.entryPath(testKind, key)
+	e := entryLoc(t, st, key)
+	path := packPath(st.dir, e.shard)
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, mutate(blob), 0o644); err != nil {
+	rec := mutate(append([]byte(nil), blob[e.off:e.off+e.size]...))
+	if int64(len(rec)) != e.size {
+		t.Fatalf("mutate changed record length %d -> %d", e.size, len(rec))
+	}
+	copy(blob[e.off:], rec)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestFaultInjection covers the damaged-entry scenarios: each must count
-// a corrupt + a miss, rebuild the correct value, and overwrite the entry
+// TestFaultInjection covers the damaged-record scenarios: each must count
+// a corrupt + a miss, rebuild the correct value, and supersede the record
 // so the next read hits again.
 func TestFaultInjection(t *testing.T) {
 	scenarios := []struct {
 		name   string
 		mutate func([]byte) []byte
 	}{
-		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
-		{"flipped_byte", func(b []byte) []byte {
-			// Flip a byte inside the payload section so the envelope still
-			// parses but the checksum fails.
-			c := append([]byte(nil), b...)
-			for i := range c {
-				if c[i] == '4' { // the stored Value digit
-					c[i] = '5'
-					break
-				}
-			}
-			return c
+		{"flipped_payload_byte", func(b []byte) []byte {
+			b[len(b)-8] ^= 0x40 // inside the payload, before the crc
+			return b
 		}},
-		{"stale_schema", func(b []byte) []byte {
-			var env envelope
-			if err := json.Unmarshal(b, &env); err != nil {
-				panic(err)
-			}
-			env.Schema = SchemaVersion + 1
-			out, err := json.Marshal(env)
-			if err != nil {
-				panic(err)
-			}
-			return out
+		{"zeroed_magic", func(b []byte) []byte {
+			b[0], b[1], b[2], b[3] = 0, 0, 0, 0
+			return b
 		}},
-		{"empty_file", func([]byte) []byte { return nil }},
-		{"not_json", func([]byte) []byte { return []byte("!!not json!!") }},
+		{"flipped_crc", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		}},
+		{"zeroed_record", func(b []byte) []byte {
+			for i := range b {
+				b[i] = 0
+			}
+			return b
+		}},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
 			st, reg := openTestStore(t)
 			key, _ := Key(testKind, sc.name, 1)
 			get(t, st, key, 42)
-			corruptEntry(t, st, key, sc.mutate)
+			corruptRecord(t, st, key, sc.mutate)
 			if p := get(t, st, key, 42); p.Value != 42 {
-				t.Fatalf("damaged entry produced wrong result: %+v", p)
+				t.Fatalf("damaged record produced wrong result: %+v", p)
 			}
 			if c := counter(reg, "artifact.cache.corrupt"); c != 1 {
 				t.Errorf("corrupt = %d, want 1", c)
@@ -211,7 +222,7 @@ func TestFaultInjection(t *testing.T) {
 			if m := counter(reg, "artifact.cache.misses"); m != 2 {
 				t.Errorf("misses = %d, want 2 (initial + rebuild)", m)
 			}
-			// The rebuild must have overwritten the damaged entry on disk,
+			// The rebuild must have superseded the damaged record on disk,
 			// not merely in the pending set.
 			st.Flush()
 			if p := get(t, st, key, 99); p.Value != 42 {
@@ -224,16 +235,16 @@ func TestFaultInjection(t *testing.T) {
 	}
 }
 
-// TestUndecodablePayload: an intact envelope whose payload the consumer
+// TestUndecodablePayload: an intact record whose payload the consumer
 // rejects (stale producer output) degrades to a counted rebuild too.
 func TestUndecodablePayload(t *testing.T) {
 	st, reg := openTestStore(t)
 	key, _ := Key(testKind, "undecodable", 1)
 	get(t, st, key, 42)
-	// Replace the entry with a well-formed envelope holding a payload the
-	// decoder rejects (empty blob).
+	// Supersede the record with a well-formed payload the decoder rejects
+	// (empty blob).
 	bad, _ := json.Marshal(payload{Value: 1, Blob: ""})
-	st.write(testKind, key, st.entryPath(testKind, key), bad)
+	st.write(testKind, key, bad)
 	if p := get(t, st, key, 42); p.Value != 42 {
 		t.Fatalf("rejected payload produced wrong result: %+v", p)
 	}
@@ -280,22 +291,16 @@ func TestSingleFlight(t *testing.T) {
 	}
 }
 
-// TestConcurrentReadersDuringWrite: two stores on one directory (two
-// processes) hammer the same keys while entries are being written and
-// periodically damaged. Every read must come back correct — atomic
-// renames mean a reader sees the whole old entry, the whole new one, or a
-// miss, never a torn write. Run under -race.
-func TestConcurrentReadersDuringWrite(t *testing.T) {
-	dir := t.TempDir()
-	writer, _ := Open(dir, Options{})
-	t.Cleanup(writer.Close)
-	reader, _ := Open(dir, Options{})
-	t.Cleanup(reader.Close)
+// TestConcurrentReadersDuringAppend: reader goroutines hammer keys while
+// a writer continuously supersedes them and forces settles (sweep,
+// compaction, index saves) to race the reads. The payload of key k
+// always encodes k, so every read must come back correct whichever
+// record version it lands on. Run under -race.
+func TestConcurrentReadersDuringAppend(t *testing.T) {
+	st, _ := openTestStore(t)
 	const keys = 4
 	stop := make(chan struct{})
 	var writerWG, readerWG sync.WaitGroup
-	// The writer continuously rebuilds the keys from a second store,
-	// periodically simulating crash damage with an in-place truncation.
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
@@ -306,11 +311,10 @@ func TestConcurrentReadersDuringWrite(t *testing.T) {
 			default:
 			}
 			key, _ := Key(testKind, i%keys, 1)
-			path := writer.entryPath(testKind, key)
 			b, _ := buildPayload(i % keys)()
-			writer.write(testKind, key, path, b)
-			if i%7 == 0 {
-				os.WriteFile(path, b[:len(b)/3], 0o644)
+			st.Put(testKind, key, b)
+			if i%17 == 0 {
+				st.Flush()
 			}
 		}
 	}()
@@ -322,7 +326,7 @@ func TestConcurrentReadersDuringWrite(t *testing.T) {
 				want := i % keys
 				key, _ := Key(testKind, want, 1)
 				var p payload
-				err := reader.GetOrBuild(testKind, key,
+				err := st.GetOrBuild(testKind, key,
 					func(b []byte) error { return p.decode(b) },
 					func() ([]byte, error) {
 						b, err := buildPayload(want)()
@@ -383,47 +387,287 @@ func TestNilStore(t *testing.T) {
 }
 
 // TestLRUSweep: pushing the store past MaxBytes evicts the least
-// recently used entries and leaves the rest intact.
+// recently used entries, compaction reclaims their bytes, and the newest
+// entries survive.
 func TestLRUSweep(t *testing.T) {
 	reg := obs.NewRegistry()
-	st, err := Open(t.TempDir(), Options{MaxBytes: 1500, Obs: reg})
+	const maxBytes = 1500
+	st, err := Open(t.TempDir(), Options{MaxBytes: maxBytes, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(st.Close)
+	big := strings.Repeat("x", 300)
 	var keys []string
 	for i := 0; i < 8; i++ {
 		key, _ := Key(testKind, i, 1)
 		keys = append(keys, key)
-		get(t, st, key, i)
+		blob, _ := json.Marshal(payload{Value: i, Blob: big})
+		st.Put(testKind, key, blob)
 		// Settle each write so the sweep sees entries in insertion order
-		// (mtime == write order) and the newest survives deterministically.
+		// (atime == write order) and the newest survives deterministically.
 		st.Flush()
 	}
 	if ev := counter(reg, "artifact.cache.evictions"); ev == 0 {
 		t.Fatal("no evictions despite exceeding MaxBytes")
 	}
 	var total int64
-	survivors := 0
 	filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return nil
 		}
 		info, _ := d.Info()
 		total += info.Size()
-		survivors++
 		return nil
 	})
-	if total > 1500 {
-		t.Fatalf("store holds %d bytes, cap 1500", total)
+	if total > maxBytes {
+		t.Fatalf("store holds %d bytes, cap %d", total, maxBytes)
 	}
-	if survivors == 0 {
-		t.Fatal("sweep deleted everything")
+	// The newest entry must have survived, and the oldest must be gone.
+	var p payload
+	if !st.Get(testKind, keys[len(keys)-1], p.decode) || p.Value != 7 {
+		t.Fatalf("newest entry evicted (got %+v)", p)
 	}
-	// The newest entry must have survived.
-	if _, err := os.Stat(st.entryPath(testKind, keys[len(keys)-1])); err != nil {
-		t.Fatalf("newest entry evicted: %v", err)
+	if st.Get(testKind, keys[0], p.decode) {
+		t.Fatal("oldest entry survived a full sweep")
 	}
+}
+
+// TestLegacyMigrationReadThrough: a v1 JSON envelope entry is read
+// through — verified, served, rewritten into a packfile, and its file
+// deleted — and the migrated record hits from the packed layout alone.
+func TestLegacyMigrationReadThrough(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := Key(testKind, "legacy", 1)
+	blob, _ := buildPayload(31)()
+	if err := WriteLegacyEntry(dir, testKind, key, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	st, err := Open(dir, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := get(t, st, key, 99); p.Value != 31 {
+		t.Fatalf("migration returned %+v, want the v1 value 31", p)
+	}
+	if m := counter(reg, "artifact.cache.migrated"); m != 1 {
+		t.Errorf("migrated = %d, want 1", m)
+	}
+	if h := counter(reg, "artifact.cache.hits"); h != 1 {
+		t.Errorf("hits = %d, want 1 (migration is a hit)", h)
+	}
+	st.Close()
+	if _, err := os.Stat(legacyPath(dir, testKind, key)); !os.IsNotExist(err) {
+		t.Fatalf("legacy file survived migration: %v", err)
+	}
+
+	// A fresh store must serve the key from the packfiles.
+	reg2 := obs.NewRegistry()
+	st2, err := Open(dir, Options{Obs: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st2.Close)
+	if p := get(t, st2, key, 99); p.Value != 31 {
+		t.Fatalf("migrated record lost: %+v", p)
+	}
+	if m := counter(reg2, "artifact.cache.migrated"); m != 0 {
+		t.Errorf("second store migrated again: %d", m)
+	}
+}
+
+// TestLegacyCorruptEntry: a damaged v1 file is counted, removed, and
+// treated as a miss.
+func TestLegacyCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	key, _ := Key(testKind, "legacy-bad", 1)
+	blob, _ := buildPayload(5)()
+	if err := WriteLegacyEntry(dir, testKind, key, blob); err != nil {
+		t.Fatal(err)
+	}
+	path := legacyPath(dir, testKind, key)
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	st, err := Open(dir, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	var p payload
+	if st.Get(testKind, key, p.decode) {
+		t.Fatal("corrupt legacy entry served as a hit")
+	}
+	if c := counter(reg, "artifact.cache.corrupt"); c != 1 {
+		t.Errorf("corrupt = %d, want 1", c)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt legacy file not removed: %v", err)
+	}
+}
+
+// TestTruncatedTailRecovery: a crashed writer leaves a partial record at
+// a segment tail; the next Open truncates it away and every complete
+// record stays readable.
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(testKind, "tail", 1)
+	get(t, st, key, 13)
+	st.Flush()
+	e := entryLoc(t, st, key)
+	st.Close()
+
+	// Remove the saved index (so recovery runs off the scan alone) and
+	// append half a record to the segment.
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatal(err)
+	}
+	path := packPath(dir, e.shard)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := blob[e.off : e.off+e.size/2]
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(partial)
+	f.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st2.Close)
+	if p := get(t, st2, key, 99); p.Value != 13 {
+		t.Fatalf("record lost after tail recovery: %+v", p)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != int64(len(blob)) {
+		t.Fatalf("partial tail not truncated: size %d, want %d", info.Size(), len(blob))
+	}
+}
+
+// TestIndexMismatchRebuild covers the saved-index failure modes: a
+// deleted or corrupted index rebuilds from a segment scan, and a segment
+// truncated below its covered length rescans from zero.
+func TestIndexMismatchRebuild(t *testing.T) {
+	writeEntries := func(t *testing.T, dir string, n int) []string {
+		st, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for i := 0; i < n; i++ {
+			key, _ := Key(testKind, i, 1)
+			keys = append(keys, key)
+			get(t, st, key, i)
+		}
+		st.Close()
+		return keys
+	}
+	reopenAndCheck := func(t *testing.T, dir string, keys []string, missing map[int]bool) int64 {
+		reg := obs.NewRegistry()
+		st, err := Open(dir, Options{Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		for i, key := range keys {
+			var p payload
+			got := st.Get(testKind, key, p.decode)
+			if missing[i] {
+				if got {
+					t.Errorf("entry %d should be lost", i)
+				}
+				continue
+			}
+			if !got || p.Value != i {
+				t.Errorf("entry %d lost or wrong: got=%v %+v", i, got, p)
+			}
+		}
+		return counter(reg, "artifact.cache.index_rebuilds")
+	}
+
+	t.Run("deleted_index", func(t *testing.T) {
+		dir := t.TempDir()
+		keys := writeEntries(t, dir, 6)
+		if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+			t.Fatal(err)
+		}
+		reopenAndCheck(t, dir, keys, nil)
+	})
+
+	t.Run("corrupt_index", func(t *testing.T) {
+		dir := t.TempDir()
+		keys := writeEntries(t, dir, 6)
+		path := filepath.Join(dir, indexName)
+		blob, _ := os.ReadFile(path)
+		blob[len(blob)/2] ^= 0xff
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if rebuilds := reopenAndCheck(t, dir, keys, nil); rebuilds != 1 {
+			t.Errorf("index_rebuilds = %d, want 1", rebuilds)
+		}
+	})
+
+	t.Run("truncated_segment", func(t *testing.T) {
+		dir := t.TempDir()
+		st, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two entries in one segment: craft keys until two share a shard.
+		var keys []string
+		var locs []idxEntry
+		for i := 0; len(keys) < 2; i++ {
+			key, _ := Key(testKind, fmt.Sprintf("seg-%d", i), 1)
+			if len(keys) == 1 {
+				first := entryLoc(t, st, keys[0])
+				if shardOf(key) != first.shard {
+					continue
+				}
+			}
+			get(t, st, key, len(keys))
+			st.Flush()
+			keys = append(keys, key)
+			locs = append(locs, entryLoc(t, st, key))
+		}
+		st.Close()
+		// Truncate the segment below the index's covered length, keeping
+		// only the first record: the shard must rescan from zero, recover
+		// entry 0, and drop entry 1.
+		path := packPath(dir, locs[0].shard)
+		if err := os.Truncate(path, locs[0].size); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st2.Close()
+		var p payload
+		if !st2.Get(testKind, keys[0], p.decode) || p.Value != 0 {
+			t.Fatalf("surviving record lost after rescan: %+v", p)
+		}
+		if st2.Get(testKind, keys[1], p.decode) {
+			t.Fatal("truncated-away record still served")
+		}
+	})
 }
 
 func TestResolve(t *testing.T) {
@@ -438,11 +682,13 @@ func TestResolve(t *testing.T) {
 	if err != nil || st == nil || st.Dir() != dir {
 		t.Fatalf("explicit dir: %v %v", st, err)
 	}
+	st.Close()
 	t.Setenv("EVAL_CACHE_DIR", dir)
 	st, err = Resolve("", false, Options{})
 	if err != nil || st == nil || st.Dir() != dir {
 		t.Fatalf("env dir: %v %v", st, err)
 	}
+	st.Close()
 	if st, err := Resolve("", true, Options{}); err != nil || st != nil {
 		t.Fatalf("no-cache beats env: %v %v", st, err)
 	}

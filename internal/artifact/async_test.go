@@ -32,6 +32,18 @@ func put(t *testing.T, st *Store, key string, v int) {
 	st.Put(testKind, key, b)
 }
 
+// durable asserts key is visible to a brand-new store on dir — the
+// packed-layout equivalent of statting a v1 entry file.
+func durable(t *testing.T, dir, key string) int {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	return readBack(t, st, key)
+}
+
 // TestReadYourWrites: a store must observe its own unflushed writes (the
 // pending set), while a second store on the same directory sees them only
 // after Flush.
@@ -101,37 +113,44 @@ func TestFlushCloseIdempotentNilSafe(t *testing.T) {
 	}
 	syncStore.Flush()
 	syncStore.Close()
+	syncStore.Close()
 }
 
 // TestWriteAfterCloseIsSynchronous: a closed store keeps working — writes
 // fall back to the synchronous path and are immediately durable.
 func TestWriteAfterCloseIsSynchronous(t *testing.T) {
-	st, _ := openTestStore(t)
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	st.Close()
 	key, _ := Key(testKind, "postclose", 1)
 	put(t, st, key, 8)
-	if _, err := os.Stat(st.entryPath(testKind, key)); err != nil {
-		t.Fatalf("post-close write not on disk: %v", err)
-	}
 	if v := readBack(t, st, key); v != 8 {
 		t.Fatalf("post-close write unreadable: got %d", v)
+	}
+	if v := durable(t, dir, key); v != 8 {
+		t.Fatalf("post-close write not durable: got %d", v)
 	}
 }
 
 // TestSyncWritesMode: with Options.SyncWrites every write is durable the
 // moment Put returns, with no Flush needed — the pre-async behavior.
 func TestSyncWritesMode(t *testing.T) {
-	st, err := Open(t.TempDir(), Options{SyncWrites: true})
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SyncWrites: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(st.Close)
 	key, _ := Key(testKind, "sync", 1)
 	put(t, st, key, 5)
-	if _, err := os.Stat(st.entryPath(testKind, key)); err != nil {
-		t.Fatalf("sync write not on disk: %v", err)
-	}
 	if v := readBack(t, st, key); v != 5 {
 		t.Fatalf("sync write unreadable: got %d", v)
+	}
+	if v := durable(t, dir, key); v != 5 {
+		t.Fatalf("sync write not durable before Flush: got %d", v)
 	}
 }
 
@@ -151,14 +170,19 @@ func TestCloseFlushesQueue(t *testing.T) {
 		put(t, st, key, i)
 	}
 	st.Close()
+	fresh, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fresh.Close)
 	for i, key := range keys {
-		if _, err := os.Stat(st.entryPath(testKind, key)); err != nil {
-			t.Fatalf("entry %d missing after Close: %v", i, err)
+		if v := readBack(t, fresh, key); v != i {
+			t.Fatalf("entry %d missing after Close: got %d", i, v)
 		}
 	}
 }
 
-// TestDiskBytesAccountingUnderConcurrency: the LRU sweep and the async
+// TestDiskBytesAccountingUnderConcurrency: the settle pass and the async
 // flusher share the disk-byte accounting; hammering writes, flushes, and
 // reads concurrently (run under -race) must leave the
 // artifact.cache.disk_bytes gauge exactly equal to a fresh walk of the
@@ -181,7 +205,7 @@ func TestDiskBytesAccountingUnderConcurrency(t *testing.T) {
 				key, _ := Key(testKind, fmt.Sprintf("acct-%d-%d", g, i%8), 1)
 				put(t, st, key, i)
 				if i%5 == 0 {
-					st.Flush() // force sweeps to race the flusher's own
+					st.Flush() // force settles to race the flusher's own
 				}
 				readBack(t, st, key)
 			}
@@ -208,41 +232,59 @@ func TestDiskBytesAccountingUnderConcurrency(t *testing.T) {
 	}
 }
 
-// TestCrashDebrisRecovery: leftover temp files from a crashed writer (the
-// only partial-write artifact the atomic-rename protocol can leave) must
-// neither corrupt reads nor survive a sweep once stale.
+// TestCrashDebrisRecovery: leftover temp files from a crashed settle (a
+// failed index save or abandoned compaction) and v1-era temp debris must
+// neither corrupt reads nor survive a settle once stale.
 func TestCrashDebrisRecovery(t *testing.T) {
-	st, reg := openTestStore(t)
+	dir := t.TempDir()
+	old := time.Now().Add(-2 * time.Minute)
+	// Root-level debris from a crashed v2 settle.
+	rootDebris := []string{
+		filepath.Join(dir, ".index.tmp-crashed"),
+		filepath.Join(dir, ".pack-compact-crashed"),
+	}
+	for _, p := range rootDebris {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Subdirectory debris from a crashed v1 writer.
+	legacyDir := filepath.Join(dir, "test", "ab")
+	if err := os.MkdirAll(legacyDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	v1Debris := filepath.Join(legacyDir, ".entry.json.tmp-crashed")
+	if err := os.WriteFile(v1Debris, []byte(`{"partial":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(v1Debris, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	st, err := Open(dir, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
 	key, _ := Key(testKind, "debris", 1)
 	put(t, st, key, 21)
 	st.Flush()
 
-	// Simulate a crash mid-write: a stale temp file next to the entry.
-	path := st.entryPath(testKind, key)
-	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp-crashed")
-	if err := os.WriteFile(tmp, []byte(`{"partial":`), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	old := time.Now().Add(-2 * time.Minute)
-	if err := os.Chtimes(tmp, old, old); err != nil {
-		t.Fatal(err)
-	}
-
-	// The entry itself stays perfectly readable around the debris.
+	// The store works fine around the debris.
 	if v := readBack(t, st, key); v != 21 {
 		t.Fatalf("debris broke a clean read: got %d", v)
 	}
 	if c := counter(reg, "artifact.cache.corrupt"); c != 0 {
 		t.Fatalf("debris counted as corruption: %d", c)
 	}
-
-	// The next settled sweep clears stale debris.
-	put(t, st, key, 22)
-	st.Flush()
-	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
-		t.Fatalf("stale temp file survived the sweep: %v", err)
-	}
-	if v := readBack(t, st, key); v != 22 {
-		t.Fatalf("entry lost during debris cleanup: got %d", v)
+	// The settle cleared the stale debris.
+	for _, p := range append(rootDebris, v1Debris) {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("stale debris %s survived the settle: %v", p, err)
+		}
 	}
 }

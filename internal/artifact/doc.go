@@ -15,7 +15,7 @@
 // encoding of
 //
 //	{
-//	  "schema":   SchemaVersion,   // store file-format version
+//	  "schema":   1,               // key pre-image version (keySchema)
 //	  "kind":     <producer name>, // "chip", "profile", "solver", ...
 //	  "version":  <producer version>,
 //	  "params":   <full parameter struct>,
@@ -28,9 +28,14 @@
 // TrainOptions field that affects the trained weights — Workers and Obs
 // are excluded because training output is byte-identical without them).
 // Struct fields marshal in declaration order, so the encoding — and the
-// key — is deterministic. Any parameter change, seed change, producer
-// version bump, or schema bump therefore misses cleanly; there is no
-// in-place migration, only rebuild-and-overwrite.
+// key — is deterministic. Any parameter change, seed change, or producer
+// version bump therefore misses cleanly; there is no in-place migration
+// of a stale payload, only rebuild-and-overwrite.
+//
+// The pre-image "schema" is keySchema, pinned at 1 forever; it is NOT
+// SchemaVersion, which versions the storage layout below. Keeping the
+// key function fixed across layout generations is what lets a v2 store
+// recompute — and so migrate — the keys a v1 store wrote.
 //
 // Two kinds carry workload-trace identity (see WORKLOADS.md):
 //
@@ -43,78 +48,156 @@
 //     different traces never alias each other's profiles, and any byte
 //     change to a trace re-keys everything derived from it.
 //
-// # On-disk layout
+// # On-disk layout (store schema v2)
 //
-// Entries live under dir/<kind>/<key[:2]>/<key>.json as a small envelope
+// A store directory holds numShards (8) packfile segments plus one
+// index file:
 //
-//	{"schema":1,"kind":"profile","key":"<hex>","sha256":"<hex>","payload":{...}}
+//	pack-00.bin … pack-07.bin    append-only record segments
+//	index.bin                    persistent index, atomically replaced
 //
-// whose payload is the producer's existing JSON codec output and whose
-// sha256 covers the payload bytes. Writes go through a temp file in the
-// same directory followed by an atomic rename, so concurrent readers
-// (other goroutines or other processes) see either the complete old
-// entry or the complete new one, never a partial write.
+// Entries stripe across segments by the leading hex nibble of their key
+// (shardOf), so concurrent synchronous writers contend on different
+// stripe locks and compaction rewrites 1/8 of the store at a time.
+//
+// Each segment is a concatenation of framed records:
+//
+//	magic "EVR2" [4]
+//	uvarint kindLen, kind bytes
+//	raw key [32]                 (SHA-256 digest, hex-decoded)
+//	uvarint payloadLen, payload bytes
+//	crc32c [4, little-endian]    (covers everything above it)
+//
+// Records are immutable once appended; rewriting a key appends a new
+// record and repoints the index, leaving the old record as garbage for
+// the next compaction. CRC-32C (Castagnoli, hardware-accelerated)
+// replaces v1's per-entry SHA-256 — a cache record needs corruption
+// detection, not collision resistance, and the CRC is an order of
+// magnitude cheaper on the warm path.
+//
+// The index file maps key → (segment, offset, length, atime):
+//
+//	magic "EVI2" [4]
+//	uvarint schema (= SchemaVersion)
+//	uvarint nShards, per-shard covered length
+//	uvarint nKinds, length-prefixed kind strings
+//	uvarint nEntries, entries: (uvarint kindRef, raw key [32],
+//	    uvarint shard, offset, size, atime)
+//	crc32c [4, little-endian]
+//
+// Entries are sorted by (kind, key), so identical stores serialize
+// identically. The covered lengths record how much of each segment the
+// index describes; Open scans each segment's bytes beyond them (the
+// tail scan) to recover records appended after the last index save.
+//
+// # Payload encodings
+//
+// A payload is either the producer's JSON codec output (first byte '{')
+// or the v2 columnar binary form (first byte BinaryTag, 0xB2, followed
+// by a kind-specific format version). Payload decoders sniff the first
+// byte and accept both, so producer Kind versions did not bump for the
+// layout change and migrated v1 payload bytes rewrite verbatim into
+// packfiles. The binary form (Enc/Dec) writes small integers as
+// varints and dense float64 columns — chip grids, controller weight
+// matrices, PE tables — as contiguous little-endian IEEE-754 blocks:
+// bit-exact round-trips with no number formatting or parsing.
+//
+// # Recovery
+//
+// Open restores the index file when intact and otherwise rebuilds it by
+// scanning every segment (artifact.cache.index_rebuilds counts this).
+// Either way every segment's uncovered tail is scanned for appended
+// records; a partial record at a tail (crashed writer) is truncated
+// away; a segment shorter than its covered length (externally truncated
+// or replaced) drops its index entries and rescans from zero; index
+// entries pointing outside their segment are dropped. A crash therefore
+// loses at most unflushed writes — clean misses on the next run, never
+// corruption, since every read re-verifies the record checksum.
+//
+// # Migration from v1
+//
+// Version-1 stores kept one JSON envelope file per entry under
+// dir/<kind>/<key[:2]>/<key>.json. A v2 store reads these through: on
+// an index miss it checks the legacy path, verifies the envelope
+// (schema, kind, key, payload SHA-256), counts artifact.cache.migrated,
+// rewrites the payload into a packfile via the normal write path, and
+// deletes the legacy file. Existing CI caches therefore migrate
+// incrementally as they are hit; untouched legacy entries still count
+// against MaxBytes and age out through the LRU sweep.
+//
+// One v1 property is narrowed: v1's atomic per-entry renames allowed
+// concurrent *writing* processes on one directory. The packed layout
+// assumes a single writing process at a time (in-process concurrency is
+// unrestricted). Concurrent readers of a directory another process is
+// writing remain safe — the index is replaced atomically and segment
+// tails are re-scanned — and duplicate work across processes was always
+// harmless (identical content either way).
 //
 // # Failure semantics
 //
 // The cache can never fail a run or change a result. A missing entry is
-// a miss; a corrupt entry — truncation, bit flip, schema or key
-// mismatch, checksum mismatch, or a payload its consumer cannot decode —
-// is a *counted* miss (artifact.cache.corrupt) that rebuilds and
-// overwrites the entry. Write failures (read-only disk, ENOSPC) are
-// counted and swallowed; the freshly built artifact is still returned.
-// Loaded artifacts are byte-exact reproductions of what the producer
-// built (Go's JSON float encoding round-trips exactly), so cold and warm
-// runs of an experiment are byte-identical at a fixed seed.
+// a miss; a corrupt entry — truncation, bit flip, framing or checksum
+// mismatch, or a payload its consumer cannot decode — is a *counted*
+// miss (artifact.cache.corrupt) that rebuilds and supersedes the
+// record. Write failures (read-only disk, ENOSPC) are counted and
+// swallowed; the freshly built artifact is still returned. Loaded
+// artifacts are byte-exact reproductions of what the producer built
+// (both payload encodings round-trip float64 exactly), so cold, warm,
+// and migrated runs of an experiment are byte-identical at a fixed
+// seed.
 //
 // # Asynchronous persistence
 //
 // By default writes are decoupled from the builder: Put and GetOrBuild
-// seal the envelope, enqueue it on a bounded queue (writers block once
+// enqueue the payload on a bounded queue (writers block once
 // maxQueuedWrites jobs are outstanding, so a slow disk applies
-// backpressure), and return while a single background flusher performs
-// the temp-file + atomic-rename persistence. This overlaps cold-path
+// backpressure) and return, while a single background flusher frames
+// records and appends them to the segments. This overlaps cold-path
 // disk I/O with the next artifact's build. The ordering contract:
 //
 //   - Read-your-writes: within one Store, a write is visible to reads
 //     the moment Put/GetOrBuild returns — reads consult the in-memory
-//     pending set before the disk, so a store can never miss on (or read
-//     a stale version of) its own write.
-//   - Same-key FIFO, last write wins: the queue persists in write order,
-//     and a pending entry is retired only when the flusher lands the
-//     write carrying its sequence number, so the final value of a
-//     rewritten key wins both in memory and on disk.
+//     pending set before the index, so a store can never miss on (or
+//     read a stale version of) its own write.
+//   - Same-key FIFO, last write wins: the queue persists in write
+//     order and appends repoint the index in that order, so the final
+//     value of a rewritten key wins both in memory and on disk.
 //   - Durability only at Flush/Close: an unflushed write exists only in
 //     this process. Flush blocks until everything enqueued before it is
-//     renamed into place; Close flushes, stops the flusher, and leaves
-//     the store usable (later writes fall back to synchronous
-//     persistence). Both are idempotent and nil-safe.
-//   - Cross-store visibility requires Flush: another Store (or process)
-//     on the same directory sees an entry only after the writer flushes.
-//     The atomic rename still guarantees it sees a whole entry or none.
+//     appended, then settles the store (sweep, compaction, index save);
+//     Close additionally stops the flusher and closes the segment
+//     handles, leaving the store usable (later writes fall back to
+//     synchronous persistence). Both are idempotent and nil-safe.
+//   - Cross-process visibility requires Flush: a reader process on the
+//     same directory sees an entry only after the writer flushes (the
+//     saved index plus tail scan covers everything appended).
 //
-// Options.SyncWrites restores the old persist-before-return behavior for
-// callers that cannot interpose a Flush before handing the directory off.
-// Either way a process crash loses at most queued-but-unrenamed entries —
-// pure cache misses on the next run, never corruption — and the stale
-// temp files it may leave behind are swept once they age out.
+// Options.SyncWrites restores persist-before-return for callers that
+// cannot interpose a Flush before handing the directory off.
 //
 // # Concurrency and bounds
 //
 // In-process, GetOrBuild deduplicates concurrent builds of the same key
 // (single-flight): one goroutine builds, the rest wait and decode the
-// same bytes. Across processes the atomic rename makes duplicate builds
-// harmless — both write identical content. A bounded-size LRU sweep
-// (Options.MaxBytes) deletes the least-recently-used entries once enough
-// written bytes accumulate (and always at Flush/Close); hits bump an
-// entry's mtime. The sweep and the disk-byte accounting it publishes are
-// serialized under a dedicated mutex, so the flusher, Flush callers, and
-// synchronous writers never interleave directory walks.
+// same bytes. Reads are pread-based and lockless against appends; a
+// compaction atomically renames the rewritten segment into place and
+// retires the old read descriptor, so in-flight reads finish against
+// the old inode. A bounded-size LRU sweep (Options.MaxBytes) evicts the
+// least-recently-used entries — across both packed records and legacy
+// v1 files — once enough written bytes accumulate (and always at
+// Flush/Close); hits bump an entry's atime. Eviction marks record bytes
+// as garbage; compaction rewrites a segment without them when its
+// garbage passes compactMinGarbage and half the segment, or whenever
+// the store is over its cap. The settle pass and the disk-byte
+// accounting it publishes are serialized under a dedicated mutex.
 //
 // # Metrics
 //
 // With a non-nil obs.Registry the store records artifact.cache.{hits,
-// misses,corrupt,bytes,write_errors,evictions} counters plus per-kind
-// variants (artifact.cache.<kind>.{hits,misses,corrupt}) and an
-// artifact.cache.disk_bytes gauge after each sweep.
+// misses,corrupt,migrated,bytes,write_errors,evictions,compactions,
+// index_rebuilds} counters plus per-kind variants
+// (artifact.cache.<kind>.{hits,misses,corrupt,migrated}), the
+// artifact.cache.{encode_ns,decode_ns} timers around record framing and
+// record reads, an artifact.cache.segments gauge (live packfile count),
+// and an artifact.cache.disk_bytes gauge after each settle.
 package artifact

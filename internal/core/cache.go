@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"math/bits"
 
@@ -31,14 +33,23 @@ var (
 	// generator inputs (workload.Spec, seed), so generated scenarios replay
 	// from the store like proxy-suite artifacts.
 	traceKind = artifact.Kind{Name: "trace", Version: 1}
+	// apprun entries hold finished per-(chip, environment, mode, app)
+	// evaluation results; staticpt entries hold the per-(chip, class)
+	// conservative operating points that Static-mode runs share. Both are
+	// exact float64 round-trips of the computed values, so a warm summary
+	// run skips the adaptation loop entirely and still reduces to
+	// byte-identical figures.
+	apprunKind   = artifact.Kind{Name: "apprun", Version: 1}
+	staticptKind = artifact.Kind{Name: "staticpt", Version: 1}
 )
 
 // SetArtifacts attaches a persistent artifact store; chip variation maps,
-// phase profiles, and trained fuzzy solvers are then loaded from (and
-// written to) it instead of being rebuilt every process. A nil store (the
-// default) disables persistence at zero cost. Cached artifacts are
-// byte-exact reproductions of a fresh build, so results are identical
-// with or without the store.
+// phase profiles, trained fuzzy solvers, PE tables, generated traces,
+// static operating points, and finished per-app adaptation results are
+// then loaded from (and written to) it instead of being rebuilt every
+// process. A nil store (the default) disables persistence at zero cost.
+// Cached artifacts are byte-exact reproductions of a fresh build, so
+// results are identical with or without the store.
 func (s *Simulator) SetArtifacts(store *artifact.Store) { s.store = store }
 
 // Artifacts returns the attached store (nil when disabled).
@@ -57,10 +68,15 @@ func (s *Simulator) cachedChip(seed int64) *varius.ChipMaps {
 	}
 	chip := new(varius.ChipMaps)
 	err = s.store.GetOrBuild(chipKind, key,
-		func(payload []byte) error { return chip.UnmarshalJSON(payload) },
+		func(payload []byte) error {
+			if artifact.IsBinary(payload) {
+				return chip.UnmarshalBinary(payload)
+			}
+			return chip.UnmarshalJSON(payload)
+		},
 		func() ([]byte, error) {
 			chip = s.gen.Chip(seed)
-			return chip.MarshalJSON()
+			return chip.MarshalBinary()
 		})
 	if err != nil {
 		return nil
@@ -99,13 +115,18 @@ func (s *Simulator) buildProfile(app workload.App, ph workload.Phase) (pipeline.
 	}
 	var p pipeline.Profile
 	err = s.store.GetOrBuild(profileKind, key,
-		func(payload []byte) error { return json.Unmarshal(payload, &p) },
+		func(payload []byte) error {
+			if artifact.IsBinary(payload) {
+				return decodeProfile(payload, &p)
+			}
+			return json.Unmarshal(payload, &p)
+		},
 		func() ([]byte, error) {
 			var berr error
 			if p, berr = build(); berr != nil {
 				return nil, berr
 			}
-			return json.Marshal(p)
+			return encodeProfile(p), nil
 		})
 	if err != nil {
 		return pipeline.Profile{}, err
@@ -145,6 +166,11 @@ func (s *Simulator) loadPETables(cpu *adapt.Core, seed int64) int {
 	}
 	var p petablePayload
 	if !s.store.Get(petableKind, key, func(payload []byte) error {
+		if artifact.IsBinary(payload) {
+			var derr error
+			p.Tables, derr = decodePETables(payload)
+			return derr
+		}
 		return json.Unmarshal(payload, &p)
 	}) {
 		return 0
@@ -171,11 +197,165 @@ func (s *Simulator) storePETables(cpu *adapt.Core, seed int64, imported int) {
 	if !ok {
 		return
 	}
-	payload, err := json.Marshal(petablePayload{Tables: tabs})
-	if err != nil {
-		return
+	s.store.Put(petableKind, key, encodePETables(tabs))
+}
+
+// appRunParams is the apprun artifact's key material: the full machine
+// model behind the chip's cores, the environment's technique
+// configuration, the application's identity down to its phase tables, and
+// the adaptation policy. The policy is pinned by content, not provenance:
+// Solver carries the SHA-256 of the dynamic solver's serialized weights
+// (so retrained controllers can never replay a stale run), and Static
+// carries the chip's exact static operating point, whose float64 values
+// fingerprint the conservative class profile it was derived from.
+type appRunParams struct {
+	Varius   varius.Params  `json:"varius"`
+	Power    power.Params   `json:"power"`
+	Thermal  thermal.Params `json:"thermal"`
+	Checker  checker.Config `json:"checker"`
+	Limits   adapt.Limits   `json:"limits"`
+	Tech     tech.Config    `json:"tech"`
+	TraceLen int            `json:"trace_len"`
+
+	Mode   Mode             `json:"mode"`
+	App    string           `json:"app"`
+	Trace  string           `json:"trace,omitempty"`
+	Class  workload.Class   `json:"class"`
+	Phases []workload.Phase `json:"phases"`
+
+	Solver string                `json:"solver,omitempty"`
+	Static *adapt.OperatingPoint `json:"static,omitempty"`
+}
+
+// solverFingerprint is the content identity a dynamic solver contributes
+// to apprun keys: the SHA-256 hex of the trained weights for a fuzzy
+// solver, a fixed tag for the (stateless) exhaustive algorithm. An empty
+// return disables apprun caching for the calling unit.
+func solverFingerprint(solver adapt.Solver) string {
+	fs, ok := solver.(*adapt.FuzzySolver)
+	if !ok {
+		if _, ok := solver.(adapt.Exhaustive); ok {
+			return "exh"
+		}
+		return ""
 	}
-	s.store.Put(petableKind, key, payload)
+	b, err := fs.MarshalBinary()
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// cachedAppRun wraps one application run in the artifact store: a hit
+// replays the finished AppRun instead of re-entering the per-phase
+// adaptation loop. Dynamic modes must supply solverFP; Static mode must
+// supply its operating point. Controller-outcome *counters* (the obs
+// metrics, not the AppRun outcome counts) only advance on misses, since a
+// hit runs no controller.
+func (s *Simulator) cachedAppRun(seed int64, core *adapt.Core, app workload.App,
+	mode Mode, solverFP string, static *adapt.OperatingPoint,
+	build func() (AppRun, error)) (AppRun, error) {
+	if s.store == nil || (mode != Static && solverFP == "") {
+		return build()
+	}
+	params := appRunParams{
+		Varius:   s.opts.Varius,
+		Power:    s.opts.Power,
+		Thermal:  s.opts.Thermal,
+		Checker:  s.opts.Checker,
+		Limits:   s.opts.Limits,
+		Tech:     core.Config,
+		TraceLen: s.opts.TraceLen,
+		Mode:     mode,
+		App:      app.Name,
+		Trace:    app.Trace,
+		Class:    app.Class,
+		Phases:   app.Phases,
+		Solver:   solverFP,
+		Static:   static,
+	}
+	key, err := artifact.Key(apprunKind, params, seed)
+	if err != nil {
+		return build()
+	}
+	var run AppRun
+	err = s.store.GetOrBuild(apprunKind, key,
+		func(payload []byte) error { return decodeAppRun(payload, &run) },
+		func() ([]byte, error) {
+			var berr error
+			if run, berr = build(); berr != nil {
+				return nil, berr
+			}
+			return encodeAppRun(run), nil
+		})
+	if err != nil {
+		return AppRun{}, err
+	}
+	return run, nil
+}
+
+// staticPointParams is the staticpt artifact's key material: the machine
+// model, the technique configuration, and the identities of every class
+// profile the conservative worst-case profile folds over, in fold order.
+type staticPointParams struct {
+	Varius   varius.Params  `json:"varius"`
+	Power    power.Params   `json:"power"`
+	Thermal  thermal.Params `json:"thermal"`
+	Checker  checker.Config `json:"checker"`
+	Limits   adapt.Limits   `json:"limits"`
+	Tech     tech.Config    `json:"tech"`
+	TraceLen int            `json:"trace_len"`
+
+	Class workload.Class  `json:"class"`
+	Suite []profileParams `json:"suite"`
+}
+
+// cachedStaticPoint is StaticPoint behind the artifact store.
+func (s *Simulator) cachedStaticPoint(core *adapt.Core, class workload.Class,
+	apps []workload.App, seed int64) (adapt.OperatingPoint, error) {
+	if s.store == nil {
+		return s.StaticPoint(core, class, apps)
+	}
+	params := staticPointParams{
+		Varius:   s.opts.Varius,
+		Power:    s.opts.Power,
+		Thermal:  s.opts.Thermal,
+		Checker:  s.opts.Checker,
+		Limits:   s.opts.Limits,
+		Tech:     core.Config,
+		TraceLen: s.opts.TraceLen,
+		Class:    class,
+	}
+	for _, app := range apps {
+		if app.Class != class {
+			continue
+		}
+		for _, ph := range app.Phases {
+			params.Suite = append(params.Suite, profileParams{
+				App: app.Name, Class: app.Class, Trace: app.Trace,
+				Phase: ph, TraceLen: s.opts.TraceLen,
+			})
+		}
+	}
+	key, err := artifact.Key(staticptKind, params, seed)
+	if err != nil {
+		return s.StaticPoint(core, class, apps)
+	}
+	var point adapt.OperatingPoint
+	err = s.store.GetOrBuild(staticptKind, key,
+		func(payload []byte) error { return decodePoint(payload, &point) },
+		func() ([]byte, error) {
+			var berr error
+			if point, berr = s.StaticPoint(core, class, apps); berr != nil {
+				return nil, berr
+			}
+			return encodePoint(point), nil
+		})
+	if err != nil {
+		return adapt.OperatingPoint{}, err
+	}
+	return point, nil
 }
 
 // solverParams is the solver artifact's key material: every input that
@@ -251,8 +431,12 @@ func (s *Simulator) TrainFuzzyCached(cores []*adapt.Core, chipSeeds []int64, opt
 	err = s.store.GetOrBuild(solverKind, key,
 		func(payload []byte) error {
 			sv := new(adapt.FuzzySolver)
-			if uerr := sv.UnmarshalJSON(payload); uerr != nil {
-				return uerr
+			uerr := sv.UnmarshalJSON
+			if artifact.IsBinary(payload) {
+				uerr = sv.UnmarshalBinary
+			}
+			if derr := uerr(payload); derr != nil {
+				return derr
 			}
 			solver = sv
 			return nil
@@ -262,7 +446,7 @@ func (s *Simulator) TrainFuzzyCached(cores []*adapt.Core, chipSeeds []int64, opt
 			if solver, terr = adapt.TrainFuzzySolver(cores, opts); terr != nil {
 				return nil, terr
 			}
-			return solver.MarshalJSON()
+			return solver.MarshalBinary()
 		})
 	if err != nil {
 		return nil, err

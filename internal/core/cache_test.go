@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/artifact"
@@ -29,15 +30,15 @@ func cacheTestConfig() (Options, ExperimentConfig) {
 }
 
 // runSummaryWithCache runs the experiment against dir ("" = no cache) and
-// returns the serialized summary plus the run's cache counters.
-func runSummaryWithCache(t *testing.T, dir string) (summary []byte, hits, misses int64) {
+// returns the serialized summary plus the run's store metrics registry
+// (nil counters read as zero for the uncached case).
+func runSummaryWithCache(t *testing.T, dir string) (summary []byte, reg *obs.Registry) {
 	t.Helper()
 	opts, cfg := cacheTestConfig()
 	sim, err := NewSimulator(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var reg *obs.Registry
 	if dir != "" {
 		reg = obs.NewRegistry()
 		store, err := artifact.Open(dir, artifact.Options{Obs: reg})
@@ -57,8 +58,7 @@ func runSummaryWithCache(t *testing.T, dir string) (summary []byte, hits, misses
 	if err != nil {
 		t.Fatal(err)
 	}
-	return blob, reg.Counter("artifact.cache.hits").Value(),
-		reg.Counter("artifact.cache.misses").Value()
+	return blob, reg
 }
 
 // TestArtifactCacheColdWarmGolden is the determinism contract of the
@@ -70,8 +70,9 @@ func TestArtifactCacheColdWarmGolden(t *testing.T) {
 		t.Skip("full-stack experiment")
 	}
 	dir := t.TempDir()
-	cold, coldHits, coldMisses := runSummaryWithCache(t, dir)
-	if coldMisses == 0 {
+	cold, coldReg := runSummaryWithCache(t, dir)
+	coldHits := coldReg.Counter("artifact.cache.hits").Value()
+	if coldReg.Counter("artifact.cache.misses").Value() == 0 {
 		t.Fatal("cold run reported no misses; the store is not being consulted")
 	}
 	// The prefetch pass builds each chip once (a miss) and the experiment
@@ -80,19 +81,104 @@ func TestArtifactCacheColdWarmGolden(t *testing.T) {
 	if _, cfg := cacheTestConfig(); coldHits > int64(cfg.Chips) {
 		t.Fatalf("cold run reported %d hits from an empty cache", coldHits)
 	}
-	warm, warmHits, warmMisses := runSummaryWithCache(t, dir)
-	if warmHits == 0 {
+	warm, warmReg := runSummaryWithCache(t, dir)
+	if warmReg.Counter("artifact.cache.hits").Value() == 0 {
 		t.Fatal("warm run reported no hits")
 	}
-	if warmMisses != 0 {
-		t.Fatalf("warm run rebuilt %d artifacts; the cache is not keying stably", warmMisses)
+	if n := warmReg.Counter("artifact.cache.misses").Value(); n != 0 {
+		t.Fatalf("warm run rebuilt %d artifacts; the cache is not keying stably", n)
 	}
 	if !bytes.Equal(cold, warm) {
 		t.Fatalf("cold and warm summaries differ:\n cold %s\n warm %s", cold, warm)
 	}
-	uncached, _, _ := runSummaryWithCache(t, "")
+	uncached, _ := runSummaryWithCache(t, "")
 	if !bytes.Equal(cold, uncached) {
 		t.Fatalf("cached and uncached summaries differ:\n cached   %s\n uncached %s", cold, uncached)
+	}
+}
+
+// TestArtifactCacheMigratedGolden is the v1 read-through contract at
+// experiment level: a store seeded with legacy one-file-per-artifact JSON
+// entries must serve them (migrating each into the packed layout), produce
+// a byte-identical summary, and leave a store that serves the next run
+// from packfiles alone.
+func TestArtifactCacheMigratedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack experiment")
+	}
+	opts, cfg := cacheTestConfig()
+	dir := t.TempDir()
+	// Seed a v1-layout store: every evaluation chip as a legacy JSON entry,
+	// exactly what a pre-packfile cache directory held.
+	fresh, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 0; ci < cfg.Chips; ci++ {
+		seed := cfg.SeedBase + int64(ci)
+		key, err := artifact.Key(chipKind, opts.Varius, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := json.Marshal(fresh.Chip(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := artifact.WriteLegacyEntry(dir, chipKind, key, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	migrated, reg := runSummaryWithCache(t, dir)
+	if n := reg.Counter("artifact.cache.migrated").Value(); n != int64(cfg.Chips) {
+		t.Fatalf("migrated %d legacy entries, want %d", n, cfg.Chips)
+	}
+	if n := reg.Counter("artifact.cache.chip.hits").Value(); n < int64(cfg.Chips) {
+		t.Fatalf("chip hits %d; legacy entries were rebuilt instead of read through", n)
+	}
+	uncached, _ := runSummaryWithCache(t, "")
+	if !bytes.Equal(migrated, uncached) {
+		t.Fatalf("migrated and uncached summaries differ:\n migrated %s\n uncached %s", migrated, uncached)
+	}
+	// The rewrite is durable: a second run hits without migrating again.
+	warm, warmReg := runSummaryWithCache(t, dir)
+	if n := warmReg.Counter("artifact.cache.migrated").Value(); n != 0 {
+		t.Fatalf("second run migrated %d entries again", n)
+	}
+	if n := warmReg.Counter("artifact.cache.misses").Value(); n != 0 {
+		t.Fatalf("second run rebuilt %d artifacts", n)
+	}
+	if !bytes.Equal(migrated, warm) {
+		t.Fatal("migrated-store summary changed between runs")
+	}
+}
+
+// TestColdCacheOverhead bounds the write-path tax: a cold run that
+// populates the store (encodes, appends, flushes, closes) must stay
+// within 10% of the uncached wall time, plus a small absolute slack that
+// damps scheduler noise at this test's scale. Min-of-2 on both sides
+// filters one-off stalls.
+func TestColdCacheOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	run := func(dir string) time.Duration {
+		start := time.Now()
+		runSummaryWithCache(t, dir)
+		return time.Since(start)
+	}
+	uncached, cold := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 2; i++ {
+		if d := run(""); d < uncached {
+			uncached = d
+		}
+		if d := run(t.TempDir()); d < cold {
+			cold = d
+		}
+	}
+	limit := uncached + uncached/10 + 300*time.Millisecond
+	t.Logf("uncached %v, cold-with-cache %v (limit %v)", uncached, cold, limit)
+	if cold > limit {
+		t.Fatalf("cold cache overhead: %v with cache vs %v uncached (limit %v)", cold, uncached, limit)
 	}
 }
 

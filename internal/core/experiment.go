@@ -457,6 +457,7 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 	// controllers by running the Exhaustive algorithm on a software
 	// model of *this* chip (§4.3.1).
 	var solver *adapt.FuzzySolver
+	fuzzyFP := ""
 	if needFuzzy {
 		trainSpan := envSpan.Child("train solver")
 		trainSW := s.obs.Timer("core.fuzzy_train").Start()
@@ -465,6 +466,7 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 		}
 		trainSW.Stop()
 		trainSpan.End()
+		fuzzyFP = solverFingerprint(solver)
 	}
 	// Static points per class, chosen once per chip — only for classes the
 	// app set actually contains, so single-class workload sets (a common
@@ -486,12 +488,12 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 			}
 		}
 		if hasInt {
-			if staticInt, err = s.StaticPoint(core, workload.Int, apps); err != nil {
+			if staticInt, err = s.cachedStaticPoint(core, workload.Int, apps, seed); err != nil {
 				return nil, err
 			}
 		}
 		if hasFP {
-			if staticFP, err = s.StaticPoint(core, workload.FP, apps); err != nil {
+			if staticFP, err = s.cachedStaticPoint(core, workload.FP, apps, seed); err != nil {
 				return nil, err
 			}
 		}
@@ -511,11 +513,14 @@ func (s *Simulator) runChipEnv(cfg ExperimentConfig, apps []workload.App,
 				if app.Class == workload.FP {
 					point = staticFP
 				}
-				run, err = s.RunStatic(core, app, point)
+				run, err = s.cachedAppRun(seed, core, app, Static, "", &point,
+					func() (AppRun, error) { return s.RunStatic(core, app, point) })
 			case FuzzyDyn:
-				run, err = s.RunDynamic(core, app, FuzzyDyn, solver)
+				run, err = s.cachedAppRun(seed, core, app, FuzzyDyn, fuzzyFP, nil,
+					func() (AppRun, error) { return s.RunDynamic(core, app, FuzzyDyn, solver) })
 			case ExhDyn:
-				run, err = s.RunDynamic(core, app, ExhDyn, adapt.Exhaustive{})
+				run, err = s.cachedAppRun(seed, core, app, ExhDyn, "exh", nil,
+					func() (AppRun, error) { return s.RunDynamic(core, app, ExhDyn, adapt.Exhaustive{}) })
 			default:
 				err = fmt.Errorf("core: unknown mode %v", mode)
 			}

@@ -16,12 +16,41 @@ func (s *Simulator) GeneratedApps(spec workload.Spec, seed int64) ([]workload.Ap
 	if s.store == nil {
 		return workload.GenerateApps(spec, seed)
 	}
+	doc, err := TraceArtifact(s.store, spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	t, err := workload.DecodeTrace(doc)
+	if err != nil {
+		return nil, err
+	}
+	return t.Lower()
+}
+
+// TraceArtifact returns the canonical encoded TraceV1 document of (spec,
+// seed) through the artifact store: a hit replays the stored document, a
+// miss generates, persists, and returns it. A nil store (or an unkeyable
+// spec) generates directly. This is the shared entry point behind both
+// the simulator's generated workloads and tracegen's -cache-dir flag, so
+// a trace either tool produces is the byte-identical document the other
+// replays.
+func TraceArtifact(store *artifact.Store, spec workload.Spec, seed int64) ([]byte, error) {
+	encode := func() ([]byte, error) {
+		t, err := workload.Generate(spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		return t.Encode()
+	}
+	if store == nil {
+		return encode()
+	}
 	key, err := artifact.Key(traceKind, spec, seed)
 	if err != nil {
-		return workload.GenerateApps(spec, seed)
+		return encode()
 	}
 	var doc []byte
-	err = s.store.GetOrBuild(traceKind, key,
+	err = store.GetOrBuild(traceKind, key,
 		func(payload []byte) error {
 			// Reject corrupt or stale entries here so the store's
 			// degradation path (count, rebuild, overwrite) handles them.
@@ -32,11 +61,7 @@ func (s *Simulator) GeneratedApps(spec workload.Spec, seed int64) ([]workload.Ap
 			return nil
 		},
 		func() ([]byte, error) {
-			t, gerr := workload.Generate(spec, seed)
-			if gerr != nil {
-				return nil, gerr
-			}
-			enc, gerr := t.Encode()
+			enc, gerr := encode()
 			if gerr != nil {
 				return nil, gerr
 			}
@@ -46,9 +71,5 @@ func (s *Simulator) GeneratedApps(spec workload.Spec, seed int64) ([]workload.Ap
 	if err != nil {
 		return nil, err
 	}
-	t, err := workload.DecodeTrace(doc)
-	if err != nil {
-		return nil, err
-	}
-	return t.Lower()
+	return doc, nil
 }

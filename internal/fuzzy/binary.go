@@ -1,0 +1,65 @@
+package fuzzy
+
+import (
+	"errors"
+
+	"repro/internal/artifact"
+)
+
+// AppendBinary encodes the controller onto e in the artifact store's
+// columnar form: each rule's centers and widths, the consequents, and
+// the normalization bounds as contiguous little-endian float64 blocks.
+// The layout is rules, width, mu rows, sigma rows, y, lo, hi, fallback.
+func (c *Controller) AppendBinary(e *artifact.Enc) {
+	e.Uvarint(uint64(len(c.mu)))
+	width := 0
+	if len(c.mu) > 0 {
+		width = len(c.mu[0])
+	}
+	e.Uvarint(uint64(width))
+	for _, row := range c.mu {
+		e.F64s(row)
+	}
+	for _, row := range c.sigma {
+		e.F64s(row)
+	}
+	e.F64s(c.y)
+	e.F64s(c.lo)
+	e.F64s(c.hi)
+	e.F64(c.fallback)
+}
+
+// DecodeBinary restores a controller encoded by AppendBinary, applying
+// the same structural validation as UnmarshalJSON.
+func (c *Controller) DecodeBinary(d *artifact.Dec) error {
+	rules := int(d.Uvarint())
+	width := int(d.Uvarint())
+	if d.Err() != nil || rules <= 0 || rules > 1<<16 || width < 0 || width > 1<<16 {
+		return errors.New("fuzzy: corrupt controller state")
+	}
+	mu := make([][]float64, rules)
+	sigma := make([][]float64, rules)
+	for r := range mu {
+		mu[r] = d.F64s(nil)
+	}
+	for r := range sigma {
+		sigma[r] = d.F64s(nil)
+	}
+	y := d.F64s(nil)
+	lo := d.F64s(nil)
+	hi := d.F64s(nil)
+	fallback := d.F64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(y) != rules || len(lo) != width || len(hi) != width {
+		return errors.New("fuzzy: corrupt controller state")
+	}
+	for r := range mu {
+		if len(mu[r]) != len(lo) || len(sigma[r]) != len(lo) {
+			return errors.New("fuzzy: corrupt controller state (rule width)")
+		}
+	}
+	c.mu, c.sigma, c.y, c.lo, c.hi, c.fallback = mu, sigma, y, lo, hi, fallback
+	return nil
+}

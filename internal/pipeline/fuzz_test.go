@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+// decodeFuzzTrace maps raw fuzzer bytes onto an instruction trace, two
+// bytes per instruction: the first byte picks the opcode, the second
+// packs the op's fields. Every byte string decodes to a legal trace, so
+// the fuzzer explores pipeline schedules instead of input validation.
+func decodeFuzzTrace(data []byte) []Instr {
+	if len(data) > 8192 {
+		data = data[:8192] // bound per-exec cost; longer prefixes add nothing
+	}
+	trace := make([]Instr, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		b0, b1 := data[i], data[i+1]
+		in := Instr{Op: Op(int(b0) % 5)}
+		switch in.Op {
+		case OpInt, OpFP:
+			// Dependency distances up to 17 cross the clamp boundary.
+			in.Dep1 = int(b1&0x0F) + int(b0>>7)
+			in.Dep2 = int(b1 >> 4)
+		case OpLoad:
+			// A small address space forces store-to-load forwarding hits.
+			in.Addr = uint16(b1 & 0x3F)
+			in.L1Miss = b1&0x40 != 0
+			in.L2Miss = b1&0xC0 == 0xC0
+			in.Dep1 = int(b0>>5) & 0x03
+		case OpStore:
+			in.Addr = uint16(b1 & 0x3F)
+			in.Dep2 = int(b1 >> 6)
+		case OpBranch:
+			in.Mispredict = b1&1 != 0
+			in.Dep1 = int(b1 >> 4)
+		}
+		trace = append(trace, in)
+	}
+	return trace
+}
+
+// FuzzSimulateVsReference fuzzes the SoA fast-path kernel against the
+// array-of-structs reference: for any decoded trace and queue
+// configuration, both kernels must return the same Result, field for
+// field, down to the float64 bit pattern. This is the property
+// TestSimulateMatchesReference pins on the proxy suite, driven by
+// adversarial schedules instead of generated ones.
+func FuzzSimulateVsReference(f *testing.F) {
+	f.Add([]byte{0, 0}, uint8(64), uint8(32), false)
+	f.Add([]byte{2, 0xC0, 2, 0x40, 3, 0x00, 2, 0x00}, uint8(4), uint8(4), false)
+	f.Add([]byte{4, 0x11, 0, 0xFF, 1, 0x3C, 3, 0xFF, 2, 0xFF}, uint8(16), uint8(16), true)
+	f.Fuzz(func(t *testing.T, data []byte, intQ, fpQ uint8, squash bool) {
+		trace := decodeFuzzTrace(data)
+		if len(trace) == 0 {
+			return
+		}
+		cfg := Config{
+			// Queues span the minimum-legal 4 up to past the defaults.
+			IntQEntries:    4 + int(intQ)%125,
+			FPQEntries:     4 + int(fpQ)%125,
+			SquashL2Misses: squash,
+		}
+		got, gerr := Simulate(trace, cfg)
+		want, werr := SimulateReference(trace, cfg)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("error disagreement: Simulate %v, SimulateReference %v", gerr, werr)
+		}
+		if gerr == nil && got != want {
+			t.Fatalf("Simulate diverges from reference on %d instrs cfg %+v:\n got %+v\nwant %+v",
+				len(trace), cfg, got, want)
+		}
+	})
+}

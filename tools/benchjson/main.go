@@ -31,6 +31,10 @@ const (
 const (
 	warmBenchName = "BenchmarkFig10_ArtifactCache/warm"
 	coldBenchName = "BenchmarkFig10_ArtifactCache/cold"
+	// steadyBenchName is the hot-loop allocation canary: the warm gate also
+	// fails if its allocs/op regress (the steady-state thermal solve must
+	// stay allocation-free apart from its single result).
+	steadyBenchName = "BenchmarkCoreSteady/warm"
 )
 
 type benchResult struct {
@@ -58,7 +62,12 @@ func main() {
 	flag.Parse()
 
 	if *checkWarm != "" {
-		if err := checkRegression(*checkWarm, warmBenchName, *tolerance); err != nil {
+		// The warm gate also checks allocs/op — machine-independent, so no
+		// normalization — on the warm Figure 10 run and the steady-state
+		// thermal solve, catching allocation regressions that a fast CI
+		// machine would hide inside the ns tolerance.
+		if err := checkRegression(*checkWarm, warmBenchName, *tolerance,
+			warmBenchName, steadyBenchName); err != nil {
 			fatal(err)
 		}
 		return
@@ -100,7 +109,7 @@ func main() {
 // speed, so the gate normalizes both sides by BenchmarkCorePipelineReference
 // (an unoptimized, allocation-free kernel whose cost tracks raw CPU speed)
 // when the baseline recorded it; otherwise it falls back to the raw ratio.
-func checkRegression(baselinePath, benchName string, tolerance float64) error {
+func checkRegression(baselinePath, benchName string, tolerance float64, allocGates ...string) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -147,6 +156,33 @@ func checkRegression(baselinePath, benchName string, tolerance float64) error {
 	if ratio > 1+tolerance {
 		return fmt.Errorf("regression: %s %.0f ns/op vs baseline %.0f ns/op (normalized %.2fx > %.2fx allowed)",
 			benchName, now.NsPerOp, baseline.NsPerOp, ratio, 1+tolerance)
+	}
+	for _, name := range allocGates {
+		baseAllocs, ok := find(base.Benchmarks, name)
+		if !ok {
+			return fmt.Errorf("%s: no %s entry for the allocs gate", baselinePath, name)
+		}
+		nowAllocs, ok := find(current, name)
+		if !ok {
+			// Not part of the Figure 10 run already in hand: run it now.
+			extra, err := runBench("^Benchmark"+strings.Split(strings.TrimPrefix(name, "Benchmark"), "/")[0]+"$", "")
+			if err != nil {
+				return err
+			}
+			if nowAllocs, ok = find(extra, name); !ok {
+				return fmt.Errorf("benchmark run produced no %s line", name)
+			}
+		}
+		// The +0.5 slack keeps integer alloc counts from tripping on
+		// rounding at tiny baselines (1 alloc stays 1, not 1.2).
+		limit := baseAllocs.AllocsPerOp*(1+tolerance) + 0.5
+		fmt.Fprintf(os.Stderr,
+			"benchjson: %s: %.0f allocs/op now vs %.0f baseline (limit %.0f)\n",
+			name, nowAllocs.AllocsPerOp, baseAllocs.AllocsPerOp, limit)
+		if nowAllocs.AllocsPerOp > limit {
+			return fmt.Errorf("regression: %s %.0f allocs/op vs baseline %.0f (limit %.0f)",
+				name, nowAllocs.AllocsPerOp, baseAllocs.AllocsPerOp, limit)
+		}
 	}
 	return nil
 }
