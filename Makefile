@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold cache-clean spec-check doc-check fuzz-smoke
+.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold bench-check-fleet cache-clean spec-check doc-check fuzz-smoke
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -43,6 +43,13 @@ bench-check-warm:
 # PE tables, slab builds, and async artifact flusher optimize.
 bench-check-cold:
 	go run ./tools/benchjson -check-cold BENCH_adapt.json
+
+# Fleet-service gate: the warm single-core serving benchmark must stay
+# within the normalized 20% of the checked-in trajectory AND meet the
+# absolute service floors (>= 10k warm-cache events/s, scheduling p99
+# under 10 ms).
+bench-check-fleet:
+	go run ./tools/benchjson -check-fleet BENCH_adapt.json
 
 # Short coverage-guided runs of the native fuzz targets: the SoA pipeline
 # kernel against its array-of-structs reference, and the pruned Freq

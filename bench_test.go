@@ -11,11 +11,13 @@ import (
 	"math"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/artifact"
 	"repro/internal/checker"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/floorplan"
 	"repro/internal/fuzzy"
 	"repro/internal/grid"
@@ -1021,4 +1023,92 @@ func BenchmarkTimeline(b *testing.B) {
 	}
 	b.ReportMetric(overhead*100, "overhead_pct")
 	b.ReportMetric(stable*100, "stable_phase_pct")
+}
+
+// BenchmarkFleet measures the discrete-event simulation service end to
+// end: a fixed chip population, closed-loop SubmitBatch calls (one batch
+// in flight at a time, so scheduling latency is honest queue-free
+// dispatch cost), exhaustive-adaptation run events cycling over the
+// population's (chip, phase) units. Warm replays every unit from a
+// populated artifact store — the steady state of a long-running service;
+// cold has no store, so every batch pays its distinct solves. Throughput
+// (events/s) and the p50/p99 dispatch→pickup latency are attached as
+// metrics; the warm/workers=1 variant is pinned by `make
+// bench-check-fleet` (>= 10k events/s, p99 < 10 ms).
+func BenchmarkFleet(b *testing.B) {
+	const (
+		fleetChips  = 4
+		fleetPhases = 3
+		batchEvents = 50
+	)
+	env := core.TSASV.String()
+	mkBatch := func(at int64, n int) []fleet.Event {
+		events := make([]fleet.Event, n)
+		for i := range events {
+			ph := i % fleetPhases
+			events[i] = fleet.Event{
+				At: at, Kind: fleet.KindRun, Chip: int64(i % fleetChips),
+				Env: env, Mode: fleet.ModeExh, App: "gcc", Phase: &ph,
+			}
+		}
+		return events
+	}
+	for _, cached := range []bool{true, false} {
+		name := "warm"
+		if !cached {
+			name = "cold"
+		}
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				sim := newBenchSim(b)
+				if cached {
+					store, err := artifact.Open(b.TempDir(), artifact.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer store.Close()
+					sim.SetArtifacts(store)
+				}
+				fl, err := fleet.New(sim, fleet.Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer fl.Close()
+				// Untimed setup: join the population and touch every (chip,
+				// phase) unit once, building the chip handles (and, when
+				// cached, populating the store) outside the timed loop.
+				joins := make([]fleet.Event, fleetChips)
+				for c := range joins {
+					joins[c] = fleet.Event{Kind: fleet.KindJoin, Chip: int64(c)}
+				}
+				if err := fl.SubmitBatch(joins, nil); err != nil {
+					b.Fatal(err)
+				}
+				if err := fl.SubmitBatch(mkBatch(0, fleetChips*fleetPhases), nil); err != nil {
+					b.Fatal(err)
+				}
+				var sched obs.Histogram
+				var emitErr string
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := fl.SubmitBatch(mkBatch(int64(i+1), batchEvents), func(r fleet.Result) {
+						if r.Status != fleet.StatusOK && emitErr == "" {
+							emitErr = r.Err
+						}
+						sched.Observe(time.Duration(r.SchedMs * float64(time.Millisecond)))
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if emitErr != "" {
+					b.Fatal(emitErr)
+				}
+				b.ReportMetric(float64(b.N*batchEvents)/b.Elapsed().Seconds(), "events/s")
+				b.ReportMetric(float64(sched.Quantile(0.50))/1e6, "sched_p50_ms")
+				b.ReportMetric(float64(sched.Quantile(0.99))/1e6, "sched_p99_ms")
+			})
+		}
+	}
 }

@@ -53,7 +53,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer store.Close() // settle queued cache writes; nil-safe
+	defer store.Close()                   // settle queued cache writes; nil-safe
+	defer artifact.FlushOnSignal(store)() // and keep the partial cache on ^C
 	sim.SetArtifacts(store)
 	if *n > 0 {
 		if err := binChips(sim, *n); err != nil {

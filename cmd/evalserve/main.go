@@ -1,0 +1,238 @@
+// Command evalserve exposes the fleet-scale discrete-event simulation
+// service over HTTP: chips join and leave, phase changes and retuning
+// requests stream in as event batches, and pure (chip, env, app, phase)
+// adaptation units execute over a worker pool backed by the artifact
+// cache.
+//
+// Usage:
+//
+//	evalserve -addr :8080 -workers 8 -routing least-loaded
+//	evalserve -rate bulk=0.5:10,interactive=5:20 -cache-dir /tmp/evalcache
+//
+// Endpoints:
+//
+//	POST /v1/batch   body {"events":[...]}; streams one NDJSON result
+//	                 line per event, in submission order
+//	GET  /v1/stats   service telemetry snapshot (throughput, per-class
+//	                 latency histograms, Jain fairness index)
+//	GET  /healthz    liveness probe
+//
+// Flags:
+//
+//	-addr a           listen address (default :8080)
+//	-workers n        worker goroutines (0 = GOMAXPROCS)
+//	-routing p        unit routing policy: round-robin, least-loaded,
+//	                  or affinity (by chip)
+//	-max-batch n      max compatible run events coalesced per unit batch
+//	-rate spec        per-class admission rates, comma-separated
+//	                  class=perTick:burst entries; unlisted classes are
+//	                  unthrottled
+//	-examples n       fuzzy training examples per controller
+//	-tracelen n       instructions per phase profile
+//	-cache-dir dir    persistent artifact cache (falls back to
+//	                  $EVAL_CACHE_DIR); -no-cache forces it off
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight batches, releases remaining chips (flushing their PE tables),
+// and closes the artifact store before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		routing  = flag.String("routing", "round-robin", "unit routing policy: round-robin, least-loaded, affinity")
+		maxBatch = flag.Int("max-batch", fleet.DefaultMaxBatch, "max compatible run events per unit batch")
+		rates    = flag.String("rate", "", "per-class admission rates: class=perTick:burst[,class=...]")
+		examples = flag.Int("examples", 1500, "fuzzy training examples per controller")
+		traceLen = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
+		cacheDir = flag.String("cache-dir", "", "persistent artifact cache directory (falls back to $EVAL_CACHE_DIR)")
+		noCache  = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
+	)
+	flag.Parse()
+
+	pol, err := fleet.ParseRouting(*routing)
+	if err != nil {
+		fatal(err)
+	}
+	admission, err := parseRates(*rates)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	store, err := artifact.Resolve(*cacheDir, *noCache, artifact.Options{Obs: reg})
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.TraceLen = *traceLen
+	sim, err := core.NewSimulator(opts)
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetObs(reg)
+	sim.SetArtifacts(store)
+
+	cfg := fleet.Config{
+		Workers:   *workers,
+		Routing:   pol,
+		MaxBatch:  *maxBatch,
+		Admission: admission,
+		Obs:       reg,
+	}
+	cfg.Training.Examples = *examples
+	fl, err := fleet.New(sim, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batch", handleBatch(fl))
+	mux.HandleFunc("/v1/stats", handleStats(fl))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	// Graceful drain: stop accepting, finish in-flight batches, release
+	// chips (flushing PE tables), then settle the artifact store.
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "evalserve: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "evalserve: shutdown:", err)
+		}
+		fl.Close()
+		store.Close() // settle queued cache writes; nil-safe
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "evalserve: listening on %s (workers=%d routing=%s)\n",
+		*addr, fl.Stats().Workers, pol)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-done
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evalserve:", err)
+	os.Exit(1)
+}
+
+// parseRates decodes "class=perTick:burst[,class=...]" admission specs.
+func parseRates(spec string) (map[string]fleet.Rate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]fleet.Rate)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		class, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("-rate entry %q: want class=perTick:burst", entry)
+		}
+		pt, bs, ok := strings.Cut(val, ":")
+		if !ok {
+			return nil, fmt.Errorf("-rate entry %q: want class=perTick:burst", entry)
+		}
+		perTick, err := strconv.ParseFloat(pt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rate entry %q: %v", entry, err)
+		}
+		burst, err := strconv.ParseFloat(bs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rate entry %q: %v", entry, err)
+		}
+		out[class] = fleet.Rate{PerTick: perTick, Burst: burst}
+	}
+	return out, nil
+}
+
+// batchRequest is the POST /v1/batch body.
+type batchRequest struct {
+	Events []fleet.Event `json:"events"`
+}
+
+// handleBatch ingests one event batch and streams NDJSON results in
+// submission order, flushing after each line so clients see progress on
+// long-running batches.
+func handleBatch(fl *fleet.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req batchRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		// emit runs on fleet goroutines one call at a time, but guard the
+		// writer anyway: the contract is the fleet's, not the mux's.
+		var mu sync.Mutex
+		err := fl.SubmitBatch(req.Events, func(res fleet.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := enc.Encode(res); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
+		if err != nil {
+			// Nothing was emitted: the fleet only rejects before streaming.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	}
+}
+
+// handleStats serves the telemetry snapshot.
+func handleStats(fl *fleet.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fl.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

@@ -133,7 +133,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer store.Close() // settle queued cache writes; nil-safe
+	defer store.Close()                   // settle queued cache writes; nil-safe
+	defer artifact.FlushOnSignal(store)() // and keep the partial cache on ^C
 	// instrument attaches the run's observability sinks and the artifact
 	// store to a simulator; every simulator the experiments construct goes
 	// through it.

@@ -10,17 +10,31 @@
 //
 //	go run ./examples/fleet
 //	go run ./examples/fleet -spec examples/specs/edge.json -seed 42
+//
+// With -serve the same table is produced by an evalserve instance
+// instead of in-process: each chip joins the fleet, submits a baseline
+// probe and one exhaustive adaptation unit on the app's heaviest phase,
+// and leaves. The output is byte-identical to the local run of the same
+// -chips and -app:
+//
+//	go run ./examples/fleet -app gcc -chips 4
+//	go run ./examples/fleet -app gcc -chips 4 -serve http://localhost:8080
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/adapt"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/mathx"
 	"repro/internal/workload"
 )
@@ -28,11 +42,38 @@ import (
 func main() {
 	specPath := flag.String("spec", "", "workload spec JSON for the generated fleet run (default: a built-in server-mix client)")
 	specSeed := flag.Int64("seed", 1, "generation seed for the workload spec")
+	chips := flag.Int("chips", 12, "fleet size")
+	appName := flag.String("app", "", "run a single suite app instead of proxy + generated")
+	serveURL := flag.String("serve", "", "evalserve base URL; submit the fleet as an event batch instead of simulating in-process (requires -app)")
 	flag.Parse()
+
+	if *serveURL != "" {
+		if *appName == "" {
+			log.Fatal("-serve requires -app (the server resolves apps from its own suite)")
+		}
+		app, err := workload.ByName(*appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := remoteRows(*serveURL, app, *chips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printFleet(app, rows)
+		return
+	}
 
 	sim, err := core.NewSimulator(core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *appName != "" {
+		app, err := workload.ByName(*appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleetRun(sim, app, *chips)
+		return
 	}
 	proxy, err := workload.ByName("gcc")
 	if err != nil {
@@ -42,9 +83,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fleetRun(sim, proxy)
+	fleetRun(sim, proxy, *chips)
 	fmt.Println()
-	fleetRun(sim, generated)
+	fleetRun(sim, generated, *chips)
 }
 
 // generatedApp lowers the spec (or a built-in single-client scenario) and
@@ -78,18 +119,22 @@ func generatedApp(specPath string, seed int64) (workload.App, error) {
 	return apps[0], nil
 }
 
-// fleetRun bins one app's baseline vs EVAL frequencies across the fleet.
-func fleetRun(sim *core.Simulator, app workload.App) {
-	const chips = 12
+// chipRow is one chip's line of the fleet table.
+type chipRow struct {
+	fvar   float64 // worst-case-safe baseline frequency
+	fcore  float64 // adapted frequency in the preferred environment
+	powerW float64
+}
+
+// fleetRun bins one app's baseline vs EVAL frequencies across the fleet,
+// simulating in-process.
+func fleetRun(sim *core.Simulator, app workload.App, chips int) {
 	prof, err := sim.Profile(app, heaviestPhase(app))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("fleet of %d chips running %s\n\n", chips, app.Name)
-	fmt.Printf("%-6s %12s %12s %8s %10s\n", "chip", "baseline", "EVAL", "gain", "power")
-	var base, adapted []float64
-	for seed := int64(0); seed < chips; seed++ {
+	rows := make([]chipRow, 0, chips)
+	for seed := int64(0); seed < int64(chips); seed++ {
 		chip := sim.Chip(seed)
 		fvar, err := sim.ChipFVar(chip)
 		if err != nil {
@@ -103,10 +148,86 @@ func fleetRun(sim *core.Simulator, app workload.App) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		base = append(base, fvar)
-		adapted = append(adapted, res.Point.FCore)
+		rows = append(rows, chipRow{fvar: fvar, fcore: res.Point.FCore, powerW: res.State.TotalW})
+	}
+	printFleet(app, rows)
+}
+
+// remoteRows produces the same per-chip rows through an evalserve
+// instance: one event batch of join + baseline probe + exhaustive
+// heaviest-phase unit + leave per chip.
+func remoteRows(baseURL string, app workload.App, chips int) ([]chipRow, error) {
+	phase := heaviestPhaseIndex(app)
+	events := make([]fleet.Event, 0, 4*chips)
+	for seed := int64(0); seed < int64(chips); seed++ {
+		ph := phase
+		events = append(events,
+			fleet.Event{Kind: fleet.KindJoin, Chip: seed},
+			fleet.Event{Kind: fleet.KindRun, Chip: seed, Mode: fleet.ModeBaseline},
+			fleet.Event{Kind: fleet.KindRun, Chip: seed, Mode: fleet.ModeExh,
+				Env: core.TSASVQFU.String(), App: app.Name, Phase: &ph},
+			fleet.Event{Kind: fleet.KindLeave, Chip: seed},
+		)
+	}
+	body, err := json.Marshal(struct {
+		Events []fleet.Event `json:"events"`
+	}{events})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/v1/batch",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var results []fleet.Result
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var r fleet.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, err
+		}
+		if r.Status != fleet.StatusOK {
+			return nil, fmt.Errorf("event %d (%s chip %d): %s: %s",
+				r.Seq, r.Kind, r.Chip, r.Status, r.Err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) != len(events) {
+		return nil, fmt.Errorf("server streamed %d results for %d events", len(results), len(events))
+	}
+	// Results arrive in submission order: per chip, offset 1 is the
+	// baseline probe and offset 2 the adaptation unit.
+	rows := make([]chipRow, 0, chips)
+	for c := 0; c < chips; c++ {
+		base, run := results[4*c+1], results[4*c+2]
+		if base.Run == nil || run.Run == nil {
+			return nil, fmt.Errorf("chip %d: missing run payload", c)
+		}
+		rows = append(rows, chipRow{fvar: base.Run.FRel, fcore: run.Run.FRel, powerW: run.Run.PowerW})
+	}
+	return rows, nil
+}
+
+// printFleet renders the fleet table; local and -serve runs share it so
+// their outputs are comparable byte-for-byte.
+func printFleet(app workload.App, rows []chipRow) {
+	fmt.Printf("fleet of %d chips running %s\n\n", len(rows), app.Name)
+	fmt.Printf("%-6s %12s %12s %8s %10s\n", "chip", "baseline", "EVAL", "gain", "power")
+	var base, adapted []float64
+	for seed, r := range rows {
+		base = append(base, r.fvar)
+		adapted = append(adapted, r.fcore)
 		fmt.Printf("%-6d %9.2f GHz %9.2f GHz %+7.0f%% %8.1f W\n",
-			seed, fvar*4, res.Point.FCore*4, (res.Point.FCore/fvar-1)*100, res.State.TotalW)
+			seed, r.fvar*4, r.fcore*4, (r.fcore/r.fvar-1)*100, r.powerW)
 	}
 
 	bs, _ := mathx.Summarize(base)
@@ -127,10 +248,16 @@ func fleetRun(sim *core.Simulator, app workload.App) {
 
 // heaviestPhase picks the app's highest-weight phase.
 func heaviestPhase(app workload.App) workload.Phase {
-	best := app.Phases[0]
-	for _, ph := range app.Phases[1:] {
-		if ph.Weight > best.Weight {
-			best = ph
+	return app.Phases[heaviestPhaseIndex(app)]
+}
+
+// heaviestPhaseIndex is heaviestPhase as a position, the form run events
+// carry.
+func heaviestPhaseIndex(app workload.App) int {
+	best := 0
+	for i, ph := range app.Phases {
+		if ph.Weight > app.Phases[best].Weight {
+			best = i
 		}
 	}
 	return best

@@ -505,6 +505,54 @@ func (s *Store) Put(kind Kind, key string, payload []byte) {
 	s.write(kind, key, payload)
 }
 
+// ContainsBatch reports, in one indexed pass, which of keys currently
+// have a record of kind: the pending set and the packfile index are
+// consulted under a single lock acquisition, and — for stores still
+// carrying v1 entry files — a stat of the legacy path covers the
+// remaining misses. It proves presence, not integrity (a corrupt record
+// still degrades to a rebuild at Get/GetOrBuild time), bumps no counters,
+// and leaves LRU recency untouched, so probing is free of side effects.
+// Callers batching compatible work units use it to split a batch into
+// replay-hits and cold builds without paying one locked lookup per key.
+// Empty keys report false. Nil-safe: a nil store reports all-false.
+func (s *Store) ContainsBatch(kind Kind, keys []string) []bool {
+	out := make([]bool, len(keys))
+	if s == nil {
+		return out
+	}
+	missing := 0
+	s.mu.Lock()
+	for i, key := range keys {
+		if key == "" {
+			continue
+		}
+		fkey := fkeyOf(kind.Name, key)
+		if !s.syncW {
+			if _, ok := s.pending[fkey]; ok {
+				out[i] = true
+				continue
+			}
+		}
+		if _, ok := s.index[fkey]; ok {
+			out[i] = true
+			continue
+		}
+		missing++
+	}
+	s.mu.Unlock()
+	if missing > 0 && s.hasLegacy() {
+		for i, key := range keys {
+			if out[i] || key == "" {
+				continue
+			}
+			if _, err := os.Stat(legacyPath(s.dir, kind, key)); err == nil {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
 // noRelease is the release function for payloads that do not come from
 // pooled scratch.
 func noRelease() {}

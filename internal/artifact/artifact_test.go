@@ -693,3 +693,57 @@ func TestResolve(t *testing.T) {
 		t.Fatalf("no-cache beats env: %v %v", st, err)
 	}
 }
+
+// TestContainsBatch: the indexed existence probe answers from pending
+// writes, the index, and unmigrated legacy entries, and skips empty keys
+// (uncacheable items probe as absent).
+func TestContainsBatch(t *testing.T) {
+	dir := t.TempDir()
+	legacyKey, _ := Key(testKind, "cb-legacy", 1)
+	blob, _ := buildPayload(7)()
+	if err := WriteLegacyEntry(dir, testKind, legacyKey, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+
+	pendingKey, _ := Key(testKind, "cb-pending", 1)
+	get(t, st, pendingKey, 11) // async write: pending or indexed, either way present
+	missKey, _ := Key(testKind, "cb-miss", 1)
+
+	keys := []string{pendingKey, "", legacyKey, missKey}
+	want := []bool{true, false, true, false}
+	got := st.ContainsBatch(testKind, keys)
+	if len(got) != len(keys) {
+		t.Fatalf("len = %d, want %d", len(got), len(keys))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ContainsBatch[%d] (%q) = %v, want %v", i, keys[i], got[i], want[i])
+		}
+	}
+
+	// After a settle the answer must not change: pending moved to index.
+	st.Flush()
+	got = st.ContainsBatch(testKind, keys)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("post-flush ContainsBatch[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Wrong kind misses; a nil store probes everything as absent.
+	if r := st.ContainsBatch(Kind{Name: "other", Version: 1}, []string{pendingKey}); r[0] {
+		t.Error("other kind reported present")
+	}
+	var nilStore *Store
+	for _, v := range nilStore.ContainsBatch(testKind, keys) {
+		if v {
+			t.Error("nil store reported an artifact present")
+		}
+	}
+}

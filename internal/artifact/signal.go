@@ -1,0 +1,46 @@
+package artifact
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// FlushOnSignal installs a SIGINT/SIGTERM handler that closes the store —
+// settling queued writes, saving the index, and closing the segment
+// handles — before exiting with the conventional 128+signal status. Long
+// cold runs queue their artifacts on the background flusher; without
+// this, an interrupted run loses everything since the last settle, and
+// the next cold run starts over. CLIs call it right after Resolve, so an
+// interrupted -cache-dir run keeps its partial cache.
+//
+// The returned stop function uninstalls the handler (restoring default
+// signal disposition) without closing the store; it is safe to call more
+// than once. On a nil store the handler still exits on signal — the
+// process behavior does not depend on whether caching is enabled.
+func FlushOnSignal(s *Store) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			s.Close() // nil-safe
+			code := 128 + int(syscall.SIGTERM)
+			if sig == os.Interrupt {
+				code = 128 + int(syscall.SIGINT)
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		signal.Stop(ch)
+		close(done)
+	}
+}

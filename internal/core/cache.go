@@ -9,6 +9,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/artifact"
 	"repro/internal/checker"
+	"repro/internal/floorplan"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/tech"
@@ -41,6 +42,13 @@ var (
 	// byte-identical figures.
 	apprunKind   = artifact.Kind{Name: "apprun", Version: 1}
 	staticptKind = artifact.Kind{Name: "staticpt", Version: 1}
+	// outcomes entries hold one Figure 13 unit's controller-outcome counts
+	// (one chip × one technique configuration across the full app suite);
+	// table2 entries hold one Table 2 unit's per-kind accuracy samples.
+	// Both key on the trained solver's weight fingerprint, so a retrained
+	// controller can never replay stale counts.
+	outcomesKind = artifact.Kind{Name: "outcomes", Version: 1}
+	table2Kind   = artifact.Kind{Name: "table2", Version: 1}
 )
 
 // SetArtifacts attaches a persistent artifact store; chip variation maps,
@@ -222,6 +230,11 @@ type appRunParams struct {
 	Trace  string           `json:"trace,omitempty"`
 	Class  workload.Class   `json:"class"`
 	Phases []workload.Phase `json:"phases"`
+	// PhaseOnly, when set, restricts the run to the phase at that position
+	// in Phases (weighted as a whole app, weight 1) — the fleet service's
+	// phase-change events cache at this granularity. Absent for whole-app
+	// runs, which keeps every pre-existing key unchanged.
+	PhaseOnly *int `json:"phase_only,omitempty"`
 
 	Solver string                `json:"solver,omitempty"`
 	Static *adapt.OperatingPoint `json:"static,omitempty"`
@@ -247,17 +260,15 @@ func solverFingerprint(solver adapt.Solver) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// cachedAppRun wraps one application run in the artifact store: a hit
-// replays the finished AppRun instead of re-entering the per-phase
-// adaptation loop. Dynamic modes must supply solverFP; Static mode must
-// supply its operating point. Controller-outcome *counters* (the obs
-// metrics, not the AppRun outcome counts) only advance on misses, since a
-// hit runs no controller.
-func (s *Simulator) cachedAppRun(seed int64, core *adapt.Core, app workload.App,
-	mode Mode, solverFP string, static *adapt.OperatingPoint,
-	build func() (AppRun, error)) (AppRun, error) {
+// appRunKey derives the apprun artifact key for one (chip, environment,
+// mode, app[, phase]) unit, or "" when the unit is uncacheable (store
+// disabled, dynamic mode without a solver fingerprint, or key-encoding
+// failure). phase < 0 keys the whole app; phase >= 0 keys the single
+// phase at that position in app.Phases.
+func (s *Simulator) appRunKey(seed int64, cfg tech.Config, app workload.App,
+	mode Mode, solverFP string, static *adapt.OperatingPoint, phase int) string {
 	if s.store == nil || (mode != Static && solverFP == "") {
-		return build()
+		return ""
 	}
 	params := appRunParams{
 		Varius:   s.opts.Varius,
@@ -265,7 +276,7 @@ func (s *Simulator) cachedAppRun(seed int64, core *adapt.Core, app workload.App,
 		Thermal:  s.opts.Thermal,
 		Checker:  s.opts.Checker,
 		Limits:   s.opts.Limits,
-		Tech:     core.Config,
+		Tech:     cfg,
 		TraceLen: s.opts.TraceLen,
 		Mode:     mode,
 		App:      app.Name,
@@ -275,12 +286,35 @@ func (s *Simulator) cachedAppRun(seed int64, core *adapt.Core, app workload.App,
 		Solver:   solverFP,
 		Static:   static,
 	}
+	if phase >= 0 {
+		if phase >= len(app.Phases) {
+			return ""
+		}
+		params.PhaseOnly = &phase
+	}
 	key, err := artifact.Key(apprunKind, params, seed)
 	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// cachedAppRun wraps one application run in the artifact store: a hit
+// replays the finished AppRun instead of re-entering the per-phase
+// adaptation loop. Dynamic modes must supply solverFP; Static mode must
+// supply its operating point; phase < 0 runs the whole app, phase >= 0 a
+// single phase (see appRunKey). Controller-outcome *counters* (the obs
+// metrics, not the AppRun outcome counts) only advance on misses, since a
+// hit runs no controller.
+func (s *Simulator) cachedAppRun(seed int64, core *adapt.Core, app workload.App,
+	mode Mode, solverFP string, static *adapt.OperatingPoint, phase int,
+	build func() (AppRun, error)) (AppRun, error) {
+	key := s.appRunKey(seed, core.Config, app, mode, solverFP, static, phase)
+	if key == "" {
 		return build()
 	}
 	var run AppRun
-	err = s.store.GetOrBuild(apprunKind, key,
+	err := s.store.GetOrBuild(apprunKind, key,
 		func(payload []byte) error { return decodeAppRun(payload, &run) },
 		func() ([]byte, error) {
 			var berr error
@@ -452,4 +486,151 @@ func (s *Simulator) TrainFuzzyCached(cores []*adapt.Core, chipSeeds []int64, opt
 		return nil, err
 	}
 	return solver, nil
+}
+
+// machineParams is the machine-model slice of key material every
+// result-level artifact shares: everything that shapes a core's physics
+// besides the technique configuration.
+type machineParams struct {
+	Varius  varius.Params  `json:"varius"`
+	Power   power.Params   `json:"power"`
+	Thermal thermal.Params `json:"thermal"`
+	Checker checker.Config `json:"checker"`
+	Limits  adapt.Limits   `json:"limits"`
+	Tech    tech.Config    `json:"tech"`
+}
+
+func (s *Simulator) machineParams(cfg tech.Config) machineParams {
+	return machineParams{
+		Varius:  s.opts.Varius,
+		Power:   s.opts.Power,
+		Thermal: s.opts.Thermal,
+		Checker: s.opts.Checker,
+		Limits:  s.opts.Limits,
+		Tech:    cfg,
+	}
+}
+
+// outcomesParams is the outcomes artifact's key material: one Figure 13
+// unit — the machine model, the unit's technique configuration, the
+// trained controller's weight fingerprint, and the identity of every
+// (app, phase) profile the unit's serial loop visits, in loop order.
+type outcomesParams struct {
+	Machine  machineParams `json:"machine"`
+	TraceLen int           `json:"trace_len"`
+	Solver   string        `json:"solver"`
+
+	Suite []profileParams `json:"suite"`
+}
+
+// outcomePayload is one unit's controller-outcome counts. Counts are
+// small integers stored as float64 (the reduction's accumulator type),
+// which JSON round-trips exactly.
+type outcomePayload struct {
+	Counts [adapt.NumOutcomes]float64 `json:"counts"`
+	Total  float64                    `json:"total"`
+}
+
+// cachedOutcomeUnit wraps one Figure 13 (config × chip) unit — the
+// AdaptSteady sweep over every app phase — in the artifact store. An
+// empty solverFP (untrained or unserializable solver) disables caching.
+func (s *Simulator) cachedOutcomeUnit(seed int64, core *adapt.Core, solverFP string,
+	apps []workload.App, build func() (outcomePayload, error)) (outcomePayload, error) {
+	if s.store == nil || solverFP == "" {
+		return build()
+	}
+	params := outcomesParams{
+		Machine:  s.machineParams(core.Config),
+		TraceLen: s.opts.TraceLen,
+		Solver:   solverFP,
+	}
+	for _, app := range apps {
+		for _, ph := range app.Phases {
+			params.Suite = append(params.Suite, profileParams{
+				App: app.Name, Class: app.Class, Trace: app.Trace,
+				Phase: ph, TraceLen: s.opts.TraceLen,
+			})
+		}
+	}
+	key, err := artifact.Key(outcomesKind, params, seed)
+	if err != nil {
+		return build()
+	}
+	var p outcomePayload
+	err = s.store.GetOrBuild(outcomesKind, key,
+		func(payload []byte) error { return json.Unmarshal(payload, &p) },
+		func() ([]byte, error) {
+			var berr error
+			if p, berr = build(); berr != nil {
+				return nil, berr
+			}
+			return json.Marshal(p)
+		})
+	if err != nil {
+		return outcomePayload{}, err
+	}
+	return p, nil
+}
+
+// t2Query is one pre-drawn Table 2 accuracy query. Promoted to key
+// material: the table2 artifact pins the exact query stream, so any
+// change to the draw schedule invalidates stored samples.
+type t2Query struct {
+	TH      float64 `json:"th"`
+	Alpha   float64 `json:"alpha"`
+	RhoMult float64 `json:"rho_mult"`
+	FMult   float64 `json:"f_mult"`
+}
+
+// table2Params is the table2 artifact's key material: one (env × chip)
+// accuracy unit — the machine model, the unit's technique configuration,
+// the trained controller's weight fingerprint, and the full pre-drawn
+// query stream. TraceLen is deliberately absent: Table 2 reads no
+// profiles.
+type table2Params struct {
+	Machine machineParams `json:"machine"`
+	Solver  string        `json:"solver"`
+
+	Queries []t2Query `json:"queries"`
+}
+
+// table2Payload is one unit's per-kind accuracy samples, in the serial
+// loop's append order. Exact float64 round-trips keep warm reductions
+// byte-identical to cold ones.
+type table2Payload struct {
+	FErr   map[floorplan.Kind][]float64 `json:"f_err"`
+	VddErr map[floorplan.Kind][]float64 `json:"vdd_err"`
+	VbbErr map[floorplan.Kind][]float64 `json:"vbb_err"`
+}
+
+// cachedTable2Unit wraps one Table 2 (env × chip) unit in the artifact
+// store.
+func (s *Simulator) cachedTable2Unit(seed int64, core *adapt.Core, solverFP string,
+	queries []t2Query, build func() (table2Payload, error)) (table2Payload, error) {
+	if s.store == nil || solverFP == "" {
+		return build()
+	}
+	params := table2Params{
+		Machine: s.machineParams(core.Config),
+		Solver:  solverFP,
+		Queries: queries,
+	}
+	key, err := artifact.Key(table2Kind, params, seed)
+	if err != nil {
+		return build()
+	}
+	var p table2Payload
+	err = s.store.GetOrBuild(table2Kind, key,
+		func(payload []byte) error { return json.Unmarshal(payload, &p) },
+		func() ([]byte, error) {
+			var berr error
+			if p, berr = build(); berr != nil {
+				return nil, berr
+			}
+			return json.Marshal(p)
+		})
+	if err != nil {
+		return table2Payload{}, err
+	}
+	return p, nil
 }

@@ -256,3 +256,87 @@ func TestTrainFuzzyCachedRoundTrip(t *testing.T) {
 		t.Fatal("cache-loaded solver serializes differently from the trained one")
 	}
 }
+
+// runCached runs one experiment closure against dir ("" = no cache) and
+// returns its serialized result plus the run's store registry.
+func runCached(t *testing.T, dir string, run func(*Simulator) (any, error)) ([]byte, *obs.Registry) {
+	t.Helper()
+	opts, _ := cacheTestConfig()
+	sim, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg *obs.Registry
+	if dir != "" {
+		reg = obs.NewRegistry()
+		store, err := artifact.Open(dir, artifact.Options{Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		sim.SetArtifacts(store)
+	}
+	out, err := run(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, reg
+}
+
+// coldWarmGolden drives the cold/warm/uncached contract for one
+// experiment and asserts the named artifact kind is what the warm run
+// replays from.
+func coldWarmGolden(t *testing.T, kind string, units int64, run func(*Simulator) (any, error)) {
+	t.Helper()
+	dir := t.TempDir()
+	cold, coldReg := runCached(t, dir, run)
+	if n := coldReg.Counter("artifact.cache." + kind + ".misses").Value(); n != units {
+		t.Fatalf("cold run built %d %s units, want %d", n, kind, units)
+	}
+	warm, warmReg := runCached(t, dir, run)
+	if n := warmReg.Counter("artifact.cache." + kind + ".hits").Value(); n != units {
+		t.Fatalf("warm run replayed %d %s units, want %d", n, kind, units)
+	}
+	if n := warmReg.Counter("artifact.cache.misses").Value(); n != 0 {
+		t.Fatalf("warm run rebuilt %d artifacts; the %s key is unstable", n, kind)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold and warm %s results differ:\n cold %s\n warm %s", kind, cold, warm)
+	}
+	uncached, _ := runCached(t, "", run)
+	if !bytes.Equal(cold, uncached) {
+		t.Fatalf("cached and uncached %s results differ:\n cached   %s\n uncached %s", kind, cold, uncached)
+	}
+}
+
+// TestOutcomesCacheColdWarmGolden: the Figure 13 outcome sweep caches one
+// outcomes@1 unit per (config, chip), and a warm run replays the counts
+// byte-identically without re-running the controller.
+func TestOutcomesCacheColdWarmGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack experiment")
+	}
+	_, cfg := cacheTestConfig()
+	units := int64(len(Figure13Configs()) * cfg.Chips)
+	coldWarmGolden(t, "outcomes", units, func(sim *Simulator) (any, error) {
+		return sim.RunOutcomes(cfg)
+	})
+}
+
+// TestTable2CacheColdWarmGolden: the Table 2 accuracy sweep caches one
+// table2@1 unit per (environment, chip); its key carries the pre-drawn
+// query set, so the replay is exact.
+func TestTable2CacheColdWarmGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack experiment")
+	}
+	_, cfg := cacheTestConfig()
+	units := int64(4 * cfg.Chips) // the four Table 2 environments
+	coldWarmGolden(t, "table2", units, func(sim *Simulator) (any, error) {
+		return sim.RunTable2(cfg)
+	})
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/adapt"
+	"repro/internal/tech"
+	"repro/internal/varius"
+	"repro/internal/workload"
+)
+
+// This file is the Simulator's fleet surface: the handle-per-chip API the
+// internal/fleet event loop schedules over. A ChipHandle owns the
+// expensive per-die state (variation maps, stage models, the shared
+// PE-table donor) exactly the way RunSummary's chipShared does, but with
+// an explicit acquire/release lifetime instead of a pool-scoped
+// sync.Once, so a long-running service can admit and retire chips as
+// join/leave events arrive. Everything derived per (environment, class)
+// — cores, trained fuzzy controllers, static operating points — is
+// memoized on the handle under its own lock.
+
+// ChipHandle is one admitted chip's shared state. The immutable parts
+// (maps, stage models, FVar) are built once by AcquireChip and then read
+// concurrently; the memo maps are guarded by mu; the donor's PE-table
+// store is concurrency-safe by construction (see the adapt package
+// comment).
+type ChipHandle struct {
+	seed     int64
+	chip     *varius.ChipMaps
+	subs     []adapt.Subsystem
+	donor    *adapt.Core
+	imported int
+	fvar     float64
+
+	mu      sync.Mutex
+	solvers map[tech.Config]*adapt.FuzzySolver
+	fps     map[tech.Config]string
+	statics map[staticKey]adapt.OperatingPoint
+}
+
+type staticKey struct {
+	cfg   tech.Config
+	class workload.Class
+}
+
+// Seed returns the handle's generator seed.
+func (h *ChipHandle) Seed() int64 { return h.seed }
+
+// FVar returns the chip's worst-case-safe relative frequency — the
+// Baseline environment's clock.
+func (h *ChipHandle) FVar() float64 { return h.fvar }
+
+// AcquireChip builds (or loads) one chip's fleet handle: variation maps,
+// stage-model assembly, PE-table donor seeded from the artifact cache,
+// and the worst-case-safe frequency. Release with ReleaseChip to write
+// accumulated PE tables back.
+func (s *Simulator) AcquireChip(seed int64) (*ChipHandle, error) {
+	defer s.obs.Timer("core.chip_prep").Start().Stop()
+	h := &ChipHandle{
+		seed:    seed,
+		chip:    s.Chip(seed),
+		solvers: make(map[tech.Config]*adapt.FuzzySolver),
+		fps:     make(map[tech.Config]string),
+		statics: make(map[staticKey]adapt.OperatingPoint),
+	}
+	var err error
+	if h.subs, err = s.buildSubsystems(h.chip); err != nil {
+		return nil, err
+	}
+	// The donor exists only to hold the chip's shared PE-table store; the
+	// tables depend on the stage models alone, so its configuration is
+	// irrelevant.
+	if h.donor, err = s.coreFromSubsystems(h.subs, tech.Config{TimingSpec: true}); err != nil {
+		return nil, err
+	}
+	h.imported = s.loadPETables(h.donor, seed)
+	if h.fvar, err = s.ChipFVar(h.chip); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ReleaseChip retires a handle, persisting any PE-fmax tables its units
+// built beyond what AcquireChip imported. The handle must be quiescent
+// (no unit still running on its cores).
+func (s *Simulator) ReleaseChip(h *ChipHandle) {
+	if h == nil {
+		return
+	}
+	s.storePETables(h.donor, h.seed, h.imported)
+}
+
+// HandleCore assembles the environment's core over the handle's shared
+// stage models and PE-table store. Cores are cheap relative to the
+// handle; callers may cache them per worker.
+func (s *Simulator) HandleCore(h *ChipHandle, env Environment) (*adapt.Core, error) {
+	cfg := env.Config()
+	if !cfg.TimingSpec {
+		cfg = tech.Config{TimingSpec: true}
+	}
+	core, err := s.coreFromSubsystems(h.subs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.SharePETables(h.donor); err != nil {
+		return nil, err
+	}
+	return core, nil
+}
+
+// HandleSolver returns the chip's trained fuzzy controllers for cpu's
+// technique configuration, training (through the artifact cache) on
+// first use and memoizing per configuration afterwards. The memo assumes
+// one TrainOptions per handle lifetime — the fleet service trains with
+// one fixed option set.
+func (s *Simulator) HandleSolver(h *ChipHandle, cpu *adapt.Core, opts adapt.TrainOptions) (*adapt.FuzzySolver, string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sv, ok := h.solvers[cpu.Config]; ok {
+		return sv, h.fps[cpu.Config], nil
+	}
+	sv, err := s.TrainFuzzyCached([]*adapt.Core{cpu}, []int64{h.seed}, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	h.solvers[cpu.Config] = sv
+	h.fps[cpu.Config] = solverFingerprint(sv)
+	return sv, h.fps[cpu.Config], nil
+}
+
+// HandleStaticPoint returns the chip's conservative static operating
+// point for cpu's configuration and the app's class, choosing it
+// (through the artifact cache) on first use.
+func (s *Simulator) HandleStaticPoint(h *ChipHandle, cpu *adapt.Core, class workload.Class, apps []workload.App) (adapt.OperatingPoint, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := staticKey{cfg: cpu.Config, class: class}
+	if pt, ok := h.statics[k]; ok {
+		return pt, nil
+	}
+	pt, err := s.cachedStaticPoint(cpu, class, apps, h.seed)
+	if err != nil {
+		return adapt.OperatingPoint{}, err
+	}
+	h.statics[k] = pt
+	return pt, nil
+}
+
+// FleetUnit is one schedulable simulation unit: an application, and
+// either one phase of it (Phase is the position in App.Phases) or the
+// whole phase-weighted app (Phase < 0).
+type FleetUnit struct {
+	App   workload.App
+	Phase int
+	// Static is the operating point for Static-mode units (nil
+	// otherwise).
+	Static *adapt.OperatingPoint
+}
+
+// UnitAppRun executes one fleet unit on cpu — through the apprun
+// artifact cache, at phase granularity when the unit names a phase. For
+// dynamic modes solver picks the algorithm (its weight fingerprint keys
+// the cache); Static mode requires u.Static.
+func (s *Simulator) UnitAppRun(seed int64, cpu *adapt.Core, mode Mode, solver adapt.Solver, u FleetUnit) (AppRun, error) {
+	fp := ""
+	switch mode {
+	case Static:
+		if u.Static == nil {
+			return AppRun{}, fmt.Errorf("core: static fleet unit %q needs an operating point", u.App.Name)
+		}
+	case FuzzyDyn, ExhDyn:
+		fp = solverFingerprint(solver)
+	default:
+		return AppRun{}, fmt.Errorf("core: fleet unit mode %v", mode)
+	}
+	if u.Phase >= len(u.App.Phases) {
+		return AppRun{}, fmt.Errorf("core: %q has no phase %d", u.App.Name, u.Phase)
+	}
+	return s.cachedAppRun(seed, cpu, u.App, mode, fp, u.Static, u.Phase, func() (AppRun, error) {
+		if u.Phase < 0 {
+			switch mode {
+			case Static:
+				return s.RunStatic(cpu, u.App, *u.Static)
+			default:
+				return s.RunDynamic(cpu, u.App, mode, solver)
+			}
+		}
+		return s.runPhase(cpu, u.App, u.App.Phases[u.Phase], mode, solver, u.Static)
+	})
+}
+
+// runPhase runs one phase as its own unit, weighted as a whole app
+// (weight 1): the fleet's phase-change event granularity.
+func (s *Simulator) runPhase(cpu *adapt.Core, app workload.App, ph workload.Phase,
+	mode Mode, solver adapt.Solver, static *adapt.OperatingPoint) (AppRun, error) {
+	env, err := envOfConfig(cpu.Config)
+	if err != nil {
+		return AppRun{}, err
+	}
+	prof, err := s.Profile(app, ph)
+	if err != nil {
+		return AppRun{}, err
+	}
+	phaseSW := s.obs.Timer("core.phase.adapt").Start()
+	var res adapt.RetuneResult
+	if mode == Static {
+		res, err = staticRetune(cpu, *static, prof)
+	} else {
+		res, err = cpu.AdaptSteady(prof, solver)
+	}
+	phaseSW.Stop()
+	if err != nil {
+		return AppRun{}, fmt.Errorf("core: %s %s phase %d: %w", env, app.Name, ph.Index, err)
+	}
+	run := AppRun{App: app.Name, Env: env, Mode: mode}
+	accumulate(&run, 1, res)
+	return run, nil
+}
+
+// PeekAppRuns probes the artifact store for finished results of a batch
+// of fleet units in one indexed pass, without building anything: out[i]
+// reports whether unit i would replay from cache. All units share one
+// (chip, core, mode, solver) context — the fleet batches exactly that
+// shape. Uncacheable units (and a nil store) report false.
+func (s *Simulator) PeekAppRuns(seed int64, cpu *adapt.Core, mode Mode, solverFP string, units []FleetUnit) []bool {
+	keys := make([]string, len(units))
+	for i, u := range units {
+		keys[i] = s.appRunKey(seed, cpu.Config, u.App, mode, solverFP, u.Static, u.Phase)
+	}
+	return s.store.ContainsBatch(apprunKind, keys)
+}
+
+// ParseEnvironment resolves a Table 1 environment name ("TS+ASV+Q+FU",
+// case-insensitive) to its Environment.
+func ParseEnvironment(name string) (Environment, error) {
+	for e := Environment(0); e < NumEnvironments; e++ {
+		if strings.EqualFold(name, e.String()) {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown environment %q", name)
+}
+
+// ParseMode resolves a mode name: "static", "fuzzy"/"fuzzy-dyn",
+// "exh"/"exh-dyn" (case-insensitive).
+func ParseMode(name string) (Mode, error) {
+	switch strings.ToLower(name) {
+	case "static":
+		return Static, nil
+	case "fuzzy", "fuzzy-dyn":
+		return FuzzyDyn, nil
+	case "exh", "exh-dyn":
+		return ExhDyn, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q", name)
+	}
+}

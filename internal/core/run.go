@@ -230,25 +230,35 @@ func (s *Simulator) RunStatic(core *adapt.Core, app workload.App, point adapt.Op
 			return AppRun{}, err
 		}
 		phaseSW := s.obs.Timer("core.phase.adapt").Start()
-		res, err := core.Retune(point, prof)
+		res, err := staticRetune(core, point, prof)
+		phaseSW.Stop()
 		if err != nil {
 			return AppRun{}, fmt.Errorf("core: static %s %s: %w", env, app.Name, err)
 		}
-		// Static hardware does not hunt for headroom: cap the retuned
-		// frequency at the static choice (retuning only protects).
-		if res.Point.FCore > point.FCore {
-			capped := res.Point.Clone()
-			capped.FCore = point.FCore
-			st, err := core.Evaluate(capped, prof)
-			if err != nil {
-				return AppRun{}, err
-			}
-			res = adapt.RetuneResult{Point: capped, State: st, Outcome: res.Outcome}
-		}
-		phaseSW.Stop()
 		accumulate(&run, ph.Weight, res)
 	}
 	return run, nil
+}
+
+// staticRetune evaluates one phase at a chip's static operating point.
+// The hardware's protective retuning still acts if the phase violates a
+// constraint, but Static hardware does not hunt for headroom: the retuned
+// frequency is capped at the static choice (retuning only protects).
+func staticRetune(core *adapt.Core, point adapt.OperatingPoint, prof pipeline.Profile) (adapt.RetuneResult, error) {
+	res, err := core.Retune(point, prof)
+	if err != nil {
+		return adapt.RetuneResult{}, err
+	}
+	if res.Point.FCore > point.FCore {
+		capped := res.Point.Clone()
+		capped.FCore = point.FCore
+		st, err := core.Evaluate(capped, prof)
+		if err != nil {
+			return adapt.RetuneResult{}, err
+		}
+		res = adapt.RetuneResult{Point: capped, State: st, Outcome: res.Outcome}
+	}
+	return res, nil
 }
 
 // accumulate folds one phase's retune result into the app run.

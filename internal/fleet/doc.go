@@ -1,0 +1,52 @@
+// Package fleet is the shared-clock discrete-event simulation service
+// over the EVAL core: it scales the repo's unit of work — one pure
+// (chip, environment, app, phase) adaptation, memoized in the artifact
+// store — from batch CLIs to a long-running request stream serving tens
+// of thousands of variation-affected chips.
+//
+// # Event model
+//
+// Clients submit ordered batches of Events. A join admits a chip (its
+// variation maps, stage models, and PE-table donor build lazily on
+// first use and are shared by all of its units); a leave retires it,
+// flushing accumulated PE tables back to the artifact store once its
+// in-flight units drain; a run requests one simulation unit — a phase
+// change or retuning on an admitted chip, in one Table 1 environment
+// and adaptation mode. Event timestamps (At) drive a virtual clock: the
+// running maximum of submitted times. The clock feeds per-class
+// token-bucket admission; it never influences simulation results.
+//
+// # Scheduling
+//
+// Ingest is the only serialized stage. Under one lock, events receive
+// global sequence numbers, the clock advances, admission buckets spend,
+// membership updates, and compatible run events — same (chip,
+// environment, mode) — coalesce into bounded unit batches that a
+// routing policy (round-robin, least-loaded, affinity-by-chip) places
+// on worker queues. Workers are pure with respect to ingest state:
+// inside a batch, duplicate (app, phase) events share one solve, a
+// single indexed probe (artifact.Store.ContainsBatch) splits groups
+// into cache replays and cold solves, and results flow back through the
+// submission batch.
+//
+// # Ordering and determinism contract
+//
+// Results are emitted in submission order: within one SubmitBatch call,
+// the emit callback observes results exactly in event order, whatever
+// order workers finish in (a ready-array cursor re-serializes
+// emission). Across concurrent SubmitBatch calls only sequence numbers
+// order events — interleaving follows lock acquisition.
+//
+// For a fixed simulator seed and a fixed event trace (one client
+// submitting the same batches in the same order), Result.Canonical() —
+// everything except the execution diagnostics (worker placement,
+// latencies, cache hits, batching counts) — is byte-identical at every
+// worker count and every routing policy. The three load-bearing
+// properties: sequence assignment, the virtual clock, and admission are
+// decided serially at ingest from the trace alone; simulation units are
+// pure functions of (chip seed, environment, mode, app, phase) — worker
+// placement and PE-table build order cannot change their values; and
+// per-batch emission is re-serialized by submission order. The
+// determinism tests sweep workers {1, 8} × all routing policies and
+// compare canonical JSON byte-for-byte.
+package fleet

@@ -1,0 +1,447 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// DefaultMaxBatch bounds how many compatible run events coalesce into
+// one dispatched unit batch.
+const DefaultMaxBatch = 64
+
+// Config configures a Fleet.
+type Config struct {
+	// Workers is the worker-goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// Routing places unit batches on workers (default RoundRobin).
+	Routing Routing
+	// MaxBatch bounds events per dispatched unit batch (0 =
+	// DefaultMaxBatch).
+	MaxBatch int
+	// Admission maps class names to token-bucket rates; classes without
+	// an entry are unthrottled.
+	Admission map[string]Rate
+	// Apps is the service's application universe, resolved by event App
+	// name (nil = the full proxy suite). Static-mode points are derived
+	// per class over this universe, matching the batch experiments.
+	Apps []workload.App
+	// Training configures per-chip fuzzy-controller training. Workers
+	// should stay 1 (the default here, unlike the batch experiments):
+	// the fleet already saturates cores with unit parallelism, and
+	// nested training pools would oversubscribe.
+	Training adapt.TrainOptions
+	// Obs, when non-nil, receives fleet.pool.* gauges and event/unit
+	// counters.
+	Obs *obs.Registry
+}
+
+// Fleet is the shared-clock discrete-event simulation service: chips
+// join and leave, run events arrive as a request stream, and pure
+// (chip, env, app, phase) units execute over a worker pool backed by the
+// Simulator's artifact cache. See doc.go for the ordering and
+// determinism contract.
+type Fleet struct {
+	sim  *core.Simulator
+	cfg  Config
+	apps map[string]workload.App
+
+	// mu serializes ingest: sequence assignment, the virtual clock,
+	// admission, chip membership, coalescing, and routing. Everything
+	// after dispatch is lock-free with respect to ingest.
+	mu      sync.Mutex
+	seq     int64
+	clock   int64
+	chips   map[int64]*chipEntry
+	buckets map[string]*TokenBucket
+	rrNext  int
+	load    []float64
+	closed  bool
+
+	queues []chan *unitTask
+	wg     sync.WaitGroup // workers
+	bg     sync.WaitGroup // leave-triggered release goroutines
+
+	stats *stats
+	mon   *obs.PoolMonitor
+}
+
+// chipEntry is one admitted chip. The expensive handle builds lazily
+// under once on whichever worker first needs it; units register on the
+// WaitGroup so a leave can release the handle only once the chip is
+// quiescent.
+type chipEntry struct {
+	seed  int64
+	units sync.WaitGroup
+
+	once   sync.Once
+	handle *core.ChipHandle
+	err    error
+}
+
+func (e *chipEntry) ensure(sim *core.Simulator) (*core.ChipHandle, error) {
+	e.once.Do(func() { e.handle, e.err = sim.AcquireChip(e.seed) })
+	return e.handle, e.err
+}
+
+// eventRef ties one ingested event to its slot in the submission batch.
+type eventRef struct {
+	b   *batch
+	pos int
+	ev  Event
+	seq int64
+}
+
+// unitTask is one dispatched batch of compatible run events: same chip,
+// environment, and mode. Distinct (app, phase) groups inside it each
+// solve once; duplicate events replay the group's result.
+type unitTask struct {
+	entry *chipEntry
+	env   string
+	mode  string
+	refs  []eventRef
+	enq   time.Time
+}
+
+// batch tracks one SubmitBatch call's results and re-serializes
+// emission: results become visible to emit strictly in submission
+// order, whatever order workers finish in.
+type batch struct {
+	mu      sync.Mutex
+	emit    func(Result)
+	results []Result
+	ready   []bool
+	next    int
+	done    chan struct{}
+}
+
+// finish records slot pos's result and emits any newly contiguous
+// prefix.
+func (b *batch) finish(pos int, r Result) {
+	b.mu.Lock()
+	b.results[pos] = r
+	b.ready[pos] = true
+	for b.next < len(b.ready) && b.ready[b.next] {
+		if b.emit != nil {
+			b.emit(b.results[b.next])
+		}
+		b.next++
+	}
+	if b.next == len(b.ready) {
+		close(b.done)
+	}
+	b.mu.Unlock()
+}
+
+// New starts a fleet over the simulator's models and artifact store.
+func New(sim *core.Simulator, cfg Config) (*Fleet, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.Apps == nil {
+		cfg.Apps = workload.Suite()
+	}
+	if cfg.Training.Examples == 0 {
+		cfg.Training = adapt.DefaultTrainOptions()
+	}
+	if cfg.Training.Workers == 0 {
+		cfg.Training.Workers = 1
+	}
+	f := &Fleet{
+		sim:     sim,
+		cfg:     cfg,
+		apps:    make(map[string]workload.App, len(cfg.Apps)),
+		chips:   make(map[int64]*chipEntry),
+		buckets: make(map[string]*TokenBucket),
+		load:    make([]float64, cfg.Workers),
+		queues:  make([]chan *unitTask, cfg.Workers),
+		stats:   newStats(),
+		mon:     obs.NewPoolMonitor(cfg.Obs, "fleet.pool", cfg.Workers),
+	}
+	for _, app := range cfg.Apps {
+		if _, dup := f.apps[app.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate app %q in universe", app.Name)
+		}
+		f.apps[app.Name] = app
+	}
+	for class, rate := range cfg.Admission {
+		f.buckets[class] = NewTokenBucket(rate)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		f.queues[w] = make(chan *unitTask, 1024)
+		f.wg.Add(1)
+		go f.worker(w)
+	}
+	return f, nil
+}
+
+// Chips returns the current admitted-chip count.
+func (f *Fleet) Chips() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.chips)
+}
+
+// Stats renders the service telemetry snapshot.
+func (f *Fleet) Stats() Snapshot {
+	f.mon.Publish()
+	snap := f.stats.snapshot()
+	snap.Workers = f.cfg.Workers
+	snap.Routing = f.cfg.Routing.String()
+	snap.Chips = f.Chips()
+	return snap
+}
+
+// SubmitBatch ingests one ordered event batch and blocks until every
+// event's result has been passed to emit, in submission order. emit runs
+// on internal goroutines, one call at a time; it must not call back into
+// the Fleet. Returns an error (before emitting anything) only if the
+// fleet is closed.
+func (f *Fleet) SubmitBatch(events []Event, emit func(Result)) error {
+	if len(events) == 0 {
+		return nil
+	}
+	b := &batch{
+		emit:    emit,
+		results: make([]Result, len(events)),
+		ready:   make([]bool, len(events)),
+		done:    make(chan struct{}),
+	}
+	// Ingest under the fleet lock: sequencing, clock, admission,
+	// membership, coalescing, routing. Immediate results (join/leave,
+	// rejections, validation errors) are collected and finished after
+	// the lock drops so emit never runs under it.
+	type immediate struct {
+		pos int
+		res Result
+	}
+	var immediates []immediate
+	var tasks []*unitTask
+	open := make(map[string]*unitTask)
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: closed")
+	}
+	for pos, ev := range events {
+		f.seq++
+		if ev.At > f.clock {
+			f.clock = ev.At
+		}
+		res := Result{
+			Seq: f.seq, At: ev.At, Kind: ev.Kind, Class: ev.Class,
+			Chip: ev.Chip, Env: ev.Env, Mode: ev.Mode, App: ev.App,
+			Phase: ev.Phase, Status: StatusOK,
+		}
+		f.stats.events.Add(1)
+		cls := f.stats.class(ev.Class)
+		cls.events.Add(1)
+		reject := func(status, msg string) {
+			res.Status = status
+			res.Err = msg
+			if status == StatusRejected {
+				cls.rejected.Add(1)
+			} else {
+				cls.errors.Add(1)
+			}
+			immediates = append(immediates, immediate{pos, res})
+		}
+		switch ev.Kind {
+		case KindJoin:
+			if _, ok := f.chips[ev.Chip]; ok {
+				reject(StatusError, fmt.Sprintf("chip %d already joined", ev.Chip))
+				continue
+			}
+			f.chips[ev.Chip] = &chipEntry{seed: ev.Chip}
+			cls.ok.Add(1)
+			immediates = append(immediates, immediate{pos, res})
+		case KindLeave:
+			entry, ok := f.chips[ev.Chip]
+			if !ok {
+				reject(StatusError, fmt.Sprintf("chip %d not joined", ev.Chip))
+				continue
+			}
+			delete(f.chips, ev.Chip)
+			// Release once the chip's in-flight units drain; the handle
+			// flushes its accumulated PE tables to the artifact store.
+			f.bg.Add(1)
+			go func() {
+				defer f.bg.Done()
+				entry.units.Wait()
+				if entry.handle != nil {
+					f.sim.ReleaseChip(entry.handle)
+				}
+			}()
+			cls.ok.Add(1)
+			immediates = append(immediates, immediate{pos, res})
+		case KindRun:
+			entry, ok := f.chips[ev.Chip]
+			if !ok {
+				reject(StatusError, fmt.Sprintf("chip %d not joined", ev.Chip))
+				continue
+			}
+			if msg := f.validateRun(ev); msg != "" {
+				reject(StatusError, msg)
+				continue
+			}
+			if bucket, throttled := f.buckets[ev.Class]; throttled && !bucket.Allow(f.clock) {
+				reject(StatusRejected, "admission: class rate exceeded")
+				continue
+			}
+			key := fmt.Sprintf("%d|%s|%s", ev.Chip, ev.Env, ev.Mode)
+			t := open[key]
+			if t != nil && len(t.refs) >= f.cfg.MaxBatch {
+				t = nil
+			}
+			if t == nil {
+				t = &unitTask{entry: entry, env: ev.Env, mode: ev.Mode}
+				open[key] = t
+				tasks = append(tasks, t)
+			} else {
+				f.stats.batchedEvents.Add(1)
+			}
+			t.refs = append(t.refs, eventRef{b: b, pos: pos, ev: ev, seq: f.seq})
+			entry.units.Add(1)
+		default:
+			reject(StatusError, fmt.Sprintf("unknown event kind %q", ev.Kind))
+		}
+	}
+	// Route while still holding the lock: least-loaded reads and updates
+	// the cumulative dispatched cost, and round-robin advances a cursor;
+	// both must see tasks in ingest order to stay deterministic.
+	targets := make([]int, len(tasks))
+	for i, t := range tasks {
+		targets[i] = f.route(t)
+	}
+	f.mu.Unlock()
+
+	for _, im := range immediates {
+		b.finish(im.pos, im.res)
+	}
+	depth := 0
+	for i, t := range tasks {
+		t.enq = time.Now()
+		f.stats.units.Add(1)
+		f.queues[targets[i]] <- t
+		depth += len(f.queues[targets[i]])
+	}
+	if len(tasks) > 0 {
+		f.mon.Depth(depth)
+	}
+	<-b.done
+	return nil
+}
+
+// validateRun checks a run event's simulation coordinates, returning an
+// error message ("" = valid).
+func (f *Fleet) validateRun(ev Event) string {
+	// Baseline probes report the chip's worst-case-safe frequency; they
+	// simulate no app, so the coordinates below don't apply.
+	if ev.Mode == ModeBaseline {
+		return ""
+	}
+	app, ok := f.apps[ev.App]
+	if !ok {
+		return fmt.Sprintf("unknown app %q", ev.App)
+	}
+	if ev.Phase != nil && (*ev.Phase < 0 || *ev.Phase >= len(app.Phases)) {
+		return fmt.Sprintf("app %q has no phase %d", ev.App, *ev.Phase)
+	}
+	switch ev.Mode {
+	case ModeStatic, ModeFuzzy, ModeExh:
+	default:
+		return fmt.Sprintf("unknown mode %q", ev.Mode)
+	}
+	env, err := core.ParseEnvironment(ev.Env)
+	if err != nil {
+		return fmt.Sprintf("unknown environment %q", ev.Env)
+	}
+	if !env.Adaptive() {
+		return fmt.Sprintf("environment %q is not adaptive", ev.Env)
+	}
+	return ""
+}
+
+// route picks a worker for a completed task. Caller holds f.mu.
+func (f *Fleet) route(t *unitTask) int {
+	switch f.cfg.Routing {
+	case LeastLoaded:
+		best := 0
+		for w := 1; w < f.cfg.Workers; w++ {
+			if f.load[w] < f.load[best] {
+				best = w
+			}
+		}
+		f.load[best] += float64(countGroups(t))
+		return best
+	case Affinity:
+		return int(fnv64(t.entry.seed) % uint64(f.cfg.Workers))
+	default:
+		w := f.rrNext
+		f.rrNext = (f.rrNext + 1) % f.cfg.Workers
+		return w
+	}
+}
+
+// groupKey identifies one solve inside a unit task.
+type groupKey struct {
+	app   string
+	phase int // -1 = whole app
+}
+
+func keyOf(ev Event) groupKey {
+	k := groupKey{app: ev.App, phase: -1}
+	if ev.Phase != nil {
+		k.phase = *ev.Phase
+	}
+	return k
+}
+
+func countGroups(t *unitTask) int {
+	seen := make(map[groupKey]struct{}, len(t.refs))
+	for _, ref := range t.refs {
+		seen[keyOf(ref.ev)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Close drains the fleet: no new batches are accepted, queued units
+// finish, remaining chips release (flushing PE tables), and the workers
+// exit. Callers flush/close the artifact store themselves afterwards.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	remaining := make([]*chipEntry, 0, len(f.chips))
+	for _, e := range f.chips {
+		remaining = append(remaining, e)
+	}
+	f.chips = make(map[int64]*chipEntry)
+	f.mu.Unlock()
+
+	for _, q := range f.queues {
+		close(q)
+	}
+	f.wg.Wait()
+	for _, e := range remaining {
+		e.units.Wait()
+		if e.handle != nil {
+			f.sim.ReleaseChip(e.handle)
+		}
+	}
+	f.bg.Wait()
+	f.mon.Publish()
+}

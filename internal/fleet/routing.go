@@ -1,0 +1,63 @@
+package fleet
+
+import "fmt"
+
+// Routing selects how ingest places unit batches on workers. Placement
+// never affects results — units are pure and emission is
+// sequence-ordered — only locality and load balance.
+type Routing int
+
+const (
+	// RoundRobin cycles workers in ingest order.
+	RoundRobin Routing = iota
+	// LeastLoaded places each batch on the worker with the least
+	// cumulative dispatched cost (ties break toward the lowest index).
+	// Cost is the batch's distinct-unit count — a virtual measure, so
+	// placement stays a pure function of the event trace rather than of
+	// wall-clock completion times.
+	LeastLoaded
+	// Affinity hashes the chip seed, pinning every unit of a chip to one
+	// worker so its cores, PE tables, and memo state stay hot there.
+	Affinity
+)
+
+// String names the policy as ParseRouting accepts it.
+func (r Routing) String() string {
+	switch r {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case Affinity:
+		return "affinity"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// ParseRouting resolves a policy name.
+func ParseRouting(name string) (Routing, error) {
+	switch name {
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "least-loaded", "ll":
+		return LeastLoaded, nil
+	case "affinity":
+		return Affinity, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown routing policy %q", name)
+	}
+}
+
+// Routings lists every policy (the determinism tests sweep it).
+func Routings() []Routing { return []Routing{RoundRobin, LeastLoaded, Affinity} }
+
+// fnv64 hashes a chip seed for affinity placement.
+func fnv64(seed int64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(seed >> (8 * i)))
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+)
+
+// coreKey identifies a worker-cached core: cores are cheap but not free,
+// and a worker sees the same (chip, environment) pairs repeatedly —
+// always under affinity routing. Keyed on the entry pointer, not the
+// seed, so a chip that leaves and rejoins gets a fresh core generation.
+type coreKey struct {
+	entry *chipEntry
+	env   core.Environment
+}
+
+// worker drains one queue. Each task is a batch of compatible run
+// events; distinct (app, phase) groups solve once and fan their result
+// out to every event in the group.
+func (f *Fleet) worker(w int) {
+	defer f.wg.Done()
+	cores := make(map[coreKey]*adapt.Core)
+	for t := range f.queues[w] {
+		sched := time.Since(t.enq)
+		t0 := f.mon.TaskStart()
+		f.runTask(w, t, cores, sched)
+		f.mon.TaskDone(t0)
+	}
+}
+
+// group is one distinct (app, phase) solve within a task.
+type group struct {
+	key  groupKey
+	refs []int // indices into task.refs
+
+	payload RunPayload
+	errMsg  string
+	hit     bool
+}
+
+// runTask executes one unit batch and finishes every referenced batch
+// slot.
+func (f *Fleet) runTask(w int, t *unitTask, cores map[coreKey]*adapt.Core, sched time.Duration) {
+	// Group events: duplicate (app, phase) pairs share one solve — the
+	// bounded batching that makes repeated phase changes on a hot chip
+	// nearly free.
+	var groups []*group
+	byKey := make(map[groupKey]*group, len(t.refs))
+	for i, ref := range t.refs {
+		k := keyOf(ref.ev)
+		g := byKey[k]
+		if g == nil {
+			g = &group{key: k}
+			byKey[k] = g
+			groups = append(groups, g)
+		}
+		g.refs = append(g.refs, i)
+	}
+
+	f.solveGroups(t, groups, cores)
+
+	total := time.Since(t.enq)
+	for _, g := range groups {
+		for _, i := range g.refs {
+			ref := t.refs[i]
+			res := Result{
+				Seq: ref.seq, At: ref.ev.At, Kind: ref.ev.Kind,
+				Class: ref.ev.Class, Chip: ref.ev.Chip, Env: ref.ev.Env,
+				Mode: ref.ev.Mode, App: ref.ev.App, Phase: ref.ev.Phase,
+				CacheHit: g.hit, Batched: len(g.refs), Worker: w,
+				SchedMs: ms(sched), TotalMs: ms(total),
+			}
+			cls := f.stats.class(ref.ev.Class)
+			if g.errMsg != "" {
+				res.Status = StatusError
+				res.Err = g.errMsg
+				cls.errors.Add(1)
+			} else {
+				res.Status = StatusOK
+				p := g.payload
+				res.Run = &p
+				cls.ok.Add(1)
+				cls.served.Add(1)
+			}
+			f.stats.observeRun(cls, sched, total)
+			ref.b.finish(ref.pos, res)
+			t.entry.units.Done()
+		}
+	}
+}
+
+// solveGroups fills each group's payload (or error message). cores is
+// the calling worker's private core cache.
+func (f *Fleet) solveGroups(t *unitTask, groups []*group, cores map[coreKey]*adapt.Core) {
+	handle, err := t.entry.ensure(f.sim)
+	if err != nil {
+		for _, g := range groups {
+			g.errMsg = err.Error()
+		}
+		return
+	}
+	if t.mode == ModeBaseline {
+		for _, g := range groups {
+			g.payload = RunPayload{FRel: handle.FVar()}
+		}
+		return
+	}
+	// Validated at ingest: env parses and is adaptive, mode is known,
+	// apps and phases resolve.
+	env, _ := core.ParseEnvironment(t.env)
+	mode, _ := core.ParseMode(t.mode)
+	ck := coreKey{entry: t.entry, env: env}
+	cpu := cores[ck]
+	if cpu == nil {
+		var cerr error
+		if cpu, cerr = f.sim.HandleCore(handle, env); cerr != nil {
+			for _, g := range groups {
+				g.errMsg = cerr.Error()
+			}
+			return
+		}
+		cores[ck] = cpu
+	}
+	var solver adapt.Solver
+	solverFP := ""
+	switch mode {
+	case core.FuzzyDyn:
+		var serr error
+		if solver, solverFP, serr = f.sim.HandleSolver(handle, cpu, f.cfg.Training); serr != nil {
+			for _, g := range groups {
+				g.errMsg = serr.Error()
+			}
+			return
+		}
+	case core.ExhDyn:
+		solver, solverFP = adapt.Exhaustive{}, "exh"
+	}
+	units := make([]core.FleetUnit, len(groups))
+	for i, g := range groups {
+		app := f.apps[g.key.app]
+		units[i] = core.FleetUnit{App: app, Phase: g.key.phase}
+		if mode == core.Static {
+			pt, perr := f.sim.HandleStaticPoint(handle, cpu, app.Class, f.cfg.Apps)
+			if perr != nil {
+				g.errMsg = perr.Error()
+				continue
+			}
+			units[i].Static = &pt
+		}
+	}
+	// One indexed pass tells which units replay from the artifact store;
+	// the solve below then only pays the adaptation loop for the rest.
+	hits := f.sim.PeekAppRuns(handle.Seed(), cpu, mode, solverFP, units)
+	for i, g := range groups {
+		if g.errMsg != "" {
+			continue
+		}
+		g.hit = hits[i]
+		if g.hit {
+			f.stats.cacheHits.Add(1)
+		} else {
+			f.stats.cacheMisses.Add(1)
+		}
+		run, rerr := f.sim.UnitAppRun(handle.Seed(), cpu, mode, solver, units[i])
+		if rerr != nil {
+			g.errMsg = rerr.Error()
+			continue
+		}
+		g.payload = RunPayload{FRel: run.FRel, Perf: run.Perf, PowerW: run.PowerW, PE: run.PE}
+	}
+}

@@ -32,14 +32,12 @@ func RunPool(reg *Registry, prefix string, workers, n int, fn func(slot, task in
 	if workers > n {
 		workers = n
 	}
-	reg.Gauge(prefix + ".workers").Set(float64(workers))
-	start := time.Now()
-	var busy atomic.Int64
+	mon := NewPoolMonitor(reg, prefix, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			t0 := time.Now()
+			t0 := mon.TaskStart()
 			fn(0, i)
-			busy.Add(int64(time.Since(t0)))
+			mon.TaskDone(t0)
 		}
 	} else {
 		queue := make(chan int, n)
@@ -47,24 +45,69 @@ func RunPool(reg *Registry, prefix string, workers, n int, fn func(slot, task in
 			queue <- i
 		}
 		close(queue)
-		depth := reg.Gauge(prefix + ".queue_depth")
 		var wg sync.WaitGroup
 		for slot := 0; slot < workers; slot++ {
 			wg.Add(1)
 			go func(slot int) {
 				defer wg.Done()
 				for i := range queue {
-					depth.Set(float64(len(queue)))
-					t0 := time.Now()
+					mon.Depth(len(queue))
+					t0 := mon.TaskStart()
 					fn(slot, i)
-					busy.Add(int64(time.Since(t0)))
+					mon.TaskDone(t0)
 				}
 			}(slot)
 		}
 		wg.Wait()
 	}
-	if wall := time.Since(start); wall > 0 && reg != nil {
-		reg.Gauge(prefix + ".occupancy_pct").Set(
-			100 * float64(busy.Load()) / (float64(wall) * float64(workers)))
+	mon.Publish()
+}
+
+// PoolMonitor publishes the worker-pool gauges RunPool documents —
+// <prefix>.workers, <prefix>.queue_depth, <prefix>.occupancy_pct — for
+// any pool shape, including long-lived pools (the fleet event loop)
+// whose workers outlive any single batch. It is a thin instrumentation
+// seam: a nil registry yields nil gauges whose methods no-op, so the
+// monitor costs two clock reads per task when metrics are off.
+//
+// Occupancy accumulates busy time from TaskDone and is published against
+// wall time since construction by Publish; long-lived pools call
+// Publish whenever a fresh reading should be visible (e.g. on each stats
+// snapshot), one-shot pools once at the end.
+type PoolMonitor struct {
+	workers int
+	start   time.Time
+	busy    atomic.Int64
+	depth   *Gauge
+	occ     *Gauge
+}
+
+// NewPoolMonitor records the resolved worker count and starts the
+// occupancy wall clock.
+func NewPoolMonitor(reg *Registry, prefix string, workers int) *PoolMonitor {
+	reg.Gauge(prefix + ".workers").Set(float64(workers))
+	return &PoolMonitor{
+		workers: workers,
+		start:   time.Now(),
+		depth:   reg.Gauge(prefix + ".queue_depth"),
+		occ:     reg.Gauge(prefix + ".occupancy_pct"),
+	}
+}
+
+// Depth records the current queued-task backlog.
+func (m *PoolMonitor) Depth(n int) { m.depth.Set(float64(n)) }
+
+// TaskStart marks the start of one task; pass the returned instant to
+// TaskDone.
+func (m *PoolMonitor) TaskStart() time.Time { return time.Now() }
+
+// TaskDone accumulates the task's busy time.
+func (m *PoolMonitor) TaskDone(t0 time.Time) { m.busy.Add(int64(time.Since(t0))) }
+
+// Publish sets the occupancy gauge from busy time accumulated so far
+// over wall time since construction.
+func (m *PoolMonitor) Publish() {
+	if wall := time.Since(m.start); wall > 0 {
+		m.occ.Set(100 * float64(m.busy.Load()) / (float64(wall) * float64(m.workers)))
 	}
 }

@@ -22,7 +22,7 @@ import (
 
 const (
 	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline|BenchmarkCorePipelineReference|BenchmarkCoreSteady|BenchmarkPEFMaxBatch|BenchmarkThermalSolveBatch)$"
-	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
+	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver|BenchmarkFleet)$"
 )
 
 // warmBenchName and coldBenchName are the headline numbers the
@@ -35,6 +35,18 @@ const (
 	// fails if its allocs/op regress (the steady-state thermal solve must
 	// stay allocation-free apart from its single result).
 	steadyBenchName = "BenchmarkCoreSteady/warm"
+)
+
+// fleetBenchName is the serving-path headline the -check-fleet gate pins:
+// single-core, warm-cache event throughput of the fleet service. Besides
+// the relative ns/op check, the gate enforces the absolute service floors
+// below (the issue's acceptance bar), which no machine-scale
+// normalization applies to.
+const (
+	fleetBenchName       = "BenchmarkFleet/warm/workers=1"
+	minFleetEventsPerSec = 10000.0
+	maxFleetSchedP99Ms   = 10.0
+	fleetCheckIterations = "100x" // ~5000 events: enough signal, <1s wall
 )
 
 type benchResult struct {
@@ -58,6 +70,8 @@ func main() {
 		"instead of writing a trajectory, re-run the warm Figure 10 benchmark once and fail if ns/op regresses more than -tolerance against this baseline JSON")
 	checkCold := flag.String("check-cold", "",
 		"like -check-warm, but gate the cold (empty-cache) Figure 10 benchmark — the end-to-end build path the batching optimizations target")
+	checkFleet := flag.String("check-fleet", "",
+		"gate the fleet-service benchmark: warm single-core ns/op against this baseline JSON, plus the absolute events/s and p99 scheduling-latency floors")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression for -check-warm / -check-cold")
 	flag.Parse()
 
@@ -74,6 +88,12 @@ func main() {
 	}
 	if *checkCold != "" {
 		if err := checkRegression(*checkCold, coldBenchName, *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *checkFleet != "" {
+		if err := checkFleetRegression(*checkFleet, *tolerance); err != nil {
 			fatal(err)
 		}
 		return
@@ -139,17 +159,11 @@ func checkRegression(baselinePath, benchName string, tolerance float64, allocGat
 		return fmt.Errorf("benchmark run produced no %s line", benchName)
 	}
 	ratio := now.NsPerOp / baseline.NsPerOp
-	scale := 1.0
-	if baseRef, ok := find(base.Benchmarks, "BenchmarkCorePipelineReference"); ok && baseRef.NsPerOp > 0 {
-		ref, err := runBench("^BenchmarkCorePipelineReference$", "")
-		if err != nil {
-			return err
-		}
-		if nowRef, ok := find(ref, "BenchmarkCorePipelineReference"); ok && nowRef.NsPerOp > 0 {
-			scale = nowRef.NsPerOp / baseRef.NsPerOp
-			ratio /= scale
-		}
+	scale, err := machineScale(base)
+	if err != nil {
+		return err
 	}
+	ratio /= scale
 	fmt.Fprintf(os.Stderr,
 		"benchjson: %s: %.3gs now vs %.3gs baseline (machine scale %.2f, normalized ratio %.2f, tolerance +%.0f%%)\n",
 		benchName, now.NsPerOp/1e9, baseline.NsPerOp/1e9, scale, ratio, tolerance*100)
@@ -183,6 +197,98 @@ func checkRegression(baselinePath, benchName string, tolerance float64, allocGat
 			return fmt.Errorf("regression: %s %.0f allocs/op vs baseline %.0f (limit %.0f)",
 				name, nowAllocs.AllocsPerOp, baseAllocs.AllocsPerOp, limit)
 		}
+	}
+	return nil
+}
+
+// machineScale re-runs the BenchmarkCorePipelineReference speed anchor
+// and returns its ns/op ratio against the baseline's recording (1.0 when
+// the baseline lacks the anchor). Machines differ in absolute speed; the
+// regression gates divide their ratios by this scale.
+func machineScale(base trajectory) (float64, error) {
+	var baseRef benchResult
+	found := false
+	for _, r := range base.Benchmarks {
+		if r.Name == "BenchmarkCorePipelineReference" {
+			baseRef, found = r, true
+			break
+		}
+	}
+	if !found || baseRef.NsPerOp <= 0 {
+		return 1.0, nil
+	}
+	ref, err := runBench("^BenchmarkCorePipelineReference$", "")
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range ref {
+		if r.Name == "BenchmarkCorePipelineReference" && r.NsPerOp > 0 {
+			return r.NsPerOp / baseRef.NsPerOp, nil
+		}
+	}
+	return 1.0, nil
+}
+
+// checkFleetRegression gates the fleet service's serving path: the warm
+// single-core variant's ns/op against the checked-in trajectory
+// (machine-normalized, like the other gates) AND the absolute service
+// floors — warm-cache events/s and p99 scheduling latency — which hold
+// as-is on any machine the gate is expected to pass on.
+func checkFleetRegression(baselinePath string, tolerance float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base trajectory
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	var baseline benchResult
+	found := false
+	for _, r := range base.Benchmarks {
+		if r.Name == fleetBenchName {
+			baseline, found = r, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%s: no %s entry to compare against", baselinePath, fleetBenchName)
+	}
+	current, err := runBench("^"+fleetBenchName+"$", fleetCheckIterations)
+	if err != nil {
+		return err
+	}
+	var now benchResult
+	found = false
+	for _, r := range current {
+		if r.Name == fleetBenchName {
+			now, found = r, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("benchmark run produced no %s line", fleetBenchName)
+	}
+	ratio := now.NsPerOp / baseline.NsPerOp
+	scale, err := machineScale(base)
+	if err != nil {
+		return err
+	}
+	ratio /= scale
+	evs := now.Metrics["events/s"]
+	p99 := now.Metrics["sched_p99_ms"]
+	fmt.Fprintf(os.Stderr,
+		"benchjson: %s: %.0f events/s (floor %.0f), sched p99 %.2f ms (ceiling %.0f), normalized ns/op ratio %.2f (tolerance +%.0f%%)\n",
+		fleetBenchName, evs, minFleetEventsPerSec, p99, maxFleetSchedP99Ms, ratio, tolerance*100)
+	if ratio > 1+tolerance {
+		return fmt.Errorf("regression: %s %.0f ns/op vs baseline %.0f ns/op (normalized %.2fx > %.2fx allowed)",
+			fleetBenchName, now.NsPerOp, baseline.NsPerOp, ratio, 1+tolerance)
+	}
+	if evs < minFleetEventsPerSec {
+		return fmt.Errorf("fleet throughput floor: %.0f events/s < %.0f required", evs, minFleetEventsPerSec)
+	}
+	if p99 > maxFleetSchedP99Ms {
+		return fmt.Errorf("fleet latency ceiling: sched p99 %.2f ms > %.0f ms allowed", p99, maxFleetSchedP99Ms)
 	}
 	return nil
 }
