@@ -1,4 +1,4 @@
-.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold bench-check-fleet cache-clean spec-check doc-check fuzz-smoke
+.PHONY: check build test vet fmt bench bench-json bench-smoke bench-check-warm bench-check-cold bench-check-fleet fleetload-smoke cache-clean spec-check doc-check fuzz-smoke
 
 # Tier-1 gate: everything must pass before a commit lands.
 check: vet build test
@@ -21,8 +21,11 @@ bench:
 
 # Adaptation-engine benchmark trajectory: runs the solver/chip/pipeline
 # microbenchmarks plus the end-to-end experiments (Figure 10, and the
-# serial-vs-parallel training and Figure 13 pairs) and records ns/op,
-# B/op, allocs/op per commit in BENCH_adapt.json.
+# serial-vs-parallel training and Figure 13 pairs), drives a live
+# evalserve with cmd/fleetload for honest served events/s and p99, and
+# records everything per commit in BENCH_adapt.json. Refuses a dirty
+# tree (pass -allow-dirty via `go run ./tools/benchjson` directly to
+# override; such a run must not be checked in as a baseline).
 bench-json:
 	go run ./tools/benchjson -out BENCH_adapt.json
 
@@ -50,6 +53,21 @@ bench-check-cold:
 # under 10 ms).
 bench-check-fleet:
 	go run ./tools/benchjson -check-fleet BENCH_adapt.json
+
+# Driven-server smoke: start evalserve, drive it closed-loop with
+# cmd/fleetload, and assert the service floors (>= 10k events/s, sched
+# p99 under 10 ms) from the live /v1/stats snapshot.
+fleetload-smoke:
+	go build -o /tmp/evalserve ./cmd/evalserve
+	go build -o /tmp/fleetload ./cmd/fleetload
+	@/tmp/evalserve -addr 127.0.0.1:18098 -no-cache -tracelen 8000 & \
+	server=$$!; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://127.0.0.1:18098/healthz >/dev/null && break; sleep 0.2; \
+	done; \
+	/tmp/fleetload -url http://127.0.0.1:18098 -conns 4 -duration 3s \
+	  -chips 8 -batch 50 -min-events-per-sec 10000 -max-sched-p99-ms 10; \
+	rc=$$?; kill -TERM $$server; wait $$server; exit $$rc
 
 # Short coverage-guided runs of the native fuzz targets: the SoA pipeline
 # kernel against its array-of-structs reference, and the pruned Freq

@@ -15,6 +15,7 @@
 //	                 line per event, in submission order
 //	GET  /v1/stats   service telemetry snapshot (throughput, per-class
 //	                 latency histograms, Jain fairness index)
+//	GET  /v1/metrics obs-registry dump (counters, gauges, timers)
 //	GET  /healthz    liveness probe
 //
 // Flags:
@@ -27,10 +28,20 @@
 //	-rate spec        per-class admission rates, comma-separated
 //	                  class=perTick:burst entries; unlisted classes are
 //	                  unthrottled
+//	-flush-bytes n    result-stream flush size watermark
+//	-flush-ms d       result-stream flush latency watermark
+//	-pprof a          serve net/http/pprof on this address ("" = off)
 //	-examples n       fuzzy training examples per controller
 //	-tracelen n       instructions per phase profile
 //	-cache-dir dir    persistent artifact cache (falls back to
 //	                  $EVAL_CACHE_DIR); -no-cache forces it off
+//
+// Results stream through a reused buffer flushed on size/time
+// watermarks (-flush-bytes, -flush-ms) rather than per line: one write
+// syscall covers many results, and a short timer bounds how stale a
+// quiet stream can go. A disconnected client (r.Context() done) stops
+// the stream; remaining results are dropped and counted in
+// fleet.emit.dropped.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight batches, releases remaining chips (flushing their PE tables),
@@ -43,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -60,15 +72,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		routing  = flag.String("routing", "round-robin", "unit routing policy: round-robin, least-loaded, affinity")
-		maxBatch = flag.Int("max-batch", fleet.DefaultMaxBatch, "max compatible run events per unit batch")
-		rates    = flag.String("rate", "", "per-class admission rates: class=perTick:burst[,class=...]")
-		examples = flag.Int("examples", 1500, "fuzzy training examples per controller")
-		traceLen = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
-		cacheDir = flag.String("cache-dir", "", "persistent artifact cache directory (falls back to $EVAL_CACHE_DIR)")
-		noCache  = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		routing    = flag.String("routing", "round-robin", "unit routing policy: round-robin, least-loaded, affinity")
+		maxBatch   = flag.Int("max-batch", fleet.DefaultMaxBatch, "max compatible run events per unit batch")
+		rates      = flag.String("rate", "", "per-class admission rates: class=perTick:burst[,class=...]")
+		flushBytes = flag.Int("flush-bytes", 64<<10, "result-stream flush size watermark")
+		flushMs    = flag.Int("flush-ms", 25, "result-stream flush latency watermark (milliseconds)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		examples   = flag.Int("examples", 1500, "fuzzy training examples per controller")
+		traceLen   = flag.Int("tracelen", pipeline.DefaultTraceLen, "instructions per phase profile")
+		cacheDir   = flag.String("cache-dir", "", "persistent artifact cache directory (falls back to $EVAL_CACHE_DIR)")
+		noCache    = flag.Bool("no-cache", false, "disable the artifact cache even if EVAL_CACHE_DIR is set")
 	)
 	flag.Parse()
 
@@ -109,9 +124,20 @@ func main() {
 		fatal(err)
 	}
 
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; give it its own
+		// listener so profiling never shares the serving port.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "evalserve: pprof:", err)
+			}
+		}()
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/batch", handleBatch(fl))
+	mux.HandleFunc("/v1/batch", handleBatch(fl, reg, *flushBytes, time.Duration(*flushMs)*time.Millisecond))
 	mux.HandleFunc("/v1/stats", handleStats(fl))
+	mux.HandleFunc("/v1/metrics", handleMetrics(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -186,10 +212,106 @@ type batchRequest struct {
 	Events []fleet.Event `json:"events"`
 }
 
+// streamBufPool recycles NDJSON stream buffers across batch requests.
+var streamBufPool = sync.Pool{New: func() any { return make([]byte, 0, 64<<10) }}
+
+// resultStreamer batches NDJSON result lines through a reused buffer,
+// flushing on a size watermark or a latency timer, whichever fires
+// first. Once the request context is done or a write fails, it stops
+// touching the connection and counts every further result as dropped.
+type resultStreamer struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	flusher http.Flusher
+	ctx     context.Context
+	buf     []byte
+	timer   *time.Timer
+	failed  bool
+
+	maxBytes int
+	maxWait  time.Duration
+	flushes  *obs.Counter
+	dropped  *obs.Counter
+}
+
+func newResultStreamer(w http.ResponseWriter, r *http.Request, reg *obs.Registry, maxBytes int, maxWait time.Duration) *resultStreamer {
+	flusher, _ := w.(http.Flusher)
+	return &resultStreamer{
+		w: w, flusher: flusher, ctx: r.Context(),
+		buf:      streamBufPool.Get().([]byte)[:0],
+		maxBytes: maxBytes, maxWait: maxWait,
+		flushes: reg.Counter("fleet.emit.flushes"),
+		dropped: reg.Counter("fleet.emit.dropped"),
+	}
+}
+
+// emit is the fleet's result callback.
+func (st *resultStreamer) emit(res fleet.Result) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failed || st.ctx.Err() != nil {
+		st.failed = true
+		st.dropped.Inc()
+		return
+	}
+	st.buf = res.AppendJSON(st.buf)
+	st.buf = append(st.buf, '\n')
+	if len(st.buf) >= st.maxBytes {
+		st.flushLocked()
+	} else if st.timer == nil {
+		st.timer = time.AfterFunc(st.maxWait, st.timedFlush)
+	}
+}
+
+func (st *resultStreamer) timedFlush() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.timer = nil
+	if !st.failed && st.ctx.Err() == nil {
+		st.flushLocked()
+	}
+}
+
+func (st *resultStreamer) flushLocked() {
+	if st.timer != nil {
+		st.timer.Stop()
+		st.timer = nil
+	}
+	if len(st.buf) == 0 {
+		return
+	}
+	if _, err := st.w.Write(st.buf); err != nil {
+		st.failed = true
+		st.buf = st.buf[:0]
+		return
+	}
+	st.buf = st.buf[:0]
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+	st.flushes.Inc()
+}
+
+// close flushes the tail and recycles the buffer. Call after
+// SubmitBatch has returned (no emit can be in flight).
+func (st *resultStreamer) close() {
+	st.mu.Lock()
+	if st.timer != nil {
+		st.timer.Stop()
+		st.timer = nil
+	}
+	if !st.failed && st.ctx.Err() == nil {
+		st.flushLocked()
+	}
+	buf := st.buf[:0]
+	st.buf = nil
+	st.mu.Unlock()
+	streamBufPool.Put(buf)
+}
+
 // handleBatch ingests one event batch and streams NDJSON results in
-// submission order, flushing after each line so clients see progress on
-// long-running batches.
-func handleBatch(fl *fleet.Fleet) http.HandlerFunc {
+// submission order through a watermark-flushed buffer.
+func handleBatch(fl *fleet.Fleet, reg *obs.Registry, flushBytes int, flushWait time.Duration) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -203,21 +325,9 @@ func handleBatch(fl *fleet.Fleet) http.HandlerFunc {
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		// emit runs on fleet goroutines one call at a time, but guard the
-		// writer anyway: the contract is the fleet's, not the mux's.
-		var mu sync.Mutex
-		err := fl.SubmitBatch(req.Events, func(res fleet.Result) {
-			mu.Lock()
-			defer mu.Unlock()
-			if err := enc.Encode(res); err != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		})
+		st := newResultStreamer(w, r, reg, flushBytes, flushWait)
+		err := fl.SubmitBatch(req.Events, st.emit)
+		st.close()
 		if err != nil {
 			// Nothing was emitted: the fleet only rejects before streaming.
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -232,6 +342,39 @@ func handleStats(fl *fleet.Fleet) http.HandlerFunc {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(fl.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// metricRow is one /v1/metrics entry.
+type metricRow struct {
+	Kind  string  `json:"kind"`
+	Name  string  `json:"name"`
+	Count int64   `json:"count,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	SumNs int64   `json:"sum_ns,omitempty"`
+	P50Ns int64   `json:"p50_ns,omitempty"`
+	P95Ns int64   `json:"p95_ns,omitempty"`
+	MaxNs int64   `json:"max_ns,omitempty"`
+}
+
+// handleMetrics dumps the obs registry: every counter, gauge, and timer
+// the simulator, artifact store, and fleet have registered.
+func handleMetrics(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rows := make([]metricRow, 0, 32)
+		for _, m := range reg.Snapshot() {
+			rows = append(rows, metricRow{
+				Kind: m.Kind, Name: m.Name, Count: m.Count, Value: m.Value,
+				SumNs: m.Sum.Nanoseconds(), P50Ns: m.P50.Nanoseconds(),
+				P95Ns: m.P95.Nanoseconds(), MaxNs: m.Max.Nanoseconds(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

@@ -1,5 +1,7 @@
 package fleet
 
+import "sync"
+
 // Rate configures one admission class: a token bucket refilled at
 // PerTick tokens per virtual-time tick, holding at most Burst tokens.
 // Each run event spends one token; join/leave events bypass admission
@@ -12,9 +14,12 @@ type Rate struct {
 // TokenBucket is a token bucket over the fleet's virtual clock. It is
 // deliberately not wall-clock based: refills depend only on submitted
 // event timestamps, so admission decisions are part of the deterministic
-// event-trace semantics rather than a function of host speed. Not safe
-// for concurrent use; the fleet ingest lock serializes access.
+// event-trace semantics rather than a function of host speed. Each
+// bucket carries its own mutex: the sharded ingest path serializes
+// admission per class here instead of under one global fleet lock, so
+// classes never contend with each other.
 type TokenBucket struct {
+	mu      sync.Mutex
 	perTick float64
 	burst   float64
 	tokens  float64
@@ -31,7 +36,11 @@ func NewTokenBucket(r Rate) *TokenBucket {
 // Allow spends one token at virtual time at, refilling for the ticks
 // elapsed since the last call first. Time moving backwards (events may
 // carry stale timestamps) refills nothing but still allows spending.
+// Safe for concurrent use; concurrent submitters spend in bucket-lock
+// acquisition order.
 func (b *TokenBucket) Allow(at int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if !b.primed {
 		b.primed = true
 		b.last = at

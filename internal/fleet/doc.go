@@ -18,16 +18,23 @@
 //
 // # Scheduling
 //
-// Ingest is the only serialized stage. Under one lock, events receive
-// global sequence numbers, the clock advances, admission buckets spend,
-// membership updates, and compatible run events — same (chip,
-// environment, mode) — coalesce into bounded unit batches that a
-// routing policy (round-robin, least-loaded, affinity-by-chip) places
-// on worker queues. Workers are pure with respect to ingest state:
-// inside a batch, duplicate (app, phase) events share one solve, a
-// single indexed probe (artifact.Store.ContainsBatch) splits groups
-// into cache replays and cold solves, and results flow back through the
-// submission batch.
+// Ingest holds no global lock. A SubmitBatch call reserves its
+// contiguous sequence block with one atomic add, folds timestamps into
+// the virtual clock (an atomic running maximum), and then walks its
+// events touching only sharded state: chip membership lives in
+// hash-sharded maps (Config.MemberShards), admission buckets carry
+// per-class locks, stats are atomic counters behind a copy-on-write
+// class table with per-worker latency shards, and routing cursors are
+// atomics. Compatible run events — same (chip, environment, mode) —
+// coalesce into bounded unit batches that a routing policy
+// (round-robin, least-loaded, affinity-by-chip) places on worker
+// queues. Workers are pure with respect to ingest state: inside a
+// batch, duplicate (app, phase) events share one solve, a single
+// indexed probe (artifact.Store.ContainsBatch) splits groups into cache
+// replays and cold solves, and results flow back through the submission
+// batch. Each chip builds one base core per environment, shared across
+// the pool; workers solve on private WorkerViews of it, so adding
+// workers never multiplies core construction.
 //
 // # Ordering and determinism contract
 //
@@ -35,18 +42,22 @@
 // the emit callback observes results exactly in event order, whatever
 // order workers finish in (a ready-array cursor re-serializes
 // emission). Across concurrent SubmitBatch calls only sequence numbers
-// order events — interleaving follows lock acquisition.
+// order events — each call owns a contiguous block, and block order
+// follows the atomic reservation; admission within a class follows
+// bucket-lock acquisition order. The contract below is defined over a
+// single-client trace, where both orders reduce to submission order.
 //
 // For a fixed simulator seed and a fixed event trace (one client
 // submitting the same batches in the same order), Result.Canonical() —
 // everything except the execution diagnostics (worker placement,
 // latencies, cache hits, batching counts) — is byte-identical at every
-// worker count and every routing policy. The three load-bearing
-// properties: sequence assignment, the virtual clock, and admission are
-// decided serially at ingest from the trace alone; simulation units are
-// pure functions of (chip seed, environment, mode, app, phase) — worker
-// placement and PE-table build order cannot change their values; and
+// worker count, every shard count, and every routing policy. The three
+// load-bearing properties: sequence assignment, the virtual clock, and
+// admission are decided at ingest from the trace alone (serially, for a
+// serial submitter); simulation units are pure functions of (chip seed,
+// environment, mode, app, phase) — worker placement, core-view
+// derivation, and PE-table build order cannot change their values; and
 // per-batch emission is re-serialized by submission order. The
-// determinism tests sweep workers {1, 8} × all routing policies and
-// compare canonical JSON byte-for-byte.
+// determinism tests sweep shard counts {1, 32} × workers {1, 8} × all
+// routing policies and compare canonical JSON byte-for-byte.
 package fleet

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adapt"
@@ -16,6 +17,9 @@ import (
 // one dispatched unit batch.
 const DefaultMaxBatch = 64
 
+// DefaultMemberShards is the default chip-membership shard count.
+const DefaultMemberShards = 32
+
 // Config configures a Fleet.
 type Config struct {
 	// Workers is the worker-goroutine count (0 = GOMAXPROCS).
@@ -25,6 +29,11 @@ type Config struct {
 	// MaxBatch bounds events per dispatched unit batch (0 =
 	// DefaultMaxBatch).
 	MaxBatch int
+	// MemberShards is the chip-membership shard count, rounded up to a
+	// power of two (0 = DefaultMemberShards). Membership is the only
+	// ingest structure run events read under a lock; sharding it keeps
+	// concurrent submitters off each other's chips.
+	MemberShards int
 	// Admission maps class names to token-bucket rates; classes without
 	// an entry are unthrottled.
 	Admission map[string]Rate
@@ -37,8 +46,8 @@ type Config struct {
 	// the fleet already saturates cores with unit parallelism, and
 	// nested training pools would oversubscribe.
 	Training adapt.TrainOptions
-	// Obs, when non-nil, receives fleet.pool.* gauges and event/unit
-	// counters.
+	// Obs, when non-nil, receives fleet.pool.* gauges, event/unit
+	// counters, and the fleet.ingest.lock_wait_ns contention counter.
 	Obs *obs.Registry
 }
 
@@ -47,35 +56,64 @@ type Config struct {
 // (chip, env, app, phase) units execute over a worker pool backed by the
 // Simulator's artifact cache. See doc.go for the ordering and
 // determinism contract.
+//
+// Ingest is sharded: sequence numbers are reserved per batch with one
+// atomic add, the virtual clock is an atomic running maximum, chip
+// membership lives in hash-sharded maps, admission buckets carry their
+// own per-class locks, and routing cursors are atomics. No global lock
+// exists on the event path.
 type Fleet struct {
 	sim  *core.Simulator
 	cfg  Config
 	apps map[string]workload.App
 
-	// mu serializes ingest: sequence assignment, the virtual clock,
-	// admission, chip membership, coalescing, and routing. Everything
-	// after dispatch is lock-free with respect to ingest.
-	mu      sync.Mutex
-	seq     int64
-	clock   int64
-	chips   map[int64]*chipEntry
-	buckets map[string]*TokenBucket
-	rrNext  int
-	load    []float64
+	seq   atomic.Int64 // batch-reserved; contiguous within a batch
+	clock atomic.Int64 // running max of submitted At values
+
+	shards    []memberShard
+	shardMask uint64
+
+	buckets map[string]*TokenBucket // read-only after New
+
+	rrNext atomic.Int64
+	load   []workerLoad
+
+	// closeMu fences dispatch against Close: SubmitBatch holds the read
+	// side from the closed check through its last queue send, so Close
+	// can only close the worker queues once no submitter is mid-dispatch.
+	closeMu sync.RWMutex
 	closed  bool
 
 	queues []chan *unitTask
 	wg     sync.WaitGroup // workers
 	bg     sync.WaitGroup // leave-triggered release goroutines
 
-	stats *stats
-	mon   *obs.PoolMonitor
+	stats    *stats
+	mon      *obs.PoolMonitor
+	lockWait *obs.Counter // nil when no registry: zero-cost timing gate
+}
+
+// memberShard is one slice of chip membership; join/leave write, run
+// events read-lock. The padding keeps shard locks off one cache line.
+type memberShard struct {
+	mu sync.RWMutex
+	m  map[int64]*chipEntry
+	_  [64]byte
+}
+
+// workerLoad is one worker's cumulative dispatched cost for least-loaded
+// routing, padded against false sharing.
+type workerLoad struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // chipEntry is one admitted chip. The expensive handle builds lazily
 // under once on whichever worker first needs it; units register on the
 // WaitGroup so a leave can release the handle only once the chip is
-// quiescent.
+// quiescent. Per-environment base cores build once per entry and are
+// shared by every worker through cheap WorkerViews, so scaling the pool
+// does not multiply core construction.
 type chipEntry struct {
 	seed  int64
 	units sync.WaitGroup
@@ -83,6 +121,15 @@ type chipEntry struct {
 	once   sync.Once
 	handle *core.ChipHandle
 	err    error
+
+	cores sync.Map // core.Environment -> *coreSlot
+}
+
+// coreSlot is one (chip, environment) shared base core.
+type coreSlot struct {
+	once sync.Once
+	core *adapt.Core
+	err  error
 }
 
 func (e *chipEntry) ensure(sim *core.Simulator) (*core.ChipHandle, error) {
@@ -90,23 +137,82 @@ func (e *chipEntry) ensure(sim *core.Simulator) (*core.ChipHandle, error) {
 	return e.handle, e.err
 }
 
+// baseCore returns the entry's shared core for env, building it exactly
+// once across all workers. Workers must not solve on the returned core
+// directly — they derive private WorkerViews — but its immutable fields
+// (Config) are safe to read concurrently.
+func (e *chipEntry) baseCore(sim *core.Simulator, env core.Environment) (*adapt.Core, error) {
+	v, _ := e.cores.LoadOrStore(env, &coreSlot{})
+	slot := v.(*coreSlot)
+	slot.once.Do(func() {
+		handle, err := e.ensure(sim)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.core, slot.err = sim.HandleCore(handle, env)
+	})
+	return slot.core, slot.err
+}
+
 // eventRef ties one ingested event to its slot in the submission batch.
 type eventRef struct {
 	b   *batch
+	cls *classStats
 	pos int
 	ev  Event
 	seq int64
+}
+
+// unitKey coalesces compatible run events: same chip, environment, and
+// mode. A packed comparable struct, so the open-task map never
+// allocates key strings on the hot path.
+type unitKey struct {
+	chip int64
+	env  string
+	mode string
 }
 
 // unitTask is one dispatched batch of compatible run events: same chip,
 // environment, and mode. Distinct (app, phase) groups inside it each
 // solve once; duplicate events replay the group's result.
 type unitTask struct {
-	entry *chipEntry
-	env   string
-	mode  string
-	refs  []eventRef
-	enq   time.Time
+	entry  *chipEntry
+	env    string
+	mode   string
+	refs   []eventRef
+	groups int // distinct (app, phase) keys in refs, tracked at ingest
+	enq    time.Time
+}
+
+var taskPool = sync.Pool{New: func() any { return new(unitTask) }}
+
+// addRef appends a ref, tracking the distinct-group count the router
+// costs by. Batches are small (MaxBatch), so the duplicate scan is a
+// short linear pass instead of a map.
+func (t *unitTask) addRef(ref eventRef) {
+	k := keyOf(ref.ev)
+	dup := false
+	for i := range t.refs {
+		if keyOf(t.refs[i].ev) == k {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		t.groups++
+	}
+	t.refs = append(t.refs, ref)
+}
+
+// release returns a finished task to the pool.
+func (t *unitTask) release() {
+	clear(t.refs) // drop batch/entry references before pooling
+	t.refs = t.refs[:0]
+	t.entry = nil
+	t.env, t.mode = "", ""
+	t.groups = 0
+	taskPool.Put(t)
 }
 
 // batch tracks one SubmitBatch call's results and re-serializes
@@ -119,6 +225,33 @@ type batch struct {
 	ready   []bool
 	next    int
 	done    chan struct{}
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func getBatch(n int, emit func(Result)) *batch {
+	b := batchPool.Get().(*batch)
+	b.emit = emit
+	b.next = 0
+	b.done = make(chan struct{})
+	if cap(b.results) < n {
+		b.results = make([]Result, n)
+		b.ready = make([]bool, n)
+	} else {
+		b.results = b.results[:n]
+		b.ready = b.ready[:n]
+		clear(b.results)
+		clear(b.ready)
+	}
+	return b
+}
+
+// putBatch recycles a fully emitted batch. Safe only after done is
+// closed: every finish call has completed and released b.mu.
+func putBatch(b *batch) {
+	b.emit = nil
+	b.done = nil
+	batchPool.Put(b)
 }
 
 // finish records slot pos's result and emits any newly contiguous
@@ -139,6 +272,34 @@ func (b *batch) finish(pos int, r Result) {
 	b.mu.Unlock()
 }
 
+// immediate is one result decided at ingest (join/leave, rejections,
+// validation errors).
+type immediate struct {
+	pos int
+	res Result
+}
+
+// submitScratch is SubmitBatch's reusable per-call state.
+type submitScratch struct {
+	immediates []immediate
+	tasks      []*unitTask
+	targets    []int
+	open       map[unitKey]*unitTask
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &submitScratch{open: make(map[unitKey]*unitTask)}
+}}
+
+func (sc *submitScratch) release() {
+	sc.immediates = sc.immediates[:0]
+	clear(sc.tasks)
+	sc.tasks = sc.tasks[:0]
+	sc.targets = sc.targets[:0]
+	clear(sc.open)
+	scratchPool.Put(sc)
+}
+
 // New starts a fleet over the simulator's models and artifact store.
 func New(sim *core.Simulator, cfg Config) (*Fleet, error) {
 	if cfg.Workers < 1 {
@@ -147,6 +308,14 @@ func New(sim *core.Simulator, cfg Config) (*Fleet, error) {
 	if cfg.MaxBatch < 1 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	if cfg.MemberShards < 1 {
+		cfg.MemberShards = DefaultMemberShards
+	}
+	shards := 1
+	for shards < cfg.MemberShards {
+		shards <<= 1
+	}
+	cfg.MemberShards = shards
 	if cfg.Apps == nil {
 		cfg.Apps = workload.Suite()
 	}
@@ -157,15 +326,20 @@ func New(sim *core.Simulator, cfg Config) (*Fleet, error) {
 		cfg.Training.Workers = 1
 	}
 	f := &Fleet{
-		sim:     sim,
-		cfg:     cfg,
-		apps:    make(map[string]workload.App, len(cfg.Apps)),
-		chips:   make(map[int64]*chipEntry),
-		buckets: make(map[string]*TokenBucket),
-		load:    make([]float64, cfg.Workers),
-		queues:  make([]chan *unitTask, cfg.Workers),
-		stats:   newStats(),
-		mon:     obs.NewPoolMonitor(cfg.Obs, "fleet.pool", cfg.Workers),
+		sim:       sim,
+		cfg:       cfg,
+		apps:      make(map[string]workload.App, len(cfg.Apps)),
+		shards:    make([]memberShard, shards),
+		shardMask: uint64(shards - 1),
+		buckets:   make(map[string]*TokenBucket),
+		load:      make([]workerLoad, cfg.Workers),
+		queues:    make([]chan *unitTask, cfg.Workers),
+		stats:     newStats(cfg.Workers),
+		mon:       obs.NewPoolMonitor(cfg.Obs, "fleet.pool", cfg.Workers),
+		lockWait:  cfg.Obs.Counter("fleet.ingest.lock_wait_ns"),
+	}
+	for i := range f.shards {
+		f.shards[i].m = make(map[int64]*chipEntry)
 	}
 	for _, app := range cfg.Apps {
 		if _, dup := f.apps[app.Name]; dup {
@@ -184,11 +358,21 @@ func New(sim *core.Simulator, cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
+// shardFor maps a chip to its membership shard.
+func (f *Fleet) shardFor(chip int64) *memberShard {
+	return &f.shards[fnv64(chip)&f.shardMask]
+}
+
 // Chips returns the current admitted-chip count.
 func (f *Fleet) Chips() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.chips)
+	n := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats renders the service telemetry snapshot.
@@ -201,6 +385,20 @@ func (f *Fleet) Stats() Snapshot {
 	return snap
 }
 
+// advanceClock folds one event timestamp into the virtual clock and
+// returns the clock after the fold.
+func (f *Fleet) advanceClock(at int64) int64 {
+	for {
+		cur := f.clock.Load()
+		if at <= cur {
+			return cur
+		}
+		if f.clock.CompareAndSwap(cur, at) {
+			return at
+		}
+	}
+}
+
 // SubmitBatch ingests one ordered event batch and blocks until every
 // event's result has been passed to emit, in submission order. emit runs
 // on internal goroutines, one call at a time; it must not call back into
@@ -210,136 +408,175 @@ func (f *Fleet) SubmitBatch(events []Event, emit func(Result)) error {
 	if len(events) == 0 {
 		return nil
 	}
-	b := &batch{
-		emit:    emit,
-		results: make([]Result, len(events)),
-		ready:   make([]bool, len(events)),
-		done:    make(chan struct{}),
-	}
-	// Ingest under the fleet lock: sequencing, clock, admission,
-	// membership, coalescing, routing. Immediate results (join/leave,
-	// rejections, validation errors) are collected and finished after
-	// the lock drops so emit never runs under it.
-	type immediate struct {
-		pos int
-		res Result
-	}
-	var immediates []immediate
-	var tasks []*unitTask
-	open := make(map[string]*unitTask)
-
-	f.mu.Lock()
+	f.closeMu.RLock()
 	if f.closed {
-		f.mu.Unlock()
+		f.closeMu.RUnlock()
 		return fmt.Errorf("fleet: closed")
 	}
+	b := getBatch(len(events), emit)
+	sc := scratchPool.Get().(*submitScratch)
+
+	// One atomic reserves the batch's contiguous sequence block; the
+	// scan below assigns them in submission order. Everything else on
+	// the ingest path touches only sharded or per-class state.
+	seqBase := f.seq.Add(int64(len(events))) - int64(len(events))
 	for pos, ev := range events {
-		f.seq++
-		if ev.At > f.clock {
-			f.clock = ev.At
-		}
+		seq := seqBase + int64(pos) + 1
+		clock := f.advanceClock(ev.At)
 		res := Result{
-			Seq: f.seq, At: ev.At, Kind: ev.Kind, Class: ev.Class,
+			Seq: seq, At: ev.At, Kind: ev.Kind, Class: ev.Class,
 			Chip: ev.Chip, Env: ev.Env, Mode: ev.Mode, App: ev.App,
 			Phase: ev.Phase, Status: StatusOK,
 		}
 		f.stats.events.Add(1)
 		cls := f.stats.class(ev.Class)
 		cls.events.Add(1)
-		reject := func(status, msg string) {
-			res.Status = status
-			res.Err = msg
-			if status == StatusRejected {
-				cls.rejected.Add(1)
-			} else {
-				cls.errors.Add(1)
-			}
-			immediates = append(immediates, immediate{pos, res})
-		}
 		switch ev.Kind {
 		case KindJoin:
-			if _, ok := f.chips[ev.Chip]; ok {
-				reject(StatusError, fmt.Sprintf("chip %d already joined", ev.Chip))
-				continue
+			sh := f.shardFor(ev.Chip)
+			f.timedLock(&sh.mu)
+			_, dup := sh.m[ev.Chip]
+			if !dup {
+				sh.m[ev.Chip] = &chipEntry{seed: ev.Chip}
 			}
-			f.chips[ev.Chip] = &chipEntry{seed: ev.Chip}
-			cls.ok.Add(1)
-			immediates = append(immediates, immediate{pos, res})
+			sh.mu.Unlock()
+			if dup {
+				res.Status = StatusError
+				res.Err = fmt.Sprintf("chip %d already joined", ev.Chip)
+				cls.errors.Add(1)
+			} else {
+				cls.ok.Add(1)
+			}
+			sc.immediates = append(sc.immediates, immediate{pos, res})
 		case KindLeave:
-			entry, ok := f.chips[ev.Chip]
-			if !ok {
-				reject(StatusError, fmt.Sprintf("chip %d not joined", ev.Chip))
-				continue
+			sh := f.shardFor(ev.Chip)
+			f.timedLock(&sh.mu)
+			entry, ok := sh.m[ev.Chip]
+			if ok {
+				delete(sh.m, ev.Chip)
 			}
-			delete(f.chips, ev.Chip)
-			// Release once the chip's in-flight units drain; the handle
-			// flushes its accumulated PE tables to the artifact store.
-			f.bg.Add(1)
-			go func() {
-				defer f.bg.Done()
-				entry.units.Wait()
-				if entry.handle != nil {
-					f.sim.ReleaseChip(entry.handle)
-				}
-			}()
-			cls.ok.Add(1)
-			immediates = append(immediates, immediate{pos, res})
-		case KindRun:
-			entry, ok := f.chips[ev.Chip]
+			sh.mu.Unlock()
 			if !ok {
-				reject(StatusError, fmt.Sprintf("chip %d not joined", ev.Chip))
+				res.Status = StatusError
+				res.Err = fmt.Sprintf("chip %d not joined", ev.Chip)
+				cls.errors.Add(1)
+			} else {
+				// Release once the chip's in-flight units drain; the handle
+				// flushes its accumulated PE tables to the artifact store.
+				f.bg.Add(1)
+				go func() {
+					defer f.bg.Done()
+					entry.units.Wait()
+					if entry.handle != nil {
+						f.sim.ReleaseChip(entry.handle)
+					}
+				}()
+				cls.ok.Add(1)
+			}
+			sc.immediates = append(sc.immediates, immediate{pos, res})
+		case KindRun:
+			// The unit registration (units.Add) must happen under the
+			// shard read lock: a leave excludes readers while it unlinks
+			// the entry, so every registered unit precedes its Wait.
+			sh := f.shardFor(ev.Chip)
+			f.timedRLock(&sh.mu)
+			entry := sh.m[ev.Chip]
+			if entry != nil {
+				entry.units.Add(1)
+			}
+			sh.mu.RUnlock()
+			if entry == nil {
+				res.Status = StatusError
+				res.Err = fmt.Sprintf("chip %d not joined", ev.Chip)
+				cls.errors.Add(1)
+				sc.immediates = append(sc.immediates, immediate{pos, res})
 				continue
 			}
 			if msg := f.validateRun(ev); msg != "" {
-				reject(StatusError, msg)
+				entry.units.Done()
+				res.Status = StatusError
+				res.Err = msg
+				cls.errors.Add(1)
+				sc.immediates = append(sc.immediates, immediate{pos, res})
 				continue
 			}
-			if bucket, throttled := f.buckets[ev.Class]; throttled && !bucket.Allow(f.clock) {
-				reject(StatusRejected, "admission: class rate exceeded")
+			if bucket, throttled := f.buckets[ev.Class]; throttled && !bucket.Allow(clock) {
+				entry.units.Done()
+				res.Status = StatusRejected
+				res.Err = "admission: class rate exceeded"
+				cls.rejected.Add(1)
+				sc.immediates = append(sc.immediates, immediate{pos, res})
 				continue
 			}
-			key := fmt.Sprintf("%d|%s|%s", ev.Chip, ev.Env, ev.Mode)
-			t := open[key]
+			key := unitKey{chip: ev.Chip, env: ev.Env, mode: ev.Mode}
+			t := sc.open[key]
 			if t != nil && len(t.refs) >= f.cfg.MaxBatch {
 				t = nil
 			}
 			if t == nil {
-				t = &unitTask{entry: entry, env: ev.Env, mode: ev.Mode}
-				open[key] = t
-				tasks = append(tasks, t)
+				t = taskPool.Get().(*unitTask)
+				t.entry, t.env, t.mode = entry, ev.Env, ev.Mode
+				sc.open[key] = t
+				sc.tasks = append(sc.tasks, t)
 			} else {
 				f.stats.batchedEvents.Add(1)
 			}
-			t.refs = append(t.refs, eventRef{b: b, pos: pos, ev: ev, seq: f.seq})
-			entry.units.Add(1)
+			t.addRef(eventRef{b: b, cls: cls, pos: pos, ev: ev, seq: seq})
 		default:
-			reject(StatusError, fmt.Sprintf("unknown event kind %q", ev.Kind))
+			res.Status = StatusError
+			res.Err = fmt.Sprintf("unknown event kind %q", ev.Kind)
+			cls.errors.Add(1)
+			sc.immediates = append(sc.immediates, immediate{pos, res})
 		}
 	}
-	// Route while still holding the lock: least-loaded reads and updates
-	// the cumulative dispatched cost, and round-robin advances a cursor;
-	// both must see tasks in ingest order to stay deterministic.
-	targets := make([]int, len(tasks))
-	for i, t := range tasks {
-		targets[i] = f.route(t)
-	}
-	f.mu.Unlock()
-
-	for _, im := range immediates {
-		b.finish(im.pos, im.res)
+	// Route in ingest order: the cursors are atomics, so placement is a
+	// pure function of the trace for a serial submitter and merely
+	// fair-ish under concurrency — placement never affects results.
+	for _, t := range sc.tasks {
+		sc.targets = append(sc.targets, f.route(t))
 	}
 	depth := 0
-	for i, t := range tasks {
+	for i, t := range sc.tasks {
 		t.enq = time.Now()
 		f.stats.units.Add(1)
-		f.queues[targets[i]] <- t
-		depth += len(f.queues[targets[i]])
+		f.queues[sc.targets[i]] <- t
+		depth += len(f.queues[sc.targets[i]])
 	}
-	if len(tasks) > 0 {
+	if len(sc.tasks) > 0 {
 		f.mon.Depth(depth)
 	}
+	f.closeMu.RUnlock()
+
+	for _, im := range sc.immediates {
+		b.finish(im.pos, im.res)
+	}
 	<-b.done
+	sc.release()
+	putBatch(b)
 	return nil
+}
+
+// timedLock and timedRLock acquire a shard lock, feeding acquisition
+// wait into fleet.ingest.lock_wait_ns when a registry is attached (the
+// nil counter skips the clock reads entirely).
+func (f *Fleet) timedLock(mu *sync.RWMutex) {
+	if f.lockWait == nil {
+		mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	mu.Lock()
+	f.lockWait.Add(time.Since(t0).Nanoseconds())
+}
+
+func (f *Fleet) timedRLock(mu *sync.RWMutex) {
+	if f.lockWait == nil {
+		mu.RLock()
+		return
+	}
+	t0 := time.Now()
+	mu.RLock()
+	f.lockWait.Add(time.Since(t0).Nanoseconds())
 }
 
 // validateRun checks a run event's simulation coordinates, returning an
@@ -372,24 +609,22 @@ func (f *Fleet) validateRun(ev Event) string {
 	return ""
 }
 
-// route picks a worker for a completed task. Caller holds f.mu.
+// route picks a worker for a completed task.
 func (f *Fleet) route(t *unitTask) int {
 	switch f.cfg.Routing {
 	case LeastLoaded:
-		best := 0
+		best, bestLoad := 0, f.load[0].n.Load()
 		for w := 1; w < f.cfg.Workers; w++ {
-			if f.load[w] < f.load[best] {
-				best = w
+			if l := f.load[w].n.Load(); l < bestLoad {
+				best, bestLoad = w, l
 			}
 		}
-		f.load[best] += float64(countGroups(t))
+		f.load[best].n.Add(int64(t.groups))
 		return best
 	case Affinity:
 		return int(fnv64(t.entry.seed) % uint64(f.cfg.Workers))
 	default:
-		w := f.rrNext
-		f.rrNext = (f.rrNext + 1) % f.cfg.Workers
-		return w
+		return int((f.rrNext.Add(1) - 1) % int64(f.cfg.Workers))
 	}
 }
 
@@ -407,30 +642,27 @@ func keyOf(ev Event) groupKey {
 	return k
 }
 
-func countGroups(t *unitTask) int {
-	seen := make(map[groupKey]struct{}, len(t.refs))
-	for _, ref := range t.refs {
-		seen[keyOf(ref.ev)] = struct{}{}
-	}
-	return len(seen)
-}
-
 // Close drains the fleet: no new batches are accepted, queued units
 // finish, remaining chips release (flushing PE tables), and the workers
 // exit. Callers flush/close the artifact store themselves afterwards.
 func (f *Fleet) Close() {
-	f.mu.Lock()
+	f.closeMu.Lock()
 	if f.closed {
-		f.mu.Unlock()
+		f.closeMu.Unlock()
 		return
 	}
 	f.closed = true
-	remaining := make([]*chipEntry, 0, len(f.chips))
-	for _, e := range f.chips {
-		remaining = append(remaining, e)
+	var remaining []*chipEntry
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			remaining = append(remaining, e)
+		}
+		sh.m = make(map[int64]*chipEntry)
+		sh.mu.Unlock()
 	}
-	f.chips = make(map[int64]*chipEntry)
-	f.mu.Unlock()
+	f.closeMu.Unlock()
 
 	for _, q := range f.queues {
 		close(q)

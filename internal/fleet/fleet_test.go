@@ -96,14 +96,15 @@ func testTrace() [][]Event {
 
 // runTrace plays the fixed trace through a fresh fleet and returns the
 // canonical result stream as JSON lines.
-func runTrace(t *testing.T, sim *core.Simulator, workers int, routing Routing) []string {
+func runTrace(t *testing.T, sim *core.Simulator, workers, shards int, routing Routing) []string {
 	t.Helper()
 	training := adapt.DefaultTrainOptions()
 	training.Examples = 60
 	f, err := New(sim, Config{
-		Workers:  workers,
-		Routing:  routing,
-		MaxBatch: 4,
+		Workers:      workers,
+		Routing:      routing,
+		MaxBatch:     4,
+		MemberShards: shards,
 		Admission: map[string]Rate{
 			"capped": {PerTick: 0, Burst: 2},
 		},
@@ -132,9 +133,9 @@ func runTrace(t *testing.T, sim *core.Simulator, workers int, routing Routing) [
 
 // TestFleetDeterminism is the headline contract: at a fixed seed and
 // fixed event trace, canonical results are byte-identical at every
-// worker count and routing policy. The simulator and artifact store are
-// shared across the sweep, so the first (cold) run also pins warm cache
-// replays to the same bytes.
+// worker count, membership shard count, and routing policy. The
+// simulator and artifact store are shared across the sweep, so the
+// first (cold) run also pins warm cache replays to the same bytes.
 func TestFleetDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-stack experiment")
@@ -143,40 +144,42 @@ func TestFleetDeterminism(t *testing.T) {
 	var want []string
 	wantFrom := ""
 	for _, workers := range []int{1, 8} {
-		for _, routing := range Routings() {
-			got := runTrace(t, sim, workers, routing)
-			label := fmt.Sprintf("workers=%d routing=%v", workers, routing)
-			if want == nil {
-				want, wantFrom = got, label
-				// The trace must actually exercise results, errors, and
-				// rejections or the sweep proves nothing.
-				var okRuns, errs, rejects int
-				for _, line := range got {
-					var r Result
-					if err := json.Unmarshal([]byte(line), &r); err != nil {
-						t.Fatal(err)
+		for _, shards := range []int{1, 32} {
+			for _, routing := range Routings() {
+				got := runTrace(t, sim, workers, shards, routing)
+				label := fmt.Sprintf("workers=%d shards=%d routing=%v", workers, shards, routing)
+				if want == nil {
+					want, wantFrom = got, label
+					// The trace must actually exercise results, errors, and
+					// rejections or the sweep proves nothing.
+					var okRuns, errs, rejects int
+					for _, line := range got {
+						var r Result
+						if err := json.Unmarshal([]byte(line), &r); err != nil {
+							t.Fatal(err)
+						}
+						switch {
+						case r.Status == StatusOK && r.Kind == KindRun:
+							okRuns++
+						case r.Status == StatusError:
+							errs++
+						case r.Status == StatusRejected:
+							rejects++
+						}
 					}
-					switch {
-					case r.Status == StatusOK && r.Kind == KindRun:
-						okRuns++
-					case r.Status == StatusError:
-						errs++
-					case r.Status == StatusRejected:
-						rejects++
+					if okRuns < 8 || errs < 5 || rejects != 2 {
+						t.Fatalf("trace coverage: ok=%d errs=%d rejects=%d", okRuns, errs, rejects)
 					}
+					continue
 				}
-				if okRuns < 8 || errs < 5 || rejects != 2 {
-					t.Fatalf("trace coverage: ok=%d errs=%d rejects=%d", okRuns, errs, rejects)
+				if len(got) != len(want) {
+					t.Fatalf("%s emitted %d results, %s emitted %d", label, len(got), wantFrom, len(want))
 				}
-				continue
-			}
-			if len(got) != len(want) {
-				t.Fatalf("%s emitted %d results, %s emitted %d", label, len(got), wantFrom, len(want))
-			}
-			for i := range got {
-				if got[i] != want[i] {
-					t.Fatalf("%s diverges from %s at result %d:\n  %s\n  %s",
-						label, wantFrom, i, got[i], want[i])
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s diverges from %s at result %d:\n  %s\n  %s",
+							label, wantFrom, i, got[i], want[i])
+					}
 				}
 			}
 		}
@@ -383,5 +386,54 @@ func TestFleetConcurrentSoak(t *testing.T) {
 	f.Close()
 	if err := f.SubmitBatch([]Event{{Kind: KindJoin, Chip: 1}}, nil); err == nil {
 		t.Fatal("submit after close succeeded")
+	}
+}
+
+// TestSubmitBatchAllocs gates the steady-state ingest path's allocation
+// budget: once the pools and latency reservoirs are warm, a 50-event
+// baseline-run batch must stay within a small constant allocation count
+// — the property that keeps the serving hot path off the garbage
+// collector at fleet scale.
+func TestSubmitBatchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack experiment")
+	}
+	sim := testSim(t, "")
+	f, err := New(sim, Config{Workers: 2, Apps: testApps(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const batchN = 50
+	batch := make([]Event, 0, batchN+1)
+	batch = append(batch, Event{At: 1, Kind: KindJoin, Class: "steady", Chip: 31337})
+	for i := 0; i < batchN; i++ {
+		batch = append(batch, Event{At: 2, Kind: KindRun, Class: "steady", Chip: 31337,
+			Mode: ModeBaseline, App: "gcc"})
+	}
+	if err := f.SubmitBatch(batch, nil); err != nil {
+		t.Fatal(err)
+	}
+	steady := batch[1:]
+	// Warm the scratch pools and fill the latency reservoirs (4096
+	// samples per histogram shard) so the measured loop sees the true
+	// steady state.
+	for i := 0; i < 200; i++ {
+		if err := f.SubmitBatch(steady, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := f.SubmitBatch(steady, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state SubmitBatch: %.1f allocs per %d-event batch", avg, batchN)
+	// Budget: the batch's done channel, the unit's result payload, and a
+	// little slack for pool refills after a GC — far under one alloc per
+	// event (the old path paid ~14 per event).
+	if limit := 25.0; avg > limit {
+		t.Fatalf("steady-state SubmitBatch allocates %.1f times per %d-event batch (limit %.0f)",
+			avg, batchN, limit)
 	}
 }

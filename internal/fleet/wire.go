@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// AppendJSON appends the result's JSON object (no trailing newline) to
+// buf and returns the extended slice. The output is byte-identical to
+// encoding/json.Marshal for any Result with finite float fields: same
+// struct field order, same omitempty behavior, the same HTML-safe
+// string escaping (<, >, & as \u00XX), and the same float formatting.
+// It exists for the serving hot path: streaming one NDJSON line per
+// event through encoding/json costs a reflection walk and an
+// intermediate allocation per result, where AppendJSON costs neither.
+func (r *Result) AppendJSON(buf []byte) []byte {
+	b := append(buf, `{"seq":`...)
+	b = strconv.AppendInt(b, r.Seq, 10)
+	b = append(b, `,"at":`...)
+	b = strconv.AppendInt(b, r.At, 10)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, r.Kind)
+	if r.Class != "" {
+		b = append(b, `,"class":`...)
+		b = appendJSONString(b, r.Class)
+	}
+	b = append(b, `,"chip":`...)
+	b = strconv.AppendInt(b, r.Chip, 10)
+	if r.Env != "" {
+		b = append(b, `,"env":`...)
+		b = appendJSONString(b, r.Env)
+	}
+	if r.Mode != "" {
+		b = append(b, `,"mode":`...)
+		b = appendJSONString(b, r.Mode)
+	}
+	if r.App != "" {
+		b = append(b, `,"app":`...)
+		b = appendJSONString(b, r.App)
+	}
+	if r.Phase != nil {
+		b = append(b, `,"phase":`...)
+		b = strconv.AppendInt(b, int64(*r.Phase), 10)
+	}
+	b = append(b, `,"status":`...)
+	b = appendJSONString(b, r.Status)
+	if r.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendJSONString(b, r.Err)
+	}
+	if r.Run != nil {
+		b = append(b, `,"run":{"f_rel":`...)
+		b = appendJSONFloat(b, r.Run.FRel)
+		b = append(b, `,"perf":`...)
+		b = appendJSONFloat(b, r.Run.Perf)
+		b = append(b, `,"power_w":`...)
+		b = appendJSONFloat(b, r.Run.PowerW)
+		b = append(b, `,"pe":`...)
+		b = appendJSONFloat(b, r.Run.PE)
+		b = append(b, '}')
+	}
+	if r.CacheHit {
+		b = append(b, `,"cache_hit":true`...)
+	}
+	if r.Batched != 0 {
+		b = append(b, `,"batched":`...)
+		b = strconv.AppendInt(b, int64(r.Batched), 10)
+	}
+	if r.Worker != 0 {
+		b = append(b, `,"worker":`...)
+		b = strconv.AppendInt(b, int64(r.Worker), 10)
+	}
+	if r.SchedMs != 0 {
+		b = append(b, `,"sched_ms":`...)
+		b = appendJSONFloat(b, r.SchedMs)
+	}
+	if r.TotalMs != 0 {
+		b = append(b, `,"total_ms":`...)
+		b = appendJSONFloat(b, r.TotalMs)
+	}
+	return append(b, '}')
+}
+
+// appendJSONFloat matches encoding/json's float64 formatting: shortest
+// round-trip representation, 'f' form except for very small or very
+// large magnitudes, which use 'e' form with the exponent's leading zero
+// stripped. NaN and infinities (which encoding/json rejects outright)
+// must not reach the wire; simulation outputs are finite.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := f
+	if abs < 0 {
+		abs = -abs
+	}
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string with encoding/json's
+// default (HTML-safe) escaping: quotes, backslashes, control
+// characters, <, >, &, U+2028/U+2029, and invalid UTF-8 as U+FFFD.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				// Control characters and the HTML-sensitive trio.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

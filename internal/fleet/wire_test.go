@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendJSONMatchesEncodingJSON pins the wire encoder to
+// encoding/json.Marshal byte-for-byte: clients decode with the standard
+// library, so the hand-rolled fast path must not diverge on escaping,
+// float formatting, omitempty, or field order.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	cases := []Result{
+		{},
+		{Seq: 1, At: 5, Kind: KindJoin, Chip: 42, Status: StatusOK},
+		{Seq: -3, At: -1, Kind: KindLeave, Class: "bulk", Chip: -7,
+			Status: StatusError, Err: `chip -7 not joined`},
+		{Seq: 9, Kind: KindRun, Class: "interactive", Chip: 1,
+			Env: "TS+ASV+Q+FU", Mode: ModeFuzzy, App: "gcc", Phase: intp(0),
+			Status: StatusOK,
+			Run:    &RunPayload{FRel: 1.1375, Perf: 0.98, PowerW: 14.2, PE: 0.000125}},
+		{Seq: 10, Kind: KindRun, Chip: 2, Mode: ModeBaseline, Status: StatusOK,
+			Run: &RunPayload{FRel: 0.7400000000000001}},
+		// Diagnostics present (the serving path always carries them).
+		{Seq: 11, Kind: KindRun, Chip: 3, App: "swim", Phase: intp(2),
+			Status: StatusOK, Run: &RunPayload{FRel: 1, Perf: 1, PowerW: 1, PE: 1},
+			CacheHit: true, Batched: 4, Worker: 7, SchedMs: 0.125, TotalMs: 3.5},
+		// Float edge cases: 'e' form below 1e-6 and at/above 1e21,
+		// negative values, exact zero alongside nonzero siblings.
+		{Seq: 12, Kind: KindRun, Chip: 4, Status: StatusOK,
+			Run: &RunPayload{FRel: 9.87e-7, Perf: -2.5e21, PowerW: 1e-9, PE: 0}},
+		{Seq: 13, Kind: KindRun, Chip: 5, Status: StatusOK,
+			Run:     &RunPayload{FRel: 1e21, Perf: 1e-6, PowerW: -0.0001, PE: 123456789.5},
+			SchedMs: 4.9e-7},
+		// String escaping: quotes, backslashes, control characters, the
+		// HTML trio, U+2028/U+2029, multibyte runes, invalid UTF-8.
+		{Seq: 14, Kind: KindRun, Chip: 6, Status: StatusError,
+			Err: "a\"b\\c\nd\re\tf\x01g<h>i&j"},
+		{Seq: 15, Kind: KindRun, Chip: 7, Status: StatusError,
+			Err: "line\u2028para\u2029日本語"},
+		{Seq: 16, Kind: KindRun, Chip: 8, Status: StatusError,
+			Err: "bad\xffutf8"},
+	}
+	for _, res := range cases {
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", res, err)
+		}
+		got := res.AppendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("AppendJSON mismatch:\n got  %s\n want %s", got, want)
+		}
+	}
+}
+
+// TestAppendJSONRandomized cross-checks a seeded stream of synthetic
+// results against encoding/json.
+func TestAppendJSONRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	strs := []string{"", "gcc", "a<b>&", "x\"y\\z", "TS+ASV", "日本", "\u2028", "c\x00d"}
+	floats := func() float64 {
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return rng.NormFloat64()
+		case 2:
+			return rng.Float64() * 1e-7
+		case 3:
+			return rng.Float64() * 1e22
+		default:
+			return -rng.Float64() * 100
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		res := Result{
+			Seq: rng.Int63n(1e9) - 5, At: rng.Int63n(100) - 50,
+			Kind: strs[rng.Intn(len(strs))], Class: strs[rng.Intn(len(strs))],
+			Chip: rng.Int63n(1000) - 500, Env: strs[rng.Intn(len(strs))],
+			Mode: strs[rng.Intn(len(strs))], App: strs[rng.Intn(len(strs))],
+			Status: strs[rng.Intn(len(strs))], Err: strs[rng.Intn(len(strs))],
+			Batched: rng.Intn(3), Worker: rng.Intn(3),
+			CacheHit: rng.Intn(2) == 0,
+			SchedMs:  floats(), TotalMs: floats(),
+		}
+		if rng.Intn(2) == 0 {
+			res.Phase = intp(rng.Intn(10) - 2)
+		}
+		if rng.Intn(2) == 0 {
+			res.Run = &RunPayload{FRel: floats(), Perf: floats(), PowerW: floats(), PE: floats()}
+		}
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		if got := res.AppendJSON(nil); string(got) != string(want) {
+			t.Fatalf("mismatch at i=%d:\n got  %s\n want %s", i, got, want)
+		}
+	}
+}
+
+// BenchmarkAppendJSON compares the wire encoder against encoding/json
+// on a representative OK run result.
+func BenchmarkAppendJSON(b *testing.B) {
+	res := Result{Seq: 12345, At: 678, Kind: KindRun, Class: "interactive",
+		Chip: 42, Env: "TS+ASV+Q+FU", Mode: ModeFuzzy, App: "gcc", Phase: intp(1),
+		Status:  StatusOK,
+		Run:     &RunPayload{FRel: 1.1375, Perf: 0.982, PowerW: 14.25, PE: 0.000125},
+		Batched: 3, Worker: 5, SchedMs: 0.125, TotalMs: 3.5}
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = res.AppendJSON(buf[:0])
+		}
+	})
+	b.Run("encoding-json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -7,13 +7,24 @@ import (
 	"repro/internal/core"
 )
 
-// coreKey identifies a worker-cached core: cores are cheap but not free,
-// and a worker sees the same (chip, environment) pairs repeatedly —
-// always under affinity routing. Keyed on the entry pointer, not the
-// seed, so a chip that leaves and rejoins gets a fresh core generation.
+// coreKey identifies a worker's cached view of a chip core. Keyed on the
+// entry pointer, not the seed, so a chip that leaves and rejoins gets a
+// fresh core generation.
 type coreKey struct {
 	entry *chipEntry
 	env   core.Environment
+}
+
+// workerScratch is one worker's reusable task state. The views map
+// caches per-(chip, env) WorkerViews of the entry's shared base core:
+// the expensive core build happens once per chip per environment across
+// the whole pool, and each worker derives a cheap private view (shared
+// immutable models and PE store, fresh memo maps) so solves never
+// contend.
+type workerScratch struct {
+	views  map[coreKey]*adapt.Core
+	groups []group
+	units  []core.FleetUnit
 }
 
 // worker drains one queue. Each task is a batch of compatible run
@@ -21,11 +32,11 @@ type coreKey struct {
 // out to every event in the group.
 func (f *Fleet) worker(w int) {
 	defer f.wg.Done()
-	cores := make(map[coreKey]*adapt.Core)
+	sc := &workerScratch{views: make(map[coreKey]*adapt.Core)}
 	for t := range f.queues[w] {
 		sched := time.Since(t.enq)
 		t0 := f.mon.TaskStart()
-		f.runTask(w, t, cores, sched)
+		f.runTask(w, t, sc, sched)
 		f.mon.TaskDone(t0)
 	}
 }
@@ -35,36 +46,52 @@ type group struct {
 	key  groupKey
 	refs []int // indices into task.refs
 
-	payload RunPayload
+	payload *RunPayload // shared by every ref's Result; nil on error
 	errMsg  string
 	hit     bool
 }
 
-// runTask executes one unit batch and finishes every referenced batch
-// slot.
-func (f *Fleet) runTask(w int, t *unitTask, cores map[coreKey]*adapt.Core, sched time.Duration) {
+// runTask executes one unit batch, finishes every referenced batch
+// slot, and recycles the task.
+func (f *Fleet) runTask(w int, t *unitTask, sc *workerScratch, sched time.Duration) {
 	// Group events: duplicate (app, phase) pairs share one solve — the
 	// bounded batching that makes repeated phase changes on a hot chip
-	// nearly free.
-	var groups []*group
-	byKey := make(map[groupKey]*group, len(t.refs))
-	for i, ref := range t.refs {
-		k := keyOf(ref.ev)
-		g := byKey[k]
-		if g == nil {
-			g = &group{key: k}
-			byKey[k] = g
-			groups = append(groups, g)
+	// nearly free. Tasks are small (MaxBatch), so group lookup is a
+	// linear scan over the reused scratch slice, not a fresh map.
+	sc.groups = sc.groups[:0]
+	for i := range t.refs {
+		k := keyOf(t.refs[i].ev)
+		gi := -1
+		for j := range sc.groups {
+			if sc.groups[j].key == k {
+				gi = j
+				break
+			}
 		}
-		g.refs = append(g.refs, i)
+		if gi < 0 {
+			if n := len(sc.groups); n < cap(sc.groups) {
+				sc.groups = sc.groups[:n+1]
+			} else {
+				sc.groups = append(sc.groups, group{})
+			}
+			gi = len(sc.groups) - 1
+			g := &sc.groups[gi]
+			g.key = k
+			g.refs = g.refs[:0]
+			g.payload = nil
+			g.errMsg = ""
+			g.hit = false
+		}
+		sc.groups[gi].refs = append(sc.groups[gi].refs, i)
 	}
 
-	f.solveGroups(t, groups, cores)
+	f.solveGroups(t, sc)
 
 	total := time.Since(t.enq)
-	for _, g := range groups {
+	for gi := range sc.groups {
+		g := &sc.groups[gi]
 		for _, i := range g.refs {
-			ref := t.refs[i]
+			ref := &t.refs[i]
 			res := Result{
 				Seq: ref.seq, At: ref.ev.At, Kind: ref.ev.Kind,
 				Class: ref.ev.Class, Chip: ref.ev.Chip, Env: ref.ev.Env,
@@ -72,38 +99,41 @@ func (f *Fleet) runTask(w int, t *unitTask, cores map[coreKey]*adapt.Core, sched
 				CacheHit: g.hit, Batched: len(g.refs), Worker: w,
 				SchedMs: ms(sched), TotalMs: ms(total),
 			}
-			cls := f.stats.class(ref.ev.Class)
 			if g.errMsg != "" {
 				res.Status = StatusError
 				res.Err = g.errMsg
-				cls.errors.Add(1)
+				ref.cls.errors.Add(1)
 			} else {
 				res.Status = StatusOK
-				p := g.payload
-				res.Run = &p
-				cls.ok.Add(1)
-				cls.served.Add(1)
+				res.Run = g.payload
+				ref.cls.ok.Add(1)
+				ref.cls.served.Add(1)
 			}
-			f.stats.observeRun(cls, sched, total)
+			f.stats.observeRun(ref.cls, w, sched, total)
 			ref.b.finish(ref.pos, res)
-			t.entry.units.Done()
 		}
+	}
+	entry := t.entry
+	n := len(t.refs)
+	t.release()
+	for ; n > 0; n-- {
+		entry.units.Done()
 	}
 }
 
-// solveGroups fills each group's payload (or error message). cores is
-// the calling worker's private core cache.
-func (f *Fleet) solveGroups(t *unitTask, groups []*group, cores map[coreKey]*adapt.Core) {
+// solveGroups fills each scratch group's payload (or error message).
+func (f *Fleet) solveGroups(t *unitTask, sc *workerScratch) {
+	groups := sc.groups
 	handle, err := t.entry.ensure(f.sim)
 	if err != nil {
-		for _, g := range groups {
-			g.errMsg = err.Error()
+		for gi := range groups {
+			groups[gi].errMsg = err.Error()
 		}
 		return
 	}
 	if t.mode == ModeBaseline {
-		for _, g := range groups {
-			g.payload = RunPayload{FRel: handle.FVar()}
+		for gi := range groups {
+			groups[gi].payload = &RunPayload{FRel: handle.FVar()}
 		}
 		return
 	}
@@ -112,16 +142,17 @@ func (f *Fleet) solveGroups(t *unitTask, groups []*group, cores map[coreKey]*ada
 	env, _ := core.ParseEnvironment(t.env)
 	mode, _ := core.ParseMode(t.mode)
 	ck := coreKey{entry: t.entry, env: env}
-	cpu := cores[ck]
+	cpu := sc.views[ck]
 	if cpu == nil {
-		var cerr error
-		if cpu, cerr = f.sim.HandleCore(handle, env); cerr != nil {
-			for _, g := range groups {
-				g.errMsg = cerr.Error()
+		base, cerr := t.entry.baseCore(f.sim, env)
+		if cerr != nil {
+			for gi := range groups {
+				groups[gi].errMsg = cerr.Error()
 			}
 			return
 		}
-		cores[ck] = cpu
+		cpu = base.WorkerView()
+		sc.views[ck] = cpu
 	}
 	var solver adapt.Solver
 	solverFP := ""
@@ -129,45 +160,48 @@ func (f *Fleet) solveGroups(t *unitTask, groups []*group, cores map[coreKey]*ada
 	case core.FuzzyDyn:
 		var serr error
 		if solver, solverFP, serr = f.sim.HandleSolver(handle, cpu, f.cfg.Training); serr != nil {
-			for _, g := range groups {
-				g.errMsg = serr.Error()
+			for gi := range groups {
+				groups[gi].errMsg = serr.Error()
 			}
 			return
 		}
 	case core.ExhDyn:
 		solver, solverFP = adapt.Exhaustive{}, "exh"
 	}
-	units := make([]core.FleetUnit, len(groups))
-	for i, g := range groups {
+	sc.units = sc.units[:0]
+	for gi := range groups {
+		g := &groups[gi]
 		app := f.apps[g.key.app]
-		units[i] = core.FleetUnit{App: app, Phase: g.key.phase}
+		unit := core.FleetUnit{App: app, Phase: g.key.phase}
 		if mode == core.Static {
 			pt, perr := f.sim.HandleStaticPoint(handle, cpu, app.Class, f.cfg.Apps)
 			if perr != nil {
 				g.errMsg = perr.Error()
-				continue
+			} else {
+				unit.Static = &pt
 			}
-			units[i].Static = &pt
 		}
+		sc.units = append(sc.units, unit)
 	}
 	// One indexed pass tells which units replay from the artifact store;
 	// the solve below then only pays the adaptation loop for the rest.
-	hits := f.sim.PeekAppRuns(handle.Seed(), cpu, mode, solverFP, units)
-	for i, g := range groups {
+	hits := f.sim.PeekAppRuns(handle.Seed(), cpu, mode, solverFP, sc.units)
+	for gi := range groups {
+		g := &groups[gi]
 		if g.errMsg != "" {
 			continue
 		}
-		g.hit = hits[i]
+		g.hit = hits[gi]
 		if g.hit {
 			f.stats.cacheHits.Add(1)
 		} else {
 			f.stats.cacheMisses.Add(1)
 		}
-		run, rerr := f.sim.UnitAppRun(handle.Seed(), cpu, mode, solver, units[i])
+		run, rerr := f.sim.UnitAppRun(handle.Seed(), cpu, mode, solver, sc.units[gi])
 		if rerr != nil {
 			g.errMsg = rerr.Error()
 			continue
 		}
-		g.payload = RunPayload{FRel: run.FRel, Perf: run.Perf, PowerW: run.PowerW, PE: run.PE}
+		g.payload = &RunPayload{FRel: run.FRel, Perf: run.Perf, PowerW: run.PowerW, PE: run.PE}
 	}
 }

@@ -13,16 +13,26 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 )
 
 const (
 	fastPattern = "^(BenchmarkFreqSolve|BenchmarkFreqSolveCold|BenchmarkChipGeneration|BenchmarkCorePipeline|BenchmarkCorePipelineReference|BenchmarkCoreSteady|BenchmarkPEFMaxBatch|BenchmarkThermalSolveBatch)$"
-	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver|BenchmarkFleet)$"
+	slowPattern = "^(BenchmarkFig10_RelativeFrequency|BenchmarkFig10_ArtifactCache|BenchmarkFig13_ControllerOutcomes|BenchmarkTrainFuzzySolver)$"
+	// The cold fleet rows are recorded single-shot like the other slow
+	// benchmarks; the warm rows are recorded at fleetCheckIterations so
+	// the checked-in baseline measures exactly what the -check-fleet gate
+	// re-measures (a 1x warm row is dominated by first-iteration warmup
+	// and too noisy to gate against at 20%).
+	fleetColdPattern = "^BenchmarkFleet$/^cold$"
 )
 
 // warmBenchName and coldBenchName are the headline numbers the
@@ -39,13 +49,19 @@ const (
 
 // fleetBenchName is the serving-path headline the -check-fleet gate pins:
 // single-core, warm-cache event throughput of the fleet service. Besides
-// the relative ns/op check, the gate enforces the absolute service floors
-// below (the issue's acceptance bar), which no machine-scale
-// normalization applies to.
+// the relative ns/op check, the gate enforces the absolute service
+// floors, the multi-worker parity floor, and the bytes/allocs budgets
+// below, none of which machine-scale normalization applies to.
 const (
 	fleetBenchName       = "BenchmarkFleet/warm/workers=1"
+	fleetParityBenchName = "BenchmarkFleet/warm/workers=8"
+	fleetWarmPattern     = "^BenchmarkFleet$/^warm$"
 	minFleetEventsPerSec = 10000.0
 	maxFleetSchedP99Ms   = 10.0
+	// minFleetParity is the workers=8 / workers=1 warm events/s floor: the
+	// sharded ingest must not anti-scale when the pool grows past the
+	// core count.
+	minFleetParity       = 0.9
 	fleetCheckIterations = "100x" // ~5000 events: enough signal, <1s wall
 )
 
@@ -59,9 +75,25 @@ type benchResult struct {
 }
 
 type trajectory struct {
-	Commit     string        `json:"commit"`
-	GoVersion  string        `json:"go_version"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	Commit     string           `json:"commit"`
+	GoVersion  string           `json:"go_version"`
+	Benchmarks []benchResult    `json:"benchmarks"`
+	Fleetload  *fleetloadRecord `json:"fleetload,omitempty"`
+}
+
+// fleetloadRecord is the driven-server measurement: cmd/fleetload
+// closed-loop against a live evalserve over HTTP, so the recorded
+// events/s and p99 include ingest, scheduling, the wire encoder, and
+// the network — not just the in-process benchmark loop.
+type fleetloadRecord struct {
+	Mode         string  `json:"mode"`
+	Conns        int     `json:"conns"`
+	DurationS    float64 `json:"duration_s"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	ReqP50Ms     float64 `json:"req_p50_ms"`
+	ReqP99Ms     float64 `json:"req_p99_ms"`
+	SchedP99Ms   float64 `json:"sched_p99_ms"`
 }
 
 func main() {
@@ -73,6 +105,10 @@ func main() {
 	checkFleet := flag.String("check-fleet", "",
 		"gate the fleet-service benchmark: warm single-core ns/op against this baseline JSON, plus the absolute events/s and p99 scheduling-latency floors")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression for -check-warm / -check-cold")
+	allowDirty := flag.Bool("allow-dirty", false,
+		"record a trajectory from a dirty tree anyway (the commit field is annotated '-dirty'; a checked-in baseline must come from a clean commit)")
+	skipFleetload := flag.Bool("skip-fleetload", false,
+		"skip the driven-server fleetload measurement when writing a trajectory")
 	flag.Parse()
 
 	if *checkWarm != "" {
@@ -99,6 +135,16 @@ func main() {
 		return
 	}
 
+	// A checked-in trajectory must be reproducible from its commit field;
+	// a dirty tree breaks that provenance, so writing one is opt-in and
+	// loudly annotated.
+	if gitDirty() {
+		if !*allowDirty {
+			fatal(fmt.Errorf("working tree is dirty; commit first so the trajectory's commit field is reproducible, or pass -allow-dirty to record anyway"))
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING: recording from a dirty tree; the commit field will say '-dirty' and the result must not be checked in as a baseline")
+	}
+
 	fast, err := runBench(fastPattern, "")
 	if err != nil {
 		fatal(err)
@@ -107,10 +153,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fleetWarm, err := runBench(fleetWarmPattern, fleetCheckIterations)
+	if err != nil {
+		fatal(err)
+	}
+	fleetCold, err := runBench(fleetColdPattern, "1x")
+	if err != nil {
+		fatal(err)
+	}
 	traj := trajectory{
 		Commit:     gitCommit(),
 		GoVersion:  runtime.Version(),
-		Benchmarks: append(fast, slow...),
+		Benchmarks: append(append(append(fast, slow...), fleetWarm...), fleetCold...),
+	}
+	if !*skipFleetload {
+		fl, err := runFleetload()
+		if err != nil {
+			fatal(fmt.Errorf("fleetload measurement: %w", err))
+		}
+		traj.Fleetload = fl
 	}
 	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
@@ -229,11 +290,16 @@ func machineScale(base trajectory) (float64, error) {
 	return 1.0, nil
 }
 
-// checkFleetRegression gates the fleet service's serving path: the warm
-// single-core variant's ns/op against the checked-in trajectory
-// (machine-normalized, like the other gates) AND the absolute service
+// checkFleetRegression gates the fleet service's serving path. Four
+// checks: the warm single-core ns/op against the checked-in trajectory
+// (machine-normalized, like the other gates); the absolute service
 // floors — warm-cache events/s and p99 scheduling latency — which hold
-// as-is on any machine the gate is expected to pass on.
+// as-is on any machine the gate is expected to pass on; the memory
+// budget — warm bytes/op and allocs/op at both worker counts must stay
+// within tolerance of the baseline (machine-independent, so no
+// normalization); and the scaling parity floor — warm workers=8 must
+// reach minFleetParity of the workers=1 events/s, the property the
+// sharded ingest exists to hold.
 func checkFleetRegression(baselinePath string, tolerance float64) error {
 	blob, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -243,30 +309,24 @@ func checkFleetRegression(baselinePath string, tolerance float64) error {
 	if err := json.Unmarshal(blob, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", baselinePath, err)
 	}
-	var baseline benchResult
-	found := false
-	for _, r := range base.Benchmarks {
-		if r.Name == fleetBenchName {
-			baseline, found = r, true
-			break
+	find := func(results []benchResult, name string) (benchResult, bool) {
+		for _, r := range results {
+			if r.Name == name {
+				return r, true
+			}
 		}
+		return benchResult{}, false
 	}
-	if !found {
+	baseline, ok := find(base.Benchmarks, fleetBenchName)
+	if !ok {
 		return fmt.Errorf("%s: no %s entry to compare against", baselinePath, fleetBenchName)
 	}
-	current, err := runBench("^"+fleetBenchName+"$", fleetCheckIterations)
+	current, err := runBench(fleetWarmPattern, fleetCheckIterations)
 	if err != nil {
 		return err
 	}
-	var now benchResult
-	found = false
-	for _, r := range current {
-		if r.Name == fleetBenchName {
-			now, found = r, true
-			break
-		}
-	}
-	if !found {
+	now, ok := find(current, fleetBenchName)
+	if !ok {
 		return fmt.Errorf("benchmark run produced no %s line", fleetBenchName)
 	}
 	ratio := now.NsPerOp / baseline.NsPerOp
@@ -289,6 +349,46 @@ func checkFleetRegression(baselinePath string, tolerance float64) error {
 	}
 	if p99 > maxFleetSchedP99Ms {
 		return fmt.Errorf("fleet latency ceiling: sched p99 %.2f ms > %.0f ms allowed", p99, maxFleetSchedP99Ms)
+	}
+	// Memory budget: B/op and allocs/op are machine-independent, so they
+	// gate directly against the baseline at both worker counts. The flat
+	// slack terms keep tiny baselines from tripping on rounding.
+	for _, name := range []string{fleetBenchName, fleetParityBenchName} {
+		b, ok := find(base.Benchmarks, name)
+		if !ok {
+			return fmt.Errorf("%s: no %s entry for the memory gate", baselinePath, name)
+		}
+		n, ok := find(current, name)
+		if !ok {
+			return fmt.Errorf("benchmark run produced no %s line", name)
+		}
+		byteLimit := b.BytesPerOp*(1+tolerance) + 512
+		allocLimit := b.AllocsPerOp*(1+tolerance) + 0.5
+		fmt.Fprintf(os.Stderr,
+			"benchjson: %s: %.0f B/op (limit %.0f), %.0f allocs/op (limit %.0f)\n",
+			name, n.BytesPerOp, byteLimit, n.AllocsPerOp, allocLimit)
+		if n.BytesPerOp > byteLimit {
+			return fmt.Errorf("regression: %s %.0f B/op vs baseline %.0f (limit %.0f)",
+				name, n.BytesPerOp, b.BytesPerOp, byteLimit)
+		}
+		if n.AllocsPerOp > allocLimit {
+			return fmt.Errorf("regression: %s %.0f allocs/op vs baseline %.0f (limit %.0f)",
+				name, n.AllocsPerOp, b.AllocsPerOp, allocLimit)
+		}
+	}
+	// Scaling parity: both variants came from the same run, so the ratio
+	// needs no normalization.
+	w8, ok := find(current, fleetParityBenchName)
+	if !ok {
+		return fmt.Errorf("benchmark run produced no %s line", fleetParityBenchName)
+	}
+	parity := w8.Metrics["events/s"] / evs
+	fmt.Fprintf(os.Stderr,
+		"benchjson: fleet parity: workers=8 %.0f events/s / workers=1 %.0f = %.2fx (floor %.2fx)\n",
+		w8.Metrics["events/s"], evs, parity, minFleetParity)
+	if parity < minFleetParity {
+		return fmt.Errorf("fleet scaling parity: workers=8 reaches only %.2fx of workers=1 events/s (floor %.2fx)",
+			parity, minFleetParity)
 	}
 	return nil
 }
@@ -362,14 +462,85 @@ func parseBench(out string) ([]benchResult, error) {
 	return results, nil
 }
 
+// runFleetload measures the driven-server path: it builds evalserve and
+// fleetload, starts the server on a loopback port, drives it closed-loop
+// for a short window, and returns fleetload's summary (with the server's
+// own sched p99 from /v1/stats).
+func runFleetload() (*fleetloadRecord, error) {
+	dir, err := os.MkdirTemp("", "benchjson-fleetload")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	for _, pkg := range []string{"evalserve", "fleetload"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, pkg), "./cmd/"+pkg)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("build %s: %w", pkg, err)
+		}
+	}
+	const addr = "127.0.0.1:18097"
+	srv := exec.Command(filepath.Join(dir, "evalserve"), "-addr", addr, "-no-cache", "-tracelen", "8000")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return nil, fmt.Errorf("start evalserve: %w", err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+	up := false
+	for i := 0; i < 50; i++ {
+		if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			if up {
+				break
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if !up {
+		return nil, fmt.Errorf("evalserve did not become healthy on %s", addr)
+	}
+	load := exec.Command(filepath.Join(dir, "fleetload"),
+		"-url", "http://"+addr, "-conns", "4", "-duration", "3s",
+		"-chips", "8", "-batch", "50")
+	var out bytes.Buffer
+	load.Stdout = &out
+	load.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: %s\n", strings.Join(load.Args, " "))
+	if err := load.Run(); err != nil {
+		return nil, fmt.Errorf("fleetload: %w", err)
+	}
+	var sum struct {
+		fleetloadRecord
+		Stats *struct {
+			SchedP99Ms float64 `json:"sched_p99_ms"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		return nil, fmt.Errorf("parse fleetload summary: %w", err)
+	}
+	rec := sum.fleetloadRecord
+	if sum.Stats != nil {
+		rec.SchedP99Ms = sum.Stats.SchedP99Ms
+	}
+	return &rec, nil
+}
+
+func gitDirty() bool {
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	return err == nil && len(bytes.TrimSpace(status)) > 0
+}
+
 func gitCommit() string {
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
 		return "unknown"
 	}
 	commit := strings.TrimSpace(string(out))
-	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
-		len(bytes.TrimSpace(status)) > 0 {
+	if gitDirty() {
 		commit += "-dirty"
 	}
 	return commit
